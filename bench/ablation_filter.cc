@@ -1,0 +1,55 @@
+// Ablation: the §6.7 migration filter. AM (alpha=0.15, the fault-engaged
+// regime) on Memcached/YCSB with the
+// filter's rules individually disabled, quantifying what each contributes
+// (DESIGN.md §6).
+//
+// Expected shape: disabling hysteresis/benefit checks inflates migration
+// churn (and usually slowdown) for roughly the same TCO; disabling the
+// capacity bound risks rejected migrations under pressure.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+
+using namespace tierscape;
+using namespace tierscape::bench;
+
+int main() {
+  const std::string workload = "memcached-ycsb";
+  const std::size_t footprint = WorkloadFootprint(workload);
+
+  struct Variant {
+    const char* name;
+    bool hysteresis;
+    double benefit_factor;
+    double headroom;
+  };
+  const Variant variants[] = {
+      {"full filter", true, 4.0, 0.95},
+      {"no hysteresis", false, 4.0, 0.95},
+      {"no benefit check", true, 1e18, 0.95},
+      {"no capacity bound", true, 4.0, 1e9},
+      {"no filter at all", false, 1e18, 1e9},
+  };
+
+  std::printf("Ablation: migration filter rules (AM-TCO, Memcached/YCSB)\n\n");
+  TablePrinter table({"variant", "slowdown %", "TCO savings %", "migrated pages",
+                      "faults"});
+  for (const Variant& variant : variants) {
+    auto system = std::make_unique<TieredSystem>(
+        StandardMixConfig(footprint + footprint / 2, footprint + footprint / 2));
+    auto wl = MakeWorkload(workload);
+    AnalyticalPolicy policy(0.15);
+    ExperimentConfig config;
+    config.ops = 150'000;
+    config.daemon.filter.enable_hysteresis = variant.hysteresis;
+    config.daemon.filter.demotion_benefit_factor = variant.benefit_factor;
+    config.daemon.filter.capacity_headroom = variant.headroom;
+    const ExperimentResult r = RunExperiment(*system, *wl, &policy, config);
+    table.AddRow({variant.name, TablePrinter::Fmt(r.perf_overhead_pct),
+                  TablePrinter::Fmt(r.mean_tco_savings * 100.0),
+                  std::to_string(r.migrated_pages), std::to_string(r.total_faults)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation: tier-set selection (the paper's future-work items (i) and (iii):
+// which tiers, and how many?). AM-TCO on Memcached/YCSB with different
+// compressed-tier sets.
+//
+// Expected shape: a single fast tier (C1) caps savings; a single dense tier
+// (C12) costs performance; the mixed 5-tier spectrum reaches the best
+// savings-per-slowdown; going from 2 to 5 tiers raises achievable savings
+// (the §8.3.2 observation).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace tierscape;
+using namespace tierscape::bench;
+
+int main() {
+  const std::string workload = "memcached-ycsb";
+  const std::size_t footprint = WorkloadFootprint(workload);
+
+  struct TierSet {
+    const char* name;
+    std::vector<const char*> labels;
+  };
+  const TierSet sets[] = {
+      {"C1 only (fastest)", {"C1"}},
+      {"C12 only (densest)", {"C12"}},
+      {"C1 + C12", {"C1", "C12"}},
+      {"paper spectrum (C1,C2,C4,C7,C12)", {"C1", "C2", "C4", "C7", "C12"}},
+      {"all twelve",
+       {"C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9", "C10", "C11", "C12"}},
+  };
+
+  std::printf("Ablation: compressed tier-set selection (AM-TCO, alpha=0.3)\n\n");
+  TablePrinter table({"tier set", "tiers", "slowdown %", "TCO savings %", "faults"});
+  for (const TierSet& set : sets) {
+    SystemConfig config;
+    config.dram_bytes = 2 * footprint;
+    config.nvmm_bytes = 3 * footprint;
+    config.nvmm_byte_tier = false;
+    for (const char* label : set.labels) {
+      config.compressed_tiers.push_back(*TierSpecByLabel(label));
+    }
+    auto system = std::make_unique<TieredSystem>(config);
+    auto wl = MakeWorkload(workload);
+    AnalyticalPolicy policy(0.3);
+    ExperimentConfig experiment;
+    experiment.ops = 120'000;
+    const ExperimentResult r = RunExperiment(*system, *wl, &policy, experiment);
+    table.AddRow({set.name, std::to_string(set.labels.size()),
+                  TablePrinter::Fmt(r.perf_overhead_pct),
+                  TablePrinter::Fmt(r.mean_tco_savings * 100.0),
+                  std::to_string(r.total_faults)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 7: performance slowdown vs. memory TCO savings for the standard mix
+// of tiers (DRAM + NVMM + CT-1 + CT-2) across the Table-2 workloads, under
+// HeMem*, GSwap*, TMO*, Waterfall, AM-TCO, and AM-perf.
+//
+// Expected shape (paper §8.2): the analytical model dominates — AM-TCO
+// matches or beats the best baseline's TCO savings at lower slowdown, and
+// AM-perf trades most of the savings for near-DRAM performance. Waterfall
+// lands between the two-tier baselines and the analytical model.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+
+using namespace tierscape;
+using namespace tierscape::bench;
+
+int main() {
+  const char* workloads[] = {"memcached-ycsb",  "memcached-memtier-1k",
+                             "memcached-memtier-4k", "redis-ycsb",
+                             "bfs",             "pagerank",
+                             "xsbench",         "graphsage"};
+  const PolicySpec policies[] = {HememSpec(),     GswapSpec(),
+                                 TmoSpec(),       WaterfallSpec(),
+                                 AmSpec("AM-TCO", 0.3), AmSpec("AM-perf", 0.9)};
+
+  std::printf("Figure 7: standard mix of tiers (DRAM + NVMM + CT-1 + CT-2)\n");
+  std::printf("Metric: performance slowdown (%%, lower better) and memory TCO savings\n");
+  std::printf("(%%, higher better) w.r.t. everything-in-DRAM.\n\n");
+
+  for (const char* workload : workloads) {
+    const std::size_t footprint = WorkloadFootprint(workload);
+    const auto make_system = [&]() {
+      return std::make_unique<TieredSystem>(
+          StandardMixConfig(footprint + footprint / 2, 3 * footprint));
+    };
+    TablePrinter table({"policy", "slowdown %", "TCO savings %", "faults", "migrated pages"});
+    for (const PolicySpec& policy : policies) {
+      ExperimentConfig config;
+      config.ops = 150'000;
+      const ExperimentResult r = RunCell(make_system, workload, 1.0, policy, config);
+      table.AddRow({r.policy, TablePrinter::Fmt(r.perf_overhead_pct),
+                    TablePrinter::Fmt(r.mean_tco_savings * 100.0),
+                    std::to_string(r.total_faults), std::to_string(r.migrated_pages)});
+    }
+    std::printf("== %s ==\n", workload);
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 10: multi-objective tuning. TierScape's analytical model swept over
+// five knob values, against HeMem*/GSwap*/TMO*/Waterfall at two hotness
+// thresholds (25th and 75th percentile), on Memcached/YCSB.
+//
+// Expected shape: the AM points trace a smooth TCO-vs-performance frontier
+// (higher alpha -> less savings, less slowdown) that dominates the baseline
+// points at both threshold settings.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+
+using namespace tierscape;
+using namespace tierscape::bench;
+
+int main() {
+  const std::string workload = "memcached-ycsb";
+  const std::size_t footprint = WorkloadFootprint(workload);
+  const auto make_system = [&]() {
+    return std::make_unique<TieredSystem>(
+        StandardMixConfig(footprint + footprint / 2, 3 * footprint));
+  };
+
+  std::printf("Figure 10: knob sweep vs baselines at two hotness thresholds\n\n");
+  TablePrinter table({"policy", "setting", "slowdown %", "TCO savings %"});
+
+  for (const double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    ExperimentConfig config;
+    config.ops = 150'000;
+    const ExperimentResult r =
+        RunCell(make_system, workload, 1.0, AmSpec("TierScape AM", alpha), config);
+    table.AddRow({"TierScape AM", "alpha=" + TablePrinter::Fmt(alpha, 1),
+                  TablePrinter::Fmt(r.perf_overhead_pct),
+                  TablePrinter::Fmt(r.mean_tco_savings * 100.0)});
+  }
+  for (const double percentile : {25.0, 75.0}) {
+    for (const PolicySpec& spec :
+         {HememSpec(), GswapSpec(), TmoSpec(), WaterfallSpec()}) {
+      ExperimentConfig config;
+      config.ops = 150'000;
+      config.daemon.threshold_percentile = percentile;
+      const ExperimentResult r = RunCell(make_system, workload, 1.0, spec, config);
+      table.AddRow({spec.label, "P" + TablePrinter::Fmt(percentile, 0),
+                    TablePrinter::Fmt(r.perf_overhead_pct),
+                    TablePrinter::Fmt(r.mean_tco_savings * 100.0)});
+    }
+  }
+  table.Print();
+  return 0;
+}

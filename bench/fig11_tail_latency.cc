@@ -1,0 +1,53 @@
+// Figure 11: tail latency impact. Average, p95, and p99.9 operation latency
+// for Redis/YCSB under each tiering solution, normalized to the all-DRAM run.
+//
+// Expected shape (§8.2.4): both TierScape configurations beat the baselines
+// at every percentile; TMO*'s average beats HeMem*'s (faulted pages are
+// promoted to DRAM, so repeat accesses are fast) while its tail is worse
+// (decompression sits on the critical path of first accesses).
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+
+using namespace tierscape;
+using namespace tierscape::bench;
+
+int main() {
+  const std::string workload = "redis-ycsb";
+  const std::size_t footprint = WorkloadFootprint(workload);
+  const auto make_system = [&]() {
+    return std::make_unique<TieredSystem>(
+        StandardMixConfig(footprint + footprint / 2, 3 * footprint));
+  };
+
+  ExperimentConfig config;
+  config.ops = 120'000;
+
+  // All-DRAM reference run (no policy).
+  auto system = make_system();
+  auto dram_workload = MakeWorkload(workload);
+  const ExperimentResult dram = RunExperiment(*system, *dram_workload, nullptr, config);
+  const double base_avg = dram.op_latency_ns.Mean();
+  const double base_p95 = static_cast<double>(dram.op_latency_ns.Percentile(0.95));
+  const double base_p999 = static_cast<double>(dram.op_latency_ns.Percentile(0.999));
+
+  std::printf("Figure 11: Redis latency normalized to DRAM (avg / p95 / p99.9)\n\n");
+  TablePrinter table({"policy", "avg", "p95", "p99.9", "TCO savings %"});
+  table.AddRow({"DRAM", "1.00", "1.00", "1.00", "0.00"});
+  const PolicySpec policies[] = {HememSpec(),     GswapSpec(),
+                                 TmoSpec(),       WaterfallSpec(),
+                                 AmSpec("AM-TCO", 0.3), AmSpec("AM-perf", 0.9)};
+  for (const PolicySpec& spec : policies) {
+    const ExperimentResult r = RunCell(make_system, workload, 1.0, spec, config);
+    table.AddRow({spec.label,
+                  TablePrinter::Fmt(r.op_latency_ns.Mean() / base_avg),
+                  TablePrinter::Fmt(
+                      static_cast<double>(r.op_latency_ns.Percentile(0.95)) / base_p95),
+                  TablePrinter::Fmt(
+                      static_cast<double>(r.op_latency_ns.Percentile(0.999)) / base_p999),
+                  TablePrinter::Fmt(r.mean_tco_savings * 100.0)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 12: data placement recommendations on the six-tier spectrum
+// (DRAM + C1, C2, C4, C7, C12) for Memcached, under Waterfall and the
+// analytical model at three aggressiveness settings each.
+//
+// Expected shape: WF populates all five compressed tiers as data ages down
+// the chain; AM jumps cold data straight into the best-TCO tiers (C4/C12)
+// and its DRAM share shrinks as the setting gets more aggressive.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+
+using namespace tierscape;
+using namespace tierscape::bench;
+
+int main() {
+  const std::string workload = "memcached-ycsb";
+  const std::size_t footprint = WorkloadFootprint(workload);
+  const auto make_system = [&]() {
+    return std::make_unique<TieredSystem>(
+        SpectrumConfig(2 * footprint, 3 * footprint));
+  };
+
+  std::printf("Figure 12: placement on the 6-tier spectrum (final-window pages per tier)\n\n");
+  TablePrinter table({"model", "setting", "DRAM", "C1", "C2", "C4", "C7", "C12",
+                      "TCO savings %"});
+
+  struct Setting {
+    const char* name;
+    double percentile;  // WF threshold
+    double alpha;       // AM knob
+  };
+  const Setting settings[] = {{"-C", 25.0, 0.9}, {"-M", 50.0, 0.5}, {"-A", 75.0, 0.1}};
+
+  for (const Setting& setting : settings) {
+    ExperimentConfig config;
+    config.ops = 120'000;
+    config.daemon.threshold_percentile = setting.percentile;
+    const ExperimentResult wf =
+        RunCell(make_system, workload, 1.0, WaterfallSpec(), config);
+    const auto& wp = wf.windows.back().actual_pages;
+    table.AddRow({"WF", std::string("WF") + setting.name, std::to_string(wp[0]),
+                  std::to_string(wp[1]), std::to_string(wp[2]), std::to_string(wp[3]),
+                  std::to_string(wp[4]), std::to_string(wp[5]),
+                  TablePrinter::Fmt(wf.mean_tco_savings * 100.0)});
+  }
+  for (const Setting& setting : settings) {
+    ExperimentConfig config;
+    config.ops = 120'000;
+    const ExperimentResult am = RunCell(make_system, workload, 1.0,
+                                        AmSpec("AM", setting.alpha), config);
+    const auto& ap = am.windows.back().actual_pages;
+    table.AddRow({"AM", std::string("AM") + setting.name, std::to_string(ap[0]),
+                  std::to_string(ap[1]), std::to_string(ap[2]), std::to_string(ap[3]),
+                  std::to_string(ap[4]), std::to_string(ap[5]),
+                  TablePrinter::Fmt(am.mean_tco_savings * 100.0)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 14 (+ §8.4): TierScape tax. Memcached with memtier; baseline (no
+// daemon), profiling-only, and the analytical model in TCO/perf mode with
+// the ILP solver local vs remote.
+//
+// Expected shape: profiling alone is near-free; local vs remote solving is a
+// wash because the ILP is tiny (<0.3% of a CPU in the paper; we report the
+// measured per-window solve time of the in-repo MCKP solver).
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+
+using namespace tierscape;
+using namespace tierscape::bench;
+
+int main() {
+  const std::string workload = "memcached-memtier-1k";
+  const std::size_t footprint = WorkloadFootprint(workload);
+  const auto make_system = [&]() {
+    return std::make_unique<TieredSystem>(
+        StandardMixConfig(footprint + footprint / 2, 3 * footprint));
+  };
+
+  ExperimentConfig base_config;
+  base_config.ops = 150'000;
+
+  // Baseline: no profiling, no migration.
+  auto baseline_system = make_system();
+  auto baseline_workload = MakeWorkload(workload);
+  const ExperimentResult baseline =
+      RunExperiment(*baseline_system, *baseline_workload, nullptr, base_config);
+
+  struct Mode {
+    const char* name;
+    double alpha;  // <0: profiling only
+    bool remote;
+  };
+  const Mode modes[] = {
+      {"Only-profiling", -1.0, false},
+      {"AM-TCO-Local", 0.3, false},
+      {"AM-TCO-Remote", 0.3, true},
+      {"AM-perf-Local", 0.9, false},
+      {"AM-perf-Remote", 0.9, true},
+  };
+
+  std::printf("Figure 14: TS-Daemon tax (throughput relative to no-daemon baseline)\n\n");
+  TablePrinter table({"mode", "relative throughput", "daemon overhead (ms)",
+                      "mean solve (ms)", "TCO savings %"});
+  table.AddRow({"Baseline", "1.000", "0.00", "-", "0.00"});
+  for (const Mode& mode : modes) {
+    auto system = make_system();
+    auto run_workload = MakeWorkload(workload);
+    ExperimentConfig config = base_config;
+    config.daemon.remote_solver = mode.remote;
+    std::unique_ptr<PlacementPolicy> policy;
+    if (mode.alpha >= 0.0) {
+      policy = std::make_unique<AnalyticalPolicy>(mode.alpha);
+    } else {
+      config.daemon.enable_migration = false;  // profiling only
+    }
+    const ExperimentResult r =
+        RunExperiment(*system, *run_workload, policy.get(), config);
+    const double relative = baseline.throughput_mops > 0.0
+                                ? r.throughput_mops / baseline.throughput_mops
+                                : 0.0;
+    const double solve_ms =
+        r.windows.empty() ? 0.0 : r.total_solve_ms / static_cast<double>(r.windows.size());
+    table.AddRow({mode.name, TablePrinter::Fmt(relative, 3),
+                  TablePrinter::Fmt(NanosToMillis(r.daemon_overhead_ns)),
+                  mode.alpha >= 0.0 ? TablePrinter::Fmt(solve_ms, 3) : "-",
+                  TablePrinter::Fmt(r.mean_tco_savings * 100.0)});
+  }
+  table.Print();
+  std::printf("\n(Throughput below 1.0 for AM modes reflects faults/migrations from\n");
+  std::printf("actually moving data, not solver cost — the §8.4 distinction.)\n");
+  return 0;
+}

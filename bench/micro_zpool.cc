@@ -1,0 +1,93 @@
+// Pool manager micro-benchmarks: alloc/free and map costs of zbud, z3fold,
+// and zsmalloc, plus achieved storage density on realistic compressed-object
+// size distributions.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mem/medium.h"
+#include "src/zpool/zpool.h"
+
+namespace tierscape {
+namespace {
+
+void BM_AllocFree(benchmark::State& state) {
+  const auto manager = static_cast<PoolManager>(state.range(0));
+  Medium medium(DramSpec(64 * kMiB));
+  auto pool = CreateZPool(manager, medium);
+  Rng rng(1);
+  std::vector<ZPoolHandle> handles;
+  handles.reserve(1024);
+  for (auto _ : state) {
+    if (handles.size() < 1024) {
+      auto handle = pool->Alloc(256 + rng.NextBelow(2048));
+      if (handle.ok()) {
+        handles.push_back(*handle);
+        continue;
+      }
+    }
+    (void)pool->Free(handles.back());
+    handles.pop_back();
+  }
+  state.SetLabel(std::string(PoolManagerName(manager)));
+}
+
+void BM_Map(benchmark::State& state) {
+  const auto manager = static_cast<PoolManager>(state.range(0));
+  Medium medium(DramSpec(64 * kMiB));
+  auto pool = CreateZPool(manager, medium);
+  Rng rng(2);
+  std::vector<ZPoolHandle> handles;
+  for (int i = 0; i < 512; ++i) {
+    handles.push_back(pool->Alloc(256 + rng.NextBelow(2048)).value());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto span = pool->Map(handles[i % handles.size()]);
+    benchmark::DoNotOptimize(span);
+    ++i;
+  }
+  state.SetLabel(std::string(PoolManagerName(manager)));
+}
+
+// Density: pool pages needed to store a fixed object population.
+void BM_Density(benchmark::State& state) {
+  const auto manager = static_cast<PoolManager>(state.range(0));
+  std::size_t pages = 0;
+  std::size_t payload = 0;
+  for (auto _ : state) {
+    Medium medium(DramSpec(64 * kMiB));
+    auto pool = CreateZPool(manager, medium);
+    Rng rng(3);
+    payload = 0;
+    for (int i = 0; i < 2000; ++i) {
+      const std::size_t size = 300 + rng.NextBelow(1700);
+      if (pool->Alloc(size).ok()) {
+        payload += size;
+      }
+    }
+    pages = pool->pool_pages();
+    benchmark::DoNotOptimize(pages);
+  }
+  state.counters["pool_pages"] = static_cast<double>(pages);
+  state.counters["bytes_per_byte"] =
+      static_cast<double>(pages * kPageSize) / static_cast<double>(payload);
+  state.SetLabel(std::string(PoolManagerName(manager)));
+}
+
+void RegisterAll() {
+  for (int m = 0; m < kPoolManagerCount; ++m) {
+    benchmark::RegisterBenchmark("BM_AllocFree", BM_AllocFree)->Arg(m);
+    benchmark::RegisterBenchmark("BM_Map", BM_Map)->Arg(m);
+    benchmark::RegisterBenchmark("BM_Density", BM_Density)
+        ->Arg(m)
+        ->Iterations(10)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+const bool registered = (RegisterAll(), true);
+
+}  // namespace
+}  // namespace tierscape

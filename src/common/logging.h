@@ -1,0 +1,54 @@
+// Minimal leveled logging. Kept deliberately small: benchmarks and the
+// TS-Daemon print structured rows on stdout; logging is for diagnostics only.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tierscape {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Global minimum level; messages below it are discarded. Default: kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+#define TS_LOG(level) \
+  ::tierscape::LogMessage(::tierscape::LogLevel::k##level, __FILE__, __LINE__)
+
+#define TS_CHECK(cond)                                                  \
+  if (!(cond))                                                          \
+  ::tierscape::LogMessage(::tierscape::LogLevel::kFatal, __FILE__, __LINE__) \
+      << "Check failed: " #cond " "
+
+#define TS_CHECK_EQ(a, b) TS_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TS_CHECK_LE(a, b) TS_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TS_CHECK_LT(a, b) TS_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TS_CHECK_GE(a, b) TS_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TS_CHECK_GT(a, b) TS_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace tierscape
+
+#endif  // SRC_COMMON_LOGGING_H_

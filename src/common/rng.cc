@@ -1,0 +1,52 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace tierscape {
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t item_count, double theta, std::uint64_t seed,
+                                   bool scrambled)
+    : item_count_(item_count),
+      theta_(theta),
+      scrambled_(scrambled),
+      zetan_(Zeta(item_count, theta)),
+      alpha_(1.0 / (1.0 - theta)),
+      rng_(seed) {
+  const double zeta2 = Zeta(2, theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(item_count_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta_);
+}
+
+double ZipfianGenerator::Zeta(std::uint64_t n, double theta) {
+  // Direct summation; item counts in this repository are <= a few million so
+  // this stays fast and is only computed once per generator.
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+std::uint64_t ZipfianGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  std::uint64_t rank = 0;
+  if (uz < 1.0) {
+    rank = 0;
+  } else if (uz < half_pow_theta_) {
+    rank = 1;
+  } else {
+    rank = static_cast<std::uint64_t>(static_cast<double>(item_count_) *
+                                      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= item_count_) {
+      rank = item_count_ - 1;
+    }
+  }
+  if (!scrambled_) {
+    return rank;
+  }
+  return SplitMix64(rank) % item_count_;
+}
+
+}  // namespace tierscape

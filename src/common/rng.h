@@ -1,0 +1,134 @@
+// Deterministic random number generation and the access-skew distributions
+// used by the workload generators (YCSB scrambled-zipfian, memtier gaussian).
+//
+// Everything is seeded explicitly so that every experiment in the repository
+// is reproducible bit-for-bit.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace tierscape {
+
+// SplitMix64: used for seeding and for stateless per-page content hashing.
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// xoshiro256++ — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      s = SplitMix64(s);
+      word = s;
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Standard normal via Box-Muller.
+  double NextGaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-12);
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+// Zipfian generator over [0, item_count), YCSB-style (Gray et al.), with the
+// standard scrambling option so that hot items are scattered across the
+// keyspace rather than clustered at the front.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t item_count, double theta, std::uint64_t seed,
+                   bool scrambled = true);
+
+  std::uint64_t Next();
+
+  std::uint64_t item_count() const { return item_count_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(std::uint64_t n, double theta);
+
+  std::uint64_t item_count_;
+  double theta_;
+  bool scrambled_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double half_pow_theta_;
+  Rng rng_;
+};
+
+// Gaussian access generator over [0, item_count) as produced by
+// memtier_benchmark's gaussian key pattern: indices are drawn from a normal
+// centred mid-keyspace with a configurable standard deviation.
+class GaussianGenerator {
+ public:
+  GaussianGenerator(std::uint64_t item_count, double stddev_fraction, std::uint64_t seed)
+      : item_count_(item_count),
+        mean_(static_cast<double>(item_count) / 2.0),
+        stddev_(stddev_fraction * static_cast<double>(item_count)),
+        rng_(seed) {}
+
+  std::uint64_t Next() {
+    for (;;) {
+      const double v = mean_ + stddev_ * rng_.NextGaussian();
+      if (v >= 0.0 && v < static_cast<double>(item_count_)) {
+        return static_cast<std::uint64_t>(v);
+      }
+    }
+  }
+
+ private:
+  std::uint64_t item_count_;
+  double mean_;
+  double stddev_;
+  Rng rng_;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,78 @@
+// Fixed-width console table printer used by the benchmark harnesses to emit
+// the rows/series corresponding to each paper table and figure.
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace tierscape {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    widths_.reserve(headers_.size());
+    for (const auto& h : headers_) {
+      widths_.push_back(h.size());
+    }
+  }
+
+  void AddRow(std::vector<std::string> cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      if (cells[i].size() > widths_[i]) {
+        widths_[i] = cells[i].size();
+      }
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    PrintRow(headers_);
+    std::string rule;
+    for (std::size_t i = 0; i < widths_.size(); ++i) {
+      rule.append(widths_[i] + 2, '-');
+      if (i + 1 < widths_.size()) {
+        rule += '+';
+      }
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) {
+      PrintRow(row);
+    }
+  }
+
+  static std::string Fmt(double v, int decimals = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+  }
+
+  static std::string Pct(double fraction, int decimals = 2) {
+    return Fmt(fraction * 100.0, decimals) + "%";
+  }
+
+ private:
+  void PrintRow(const std::vector<std::string>& cells) const {
+    std::string line;
+    for (std::size_t i = 0; i < widths_.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      line += ' ';
+      line += cell;
+      line.append(widths_[i] - cell.size() + 1, ' ');
+      if (i + 1 < widths_.size()) {
+        line += '|';
+      }
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_COMMON_TABLE_H_

@@ -1,0 +1,35 @@
+// Size and time unit helpers shared across all TierScape modules.
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tierscape {
+
+inline constexpr std::size_t kKiB = 1024;
+inline constexpr std::size_t kMiB = 1024 * kKiB;
+inline constexpr std::size_t kGiB = 1024 * kMiB;
+
+// The simulated system uses 4 KiB base pages and 2 MiB management regions,
+// matching the granularity TS-Daemon operates at in the paper (§7.2).
+inline constexpr std::size_t kPageSize = 4 * kKiB;
+inline constexpr std::size_t kRegionSize = 2 * kMiB;
+inline constexpr std::size_t kPagesPerRegion = kRegionSize / kPageSize;
+
+// Virtual time is tracked in nanoseconds.
+using Nanos = std::uint64_t;
+
+inline constexpr Nanos kMicro = 1000;
+inline constexpr Nanos kMilli = 1000 * kMicro;
+inline constexpr Nanos kSecond = 1000 * kMilli;
+
+constexpr double NanosToMillis(Nanos ns) { return static_cast<double>(ns) / 1e6; }
+constexpr double NanosToSeconds(Nanos ns) { return static_cast<double>(ns) / 1e9; }
+
+constexpr double BytesToMiB(std::size_t bytes) { return static_cast<double>(bytes) / kMiB; }
+constexpr double BytesToGiB(std::size_t bytes) { return static_cast<double>(bytes) / kGiB; }
+
+}  // namespace tierscape
+
+#endif  // SRC_COMMON_UNITS_H_

@@ -1,0 +1,95 @@
+#include "src/compress/codelen.h"
+
+#include <algorithm>
+
+namespace tierscape {
+
+bool WriteCodeLengths(BitWriter& writer, std::span<const std::uint8_t> lengths) {
+  std::size_t i = 0;
+  const std::size_t n = lengths.size();
+  while (i < n) {
+    const std::uint8_t len = lengths[i];
+    std::size_t run = 1;
+    while (i + run < n && lengths[i + run] == len) {
+      ++run;
+    }
+    if (len == 0 && run >= 3) {
+      while (run >= 3) {
+        const std::size_t chunk = std::min<std::size_t>(run, 138);
+        if (chunk >= 11) {
+          if (!writer.Write(18, 5) || !writer.Write(static_cast<std::uint32_t>(chunk - 11), 7)) {
+            return false;
+          }
+        } else {
+          if (!writer.Write(17, 5) || !writer.Write(static_cast<std::uint32_t>(chunk - 3), 3)) {
+            return false;
+          }
+        }
+        run -= chunk;
+        i += chunk;
+      }
+      continue;
+    }
+    if (!writer.Write(len, 5)) {
+      return false;
+    }
+    ++i;
+    --run;
+    while (run >= 3) {
+      const std::size_t chunk = std::min<std::size_t>(run, 6);
+      if (!writer.Write(16, 5) || !writer.Write(static_cast<std::uint32_t>(chunk - 3), 2)) {
+        return false;
+      }
+      run -= chunk;
+      i += chunk;
+    }
+  }
+  return true;
+}
+
+bool ReadCodeLengths(BitReader& reader, std::span<std::uint8_t> lengths) {
+  std::size_t i = 0;
+  const std::size_t n = lengths.size();
+  std::uint8_t prev = 0;
+  while (i < n) {
+    const std::uint32_t sym = reader.Read(5);
+    if (sym <= 15) {
+      lengths[i++] = static_cast<std::uint8_t>(sym);
+      prev = static_cast<std::uint8_t>(sym);
+    } else if (sym == 16) {
+      std::size_t run = reader.Read(2) + 3;
+      if (i + run > n) {
+        return false;
+      }
+      while (run-- > 0) {
+        lengths[i++] = prev;
+      }
+    } else if (sym == 17) {
+      std::size_t run = reader.Read(3) + 3;
+      if (i + run > n) {
+        return false;
+      }
+      while (run-- > 0) {
+        lengths[i++] = 0;
+      }
+      prev = 0;
+    } else if (sym == 18) {
+      std::size_t run = reader.Read(7) + 11;
+      if (i + run > n) {
+        return false;
+      }
+      while (run-- > 0) {
+        lengths[i++] = 0;
+      }
+      prev = 0;
+    } else {
+      return false;
+    }
+    if (reader.exhausted()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tierscape

@@ -1,0 +1,23 @@
+// Run-length (de)serialization of Huffman code-length tables, shared by the
+// deflate-style and zstd-style compressors. Uses the RFC 1951 meta-symbols
+// (16 = repeat previous 3-6, 17 = zero run 3-10, 18 = zero run 11-138) with a
+// fixed 5-bit encoding per meta-symbol.
+#ifndef SRC_COMPRESS_CODELEN_H_
+#define SRC_COMPRESS_CODELEN_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/compress/bitstream.h"
+
+namespace tierscape {
+
+// Returns false if the writer overflows.
+bool WriteCodeLengths(BitWriter& writer, std::span<const std::uint8_t> lengths);
+
+// Returns false on malformed input.
+bool ReadCodeLengths(BitReader& reader, std::span<std::uint8_t> lengths);
+
+}  // namespace tierscape
+
+#endif  // SRC_COMPRESS_CODELEN_H_

@@ -1,0 +1,70 @@
+#include "src/compress/compressor.h"
+
+#include <string>
+
+#include "src/compress/deflate.h"
+#include "src/compress/lz4.h"
+#include "src/compress/lzo.h"
+#include "src/compress/n842.h"
+#include "src/compress/zstd_like.h"
+
+namespace tierscape {
+
+std::string_view AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kLz4:
+      return "lz4";
+    case Algorithm::kLz4Hc:
+      return "lz4hc";
+    case Algorithm::kLzo:
+      return "lzo";
+    case Algorithm::kLzoRle:
+      return "lzo-rle";
+    case Algorithm::kDeflate:
+      return "deflate";
+    case Algorithm::kZstd:
+      return "zstd";
+    case Algorithm::k842:
+      return "842";
+  }
+  return "?";
+}
+
+StatusOr<Algorithm> AlgorithmFromName(std::string_view name) {
+  for (int i = 0; i < kAlgorithmCount; ++i) {
+    const auto algorithm = static_cast<Algorithm>(i);
+    if (AlgorithmName(algorithm) == name) {
+      return algorithm;
+    }
+  }
+  return NotFound("unknown compression algorithm: " + std::string(name));
+}
+
+const Compressor& GetCompressor(Algorithm algorithm) {
+  static const Lz4Compressor lz4;
+  static const Lz4HcCompressor lz4hc;
+  static const LzoCompressor lzo;
+  static const LzoRleCompressor lzo_rle;
+  static const DeflateCompressor deflate;
+  static const ZstdCompressor zstd;
+  static const N842Compressor n842;
+  switch (algorithm) {
+    case Algorithm::kLz4:
+      return lz4;
+    case Algorithm::kLz4Hc:
+      return lz4hc;
+    case Algorithm::kLzo:
+      return lzo;
+    case Algorithm::kLzoRle:
+      return lzo_rle;
+    case Algorithm::kDeflate:
+      return deflate;
+    case Algorithm::kZstd:
+      return zstd;
+    case Algorithm::k842:
+      return n842;
+  }
+  return lz4;
+}
+
+}  // namespace tierscape

@@ -1,0 +1,72 @@
+// Compression algorithm interface and registry.
+//
+// TierScape composes compressed tiers from seven algorithms (Table 1):
+// lz4, lz4hc, lzo, lzo-rle, deflate, zstd and 842. All seven are implemented
+// from scratch in this directory. The bitstream formats are our own (we do not
+// claim RFC 1951 / LZ4-frame interoperability); what matters for the paper's
+// models — and what these implementations reproduce — is the relative ordering
+// in compression ratio and (de)compression cost across algorithms.
+//
+// Compression operates on 4 KiB pages, the unit zswap stores. Each compressor
+// also exposes model constants: the virtual-time cost of compressing /
+// decompressing one page, used by the simulation clock so that experiment
+// results are deterministic and host-machine independent. The constants follow
+// the ordering measured in the paper's Figure 2a (lz4 fastest, then lzo, then
+// zstd, then deflate).
+#ifndef SRC_COMPRESS_COMPRESSOR_H_
+#define SRC_COMPRESS_COMPRESSOR_H_
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace tierscape {
+
+enum class Algorithm {
+  kLz4 = 0,
+  kLz4Hc,
+  kLzo,
+  kLzoRle,
+  kDeflate,
+  kZstd,
+  k842,
+};
+
+inline constexpr int kAlgorithmCount = 7;
+
+std::string_view AlgorithmName(Algorithm algorithm);
+StatusOr<Algorithm> AlgorithmFromName(std::string_view name);
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  virtual Algorithm algorithm() const = 0;
+  std::string_view name() const { return AlgorithmName(algorithm()); }
+
+  // Compresses `src` into `dst`. Returns the number of bytes written, or
+  // kRejected when the data does not fit in `dst` (callers pass a dst smaller
+  // than src to enforce that only genuinely compressible data is stored).
+  virtual StatusOr<std::size_t> Compress(std::span<const std::byte> src,
+                                         std::span<std::byte> dst) const = 0;
+
+  // Decompresses `src` into `dst` (dst must be exactly the original size).
+  // Returns the number of bytes produced.
+  virtual StatusOr<std::size_t> Decompress(std::span<const std::byte> src,
+                                           std::span<std::byte> dst) const = 0;
+
+  // Virtual-time model constants: cost to (de)compress one 4 KiB page.
+  virtual Nanos compress_page_ns() const = 0;
+  virtual Nanos decompress_page_ns() const = 0;
+};
+
+// Returns the process-wide instance for an algorithm. Compressors are
+// stateless and thread-compatible.
+const Compressor& GetCompressor(Algorithm algorithm);
+
+}  // namespace tierscape
+
+#endif  // SRC_COMPRESS_COMPRESSOR_H_

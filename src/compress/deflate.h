@@ -1,0 +1,31 @@
+// DEFLATE-style compressor: LZ77 parse (hash chains, lazy matching) followed
+// by dynamic canonical Huffman coding of a literal/length alphabet and a
+// distance alphabet, with the classic 16/17/18 run-length coding of the code
+// length table in the block header.
+//
+// The bitstream is our own (single dynamic block, no zlib wrapper), but the
+// algorithmic structure matches RFC 1951, and with it the property the paper
+// relies on: the best compression ratio of the lineup at the highest
+// (de)compression cost (Fig. 2, §4).
+#ifndef SRC_COMPRESS_DEFLATE_H_
+#define SRC_COMPRESS_DEFLATE_H_
+
+#include "src/compress/compressor.h"
+
+namespace tierscape {
+
+class DeflateCompressor : public Compressor {
+ public:
+  Algorithm algorithm() const override { return Algorithm::kDeflate; }
+  StatusOr<std::size_t> Compress(std::span<const std::byte> src,
+                                 std::span<std::byte> dst) const override;
+  StatusOr<std::size_t> Decompress(std::span<const std::byte> src,
+                                   std::span<std::byte> dst) const override;
+  // Highest algorithmic complexity of the lineup ([14, 15, 32], §2).
+  Nanos compress_page_ns() const override { return 32000; }
+  Nanos decompress_page_ns() const override { return 14000; }
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_COMPRESS_DEFLATE_H_

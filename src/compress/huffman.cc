@@ -1,0 +1,197 @@
+#include "src/compress/huffman.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <queue>
+
+namespace tierscape {
+namespace {
+
+std::uint16_t ReverseBits(std::uint16_t value, int bits) {
+  std::uint16_t out = 0;
+  for (int i = 0; i < bits; ++i) {
+    out = static_cast<std::uint16_t>((out << 1) | ((value >> i) & 1));
+  }
+  return out;
+}
+
+// Computes unlimited Huffman code lengths with a binary heap over tree nodes.
+std::vector<std::uint8_t> TreeLengths(std::span<const std::uint32_t> freqs) {
+  struct Node {
+    std::uint64_t freq;
+    int index;  // < n: leaf symbol; >= n: internal node
+  };
+  const int n = static_cast<int>(freqs.size());
+  std::vector<std::uint8_t> lengths(n, 0);
+  std::vector<int> parent;
+  parent.reserve(2 * n);
+  auto cmp = [](const Node& a, const Node& b) {
+    return a.freq > b.freq || (a.freq == b.freq && a.index > b.index);
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+  int used = 0;
+  for (int i = 0; i < n; ++i) {
+    parent.push_back(-1);
+    if (freqs[i] > 0) {
+      heap.push({freqs[i], i});
+      ++used;
+    }
+  }
+  if (used == 0) {
+    return lengths;
+  }
+  if (used == 1) {
+    // A lone symbol still needs one bit so the stream is self-terminating.
+    for (int i = 0; i < n; ++i) {
+      if (freqs[i] > 0) {
+        lengths[i] = 1;
+      }
+    }
+    return lengths;
+  }
+  int next = n;
+  while (heap.size() > 1) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    parent.push_back(-1);
+    parent[a.index] = next;
+    parent[b.index] = next;
+    heap.push({a.freq + b.freq, next});
+    ++next;
+  }
+  for (int i = 0; i < n; ++i) {
+    if (freqs[i] == 0) {
+      continue;
+    }
+    int depth = 0;
+    for (int p = parent[i]; p != -1; p = parent[p]) {
+      ++depth;
+    }
+    lengths[i] = static_cast<std::uint8_t>(depth);
+  }
+  return lengths;
+}
+
+}  // namespace
+
+HuffmanCode BuildHuffmanCode(std::span<const std::uint32_t> freqs, int max_bits) {
+  HuffmanCode code;
+  code.lengths = TreeLengths(freqs);
+  code.reversed_codes.assign(freqs.size(), 0);
+
+  // Length-limit: clamp, then restore the Kraft inequality by deepening the
+  // shallowest over-contributing leaves.
+  bool clamped = false;
+  for (auto& len : code.lengths) {
+    if (len > max_bits) {
+      len = static_cast<std::uint8_t>(max_bits);
+      clamped = true;
+    }
+  }
+  if (clamped) {
+    auto kraft = [&]() {
+      std::uint64_t sum = 0;  // in units of 2^-max_bits
+      for (auto len : code.lengths) {
+        if (len > 0) {
+          sum += 1ULL << (max_bits - len);
+        }
+      }
+      return sum;
+    };
+    const std::uint64_t full = 1ULL << max_bits;
+    while (kraft() > full) {
+      // Deepen the longest code below max_bits (costs the least).
+      int best = -1;
+      for (std::size_t i = 0; i < code.lengths.size(); ++i) {
+        if (code.lengths[i] > 0 && code.lengths[i] < max_bits) {
+          if (best < 0 || code.lengths[i] > code.lengths[best]) {
+            best = static_cast<int>(i);
+          }
+        }
+      }
+      if (best < 0) {
+        break;  // cannot happen for valid inputs
+      }
+      ++code.lengths[best];
+    }
+  }
+
+  // Canonical code assignment: symbols sorted by (length, symbol index).
+  std::uint16_t length_count[kMaxHuffmanBits + 1] = {};
+  for (auto len : code.lengths) {
+    ++length_count[len];
+  }
+  length_count[0] = 0;
+  std::uint16_t next_code[kMaxHuffmanBits + 1] = {};
+  std::uint16_t c = 0;
+  for (int bits = 1; bits <= max_bits; ++bits) {
+    c = static_cast<std::uint16_t>((c + length_count[bits - 1]) << 1);
+    next_code[bits] = c;
+  }
+  for (std::size_t i = 0; i < code.lengths.size(); ++i) {
+    const int len = code.lengths[i];
+    if (len > 0) {
+      code.reversed_codes[i] = ReverseBits(next_code[len]++, len);
+    }
+  }
+  return code;
+}
+
+bool HuffmanDecoder::Init(std::span<const std::uint8_t> lengths) {
+  std::fill(std::begin(first_code_), std::end(first_code_), 0);
+  std::fill(std::begin(count_), std::end(count_), 0);
+  std::fill(std::begin(offset_), std::end(offset_), 0);
+  symbols_.clear();
+
+  for (auto len : lengths) {
+    if (len > kMaxHuffmanBits) {
+      return false;
+    }
+    if (len > 0) {
+      ++count_[len];
+    }
+  }
+  // Kraft check: must not be oversubscribed.
+  std::uint64_t kraft = 0;
+  for (int bits = 1; bits <= kMaxHuffmanBits; ++bits) {
+    kraft += static_cast<std::uint64_t>(count_[bits]) << (kMaxHuffmanBits - bits);
+  }
+  if (kraft > (1ULL << kMaxHuffmanBits)) {
+    return false;
+  }
+
+  std::uint16_t code = 0;
+  std::uint16_t offset = 0;
+  for (int bits = 1; bits <= kMaxHuffmanBits; ++bits) {
+    code = static_cast<std::uint16_t>((code + count_[bits - 1]) << 1);
+    first_code_[bits] = code;
+    offset_[bits] = offset;
+    offset = static_cast<std::uint16_t>(offset + count_[bits]);
+  }
+  symbols_.resize(offset);
+  std::uint16_t fill[kMaxHuffmanBits + 1] = {};
+  for (std::size_t sym = 0; sym < lengths.size(); ++sym) {
+    const int len = lengths[sym];
+    if (len > 0) {
+      symbols_[offset_[len] + fill[len]++] = static_cast<std::uint16_t>(sym);
+    }
+  }
+  return true;
+}
+
+int HuffmanDecoder::Decode(BitReader& reader) const {
+  std::uint32_t code = 0;
+  for (int bits = 1; bits <= kMaxHuffmanBits; ++bits) {
+    code = (code << 1) | reader.Read(1);
+    if (count_[bits] != 0 && code >= first_code_[bits] &&
+        code < static_cast<std::uint32_t>(first_code_[bits] + count_[bits])) {
+      return symbols_[offset_[bits] + (code - first_code_[bits])];
+    }
+  }
+  return -1;
+}
+
+}  // namespace tierscape

@@ -1,0 +1,47 @@
+// From-scratch implementation of the LZ4 block format.
+//
+// The encoder comes in two flavours matching the kernel's pair:
+//  * Lz4Compressor   — single-probe hash table, greedy parse (fast, lz4).
+//  * Lz4HcCompressor — hash-chain match finder with bounded search depth
+//                      (slower compression, better ratio, identical decoder).
+//
+// Format (per sequence): 1 token byte [4b literal length | 4b match length-4],
+// optional 255-terminated length extensions, literals, 2-byte little-endian
+// match offset, optional match length extensions. The block ends with a
+// literal-only sequence; the final 5 bytes are always literals and matches may
+// not begin in the last 12 bytes, mirroring the reference implementation's
+// end-of-block conditions.
+#ifndef SRC_COMPRESS_LZ4_H_
+#define SRC_COMPRESS_LZ4_H_
+
+#include "src/compress/compressor.h"
+
+namespace tierscape {
+
+class Lz4Compressor : public Compressor {
+ public:
+  Algorithm algorithm() const override { return Algorithm::kLz4; }
+  StatusOr<std::size_t> Compress(std::span<const std::byte> src,
+                                 std::span<std::byte> dst) const override;
+  StatusOr<std::size_t> Decompress(std::span<const std::byte> src,
+                                   std::span<std::byte> dst) const override;
+  // Fastest pair in the kernel lineup (paper Fig. 2a: L4 tiers are fastest).
+  Nanos compress_page_ns() const override { return 3000; }
+  Nanos decompress_page_ns() const override { return 1800; }
+};
+
+class Lz4HcCompressor : public Compressor {
+ public:
+  Algorithm algorithm() const override { return Algorithm::kLz4Hc; }
+  StatusOr<std::size_t> Compress(std::span<const std::byte> src,
+                                 std::span<std::byte> dst) const override;
+  StatusOr<std::size_t> Decompress(std::span<const std::byte> src,
+                                   std::span<std::byte> dst) const override;
+  // HC search is ~8x slower to compress; decode speed matches lz4.
+  Nanos compress_page_ns() const override { return 24000; }
+  Nanos decompress_page_ns() const override { return 1800; }
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_COMPRESS_LZ4_H_

@@ -1,0 +1,48 @@
+// LZO-style byte-aligned compressor, plus the run-length-extended variant
+// (lzo-rle) that the kernel made its zram default.
+//
+// Our format ("TLZO") keeps the properties that distinguish kernel LZO from
+// LZ4: 3-byte minimum matches (slightly denser parse, slightly slower decode)
+// and, in the -rle variant, a dedicated run token that makes zero-filled and
+// repeated-byte pages nearly free.
+//
+// Token grammar (byte-aligned):
+//   0b00LLLLLL                 literal run, length L in [1,62]; L=63 extends
+//                              with 255-terminated bytes
+//   0b01MMMMMM off_lo off_hi   match, length M+3 (M=63 extends), 16-bit offset
+//   0b10RRRRRR value           byte run, length R+4 (R=63 extends) [rle only]
+#ifndef SRC_COMPRESS_LZO_H_
+#define SRC_COMPRESS_LZO_H_
+
+#include "src/compress/compressor.h"
+
+namespace tierscape {
+
+class LzoCompressor : public Compressor {
+ public:
+  Algorithm algorithm() const override { return Algorithm::kLzo; }
+  StatusOr<std::size_t> Compress(std::span<const std::byte> src,
+                                 std::span<std::byte> dst) const override;
+  StatusOr<std::size_t> Decompress(std::span<const std::byte> src,
+                                   std::span<std::byte> dst) const override;
+  // Between lz4 and zstd in both directions (Fig. 2a: LO tiers sit between
+  // L4 and DE tiers).
+  Nanos compress_page_ns() const override { return 4500; }
+  Nanos decompress_page_ns() const override { return 2600; }
+};
+
+class LzoRleCompressor : public Compressor {
+ public:
+  Algorithm algorithm() const override { return Algorithm::kLzoRle; }
+  StatusOr<std::size_t> Compress(std::span<const std::byte> src,
+                                 std::span<std::byte> dst) const override;
+  StatusOr<std::size_t> Decompress(std::span<const std::byte> src,
+                                   std::span<std::byte> dst) const override;
+  // The RLE fast path makes the average page slightly cheaper than plain lzo.
+  Nanos compress_page_ns() const override { return 4000; }
+  Nanos decompress_page_ns() const override { return 2300; }
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_COMPRESS_LZO_H_

@@ -1,0 +1,237 @@
+#include "src/compress/n842.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/compress/bitstream.h"
+
+namespace tierscape {
+namespace {
+
+// Templates (2-bit opcode per 8-byte chunk).
+constexpr std::uint32_t kOpLiteral = 0;  // 64 raw bits
+constexpr std::uint32_t kOpMatch8 = 1;   // 8-bit slot distance
+constexpr std::uint32_t kOpHalves = 2;   // 2 x { flag, 32 raw bits | 9-bit distance }
+constexpr std::uint32_t kOpQuarters = 3;  // 4 x { flag, 16 raw bits | 10-bit distance }
+
+constexpr std::size_t kWindow8 = 256;    // in 8-byte slots
+constexpr std::size_t kWindow4 = 512;    // in 4-byte slots
+constexpr std::size_t kWindow2 = 1024;   // in 2-byte slots
+
+constexpr int kHashBits = 11;
+
+inline std::uint64_t Load64(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline std::uint32_t Load32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline std::uint16_t Load16(const std::byte* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint32_t HashValue(std::uint64_t v) {
+  return static_cast<std::uint32_t>((v * 0x9e3779b97f4a7c15ULL) >> (64 - kHashBits));
+}
+
+// Last-seen slot index per hash, for each granularity. -1 = empty.
+struct MatchTables {
+  std::int32_t h8[1 << kHashBits];
+  std::int32_t h4[1 << kHashBits];
+  std::int32_t h2[1 << kHashBits];
+
+  MatchTables() {
+    std::memset(h8, -1, sizeof(h8));
+    std::memset(h4, -1, sizeof(h4));
+    std::memset(h2, -1, sizeof(h2));
+  }
+};
+
+}  // namespace
+
+StatusOr<std::size_t> N842Compressor::Compress(std::span<const std::byte> src,
+                                               std::span<std::byte> dst) const {
+  const std::byte* const base = src.data();
+  const std::size_t n = src.size();
+  BitWriter writer(dst);
+  MatchTables tables;
+
+  auto find = [&](std::int32_t* table, std::uint64_t value, std::size_t slot,
+                  std::size_t window, auto verify) -> int {
+    const std::uint32_t h = HashValue(value);
+    const std::int32_t cand = table[h];
+    table[h] = static_cast<std::int32_t>(slot);
+    if (cand < 0) {
+      return -1;
+    }
+    const auto dist = slot - static_cast<std::size_t>(cand);
+    if (dist == 0 || dist > window || !verify(static_cast<std::size_t>(cand))) {
+      return -1;
+    }
+    return static_cast<int>(dist - 1);
+  };
+
+  std::size_t pos = 0;
+  bool ok = true;
+  while (pos + 8 <= n && ok) {
+    const std::uint64_t v8 = Load64(base + pos);
+    const int d8 = find(
+        tables.h8, v8, pos / 8, kWindow8,
+        [&](std::size_t slot) { return Load64(base + slot * 8) == v8; });
+    if (d8 >= 0) {
+      ok = writer.Write(kOpMatch8, 2) && writer.Write(static_cast<std::uint32_t>(d8), 8);
+      // Still index the finer granularities so later chunks can reference them.
+      for (int half = 0; half < 2; ++half) {
+        tables.h4[HashValue(Load32(base + pos + 4 * half))] =
+            static_cast<std::int32_t>(pos / 4 + half);
+      }
+      pos += 8;
+      continue;
+    }
+    // Try halves and quarters; pick whichever encoding is smallest.
+    int d4[2];
+    for (int half = 0; half < 2; ++half) {
+      const std::uint32_t v4 = Load32(base + pos + 4 * half);
+      d4[half] = find(
+          tables.h4, v4, pos / 4 + half, kWindow4,
+          [&](std::size_t slot) { return Load32(base + slot * 4) == v4; });
+    }
+    int d2[4];
+    for (int quarter = 0; quarter < 4; ++quarter) {
+      const std::uint16_t v2 = Load16(base + pos + 2 * quarter);
+      d2[quarter] = find(
+          tables.h2, v2, pos / 2 + quarter, kWindow2,
+          [&](std::size_t slot) { return Load16(base + slot * 2) == v2; });
+    }
+    int bits_halves = 2;
+    for (int half = 0; half < 2; ++half) {
+      bits_halves += 1 + (d4[half] >= 0 ? 9 : 32);
+    }
+    int bits_quarters = 2;
+    for (int quarter = 0; quarter < 4; ++quarter) {
+      bits_quarters += 1 + (d2[quarter] >= 0 ? 10 : 16);
+    }
+    if (bits_halves <= bits_quarters && bits_halves < 2 + 64) {
+      ok = writer.Write(kOpHalves, 2);
+      for (int half = 0; half < 2 && ok; ++half) {
+        if (d4[half] >= 0) {
+          ok = writer.Write(1, 1) && writer.Write(static_cast<std::uint32_t>(d4[half]), 9);
+        } else {
+          ok = writer.Write(0, 1) && writer.Write(Load32(base + pos + 4 * half), 32);
+        }
+      }
+    } else if (bits_quarters < 2 + 64) {
+      ok = writer.Write(kOpQuarters, 2);
+      for (int quarter = 0; quarter < 4 && ok; ++quarter) {
+        if (d2[quarter] >= 0) {
+          ok = writer.Write(1, 1) && writer.Write(static_cast<std::uint32_t>(d2[quarter]), 10);
+        } else {
+          ok = writer.Write(0, 1) && writer.Write(Load16(base + pos + 2 * quarter), 16);
+        }
+      }
+    } else {
+      ok = writer.Write(kOpLiteral, 2) && writer.Write(static_cast<std::uint32_t>(v8), 32) &&
+           writer.Write(static_cast<std::uint32_t>(v8 >> 32), 32);
+    }
+    pos += 8;
+  }
+  // Trailing partial chunk: raw bytes.
+  while (pos < n && ok) {
+    ok = writer.Write(static_cast<std::uint32_t>(base[pos]), 8);
+    ++pos;
+  }
+  if (!ok) {
+    return Rejected("842: output too small");
+  }
+  const std::size_t size = writer.Finish();
+  if (size == 0) {
+    return Rejected("842: output too small");
+  }
+  return size;
+}
+
+StatusOr<std::size_t> N842Compressor::Decompress(std::span<const std::byte> src,
+                                                 std::span<std::byte> dst) const {
+  BitReader reader(src);
+  std::byte* const out = dst.data();
+  const std::size_t n = dst.size();
+
+  std::size_t pos = 0;
+  while (pos + 8 <= n) {
+    const std::uint32_t op = reader.Read(2);
+    switch (op) {
+      case kOpLiteral: {
+        const std::uint32_t lo = reader.Read(32);
+        const std::uint32_t hi = reader.Read(32);
+        const std::uint64_t v = (static_cast<std::uint64_t>(hi) << 32) | lo;
+        std::memcpy(out + pos, &v, 8);
+        break;
+      }
+      case kOpMatch8: {
+        const std::size_t dist = reader.Read(8) + 1;
+        const std::size_t slot = pos / 8;
+        if (dist > slot) {
+          return Corruption("842: bad 8-byte distance");
+        }
+        std::memcpy(out + pos, out + (slot - dist) * 8, 8);
+        break;
+      }
+      case kOpHalves: {
+        for (int half = 0; half < 2; ++half) {
+          const std::size_t at = pos + 4 * half;
+          if (reader.Read(1) != 0) {
+            const std::size_t dist = reader.Read(9) + 1;
+            const std::size_t slot = at / 4;
+            if (dist > slot) {
+              return Corruption("842: bad 4-byte distance");
+            }
+            std::memcpy(out + at, out + (slot - dist) * 4, 4);
+          } else {
+            const std::uint32_t v = reader.Read(32);
+            std::memcpy(out + at, &v, 4);
+          }
+        }
+        break;
+      }
+      case kOpQuarters: {
+        for (int quarter = 0; quarter < 4; ++quarter) {
+          const std::size_t at = pos + 2 * quarter;
+          if (reader.Read(1) != 0) {
+            const std::size_t dist = reader.Read(10) + 1;
+            const std::size_t slot = at / 2;
+            if (dist > slot) {
+              return Corruption("842: bad 2-byte distance");
+            }
+            std::memcpy(out + at, out + (slot - dist) * 2, 2);
+          } else {
+            const std::uint16_t v = static_cast<std::uint16_t>(reader.Read(16));
+            std::memcpy(out + at, &v, 2);
+          }
+        }
+        break;
+      }
+      default:
+        return Corruption("842: bad opcode");
+    }
+    if (reader.exhausted()) {
+      return Corruption("842: truncated stream");
+    }
+    pos += 8;
+  }
+  while (pos < n) {
+    out[pos] = static_cast<std::byte>(reader.Read(8));
+    ++pos;
+  }
+  if (reader.exhausted()) {
+    return Corruption("842: truncated tail");
+  }
+  return dst.size();
+}
+
+}  // namespace tierscape

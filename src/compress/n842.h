@@ -1,0 +1,32 @@
+// 842-style compressor ("nx842"): the hardware-oriented algorithm IBM NX
+// units implement and the Linux kernel exposes as "842".
+//
+// The chunk-template structure is preserved from the real algorithm: input is
+// processed in 8-byte chunks, each encoded as one of four templates —
+// whole-chunk back-reference, two 4-byte halves, four 2-byte quarters (each
+// sub-unit independently literal or back-reference into a bounded recent
+// window), or raw literals. Indices are slot distances at the sub-unit
+// granularity (256 x 8-byte, 512 x 4-byte, 1024 x 2-byte slots), mirroring the
+// real algorithm's fixed-width I8/I4/I2 index fields.
+#ifndef SRC_COMPRESS_N842_H_
+#define SRC_COMPRESS_N842_H_
+
+#include "src/compress/compressor.h"
+
+namespace tierscape {
+
+class N842Compressor : public Compressor {
+ public:
+  Algorithm algorithm() const override { return Algorithm::k842; }
+  StatusOr<std::size_t> Compress(std::span<const std::byte> src,
+                                 std::span<std::byte> dst) const override;
+  StatusOr<std::size_t> Decompress(std::span<const std::byte> src,
+                                   std::span<std::byte> dst) const override;
+  // Designed for hardware offload; the software path is mid-pack.
+  Nanos compress_page_ns() const override { return 9000; }
+  Nanos decompress_page_ns() const override { return 4200; }
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_COMPRESS_N842_H_

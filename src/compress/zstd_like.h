@@ -1,0 +1,28 @@
+// Zstd-style compressor: LZ77 sequences with Huffman-coded literals and
+// bit-packed sequence fields, following zstd's split of a block into a
+// literal section and a sequence section.
+//
+// Real zstd entropy-codes sequences with FSE; we bit-pack them raw, which
+// keeps this implementation between lzo and deflate in both ratio and speed —
+// the position zstd occupies in the paper's tier spectrum (TMO's choice, §5.1).
+#ifndef SRC_COMPRESS_ZSTD_LIKE_H_
+#define SRC_COMPRESS_ZSTD_LIKE_H_
+
+#include "src/compress/compressor.h"
+
+namespace tierscape {
+
+class ZstdCompressor : public Compressor {
+ public:
+  Algorithm algorithm() const override { return Algorithm::kZstd; }
+  StatusOr<std::size_t> Compress(std::span<const std::byte> src,
+                                 std::span<std::byte> dst) const override;
+  StatusOr<std::size_t> Decompress(std::span<const std::byte> src,
+                                   std::span<std::byte> dst) const override;
+  Nanos compress_page_ns() const override { return 12000; }
+  Nanos decompress_page_ns() const override { return 5500; }
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_COMPRESS_ZSTD_LIKE_H_

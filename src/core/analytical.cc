@@ -1,0 +1,90 @@
+#include "src/core/analytical.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/logging.h"
+
+namespace tierscape {
+
+AnalyticalPolicy::AnalyticalPolicy(double alpha, MckpSolver::Options solver_options)
+    : alpha_(std::clamp(alpha, 0.0, 1.0)), solver_(solver_options) {
+  name_ = "AM(a=" + std::to_string(alpha_).substr(0, 4) + ")";
+}
+
+void AnalyticalPolicy::set_alpha(double alpha) {
+  alpha_ = std::clamp(alpha, 0.0, 1.0);
+  name_ = "AM(a=" + std::to_string(alpha_).substr(0, 4) + ")";
+}
+
+StatusOr<PlacementDecision> AnalyticalPolicy::Decide(const PlacementInput& input,
+                                                     const CostModel& model) {
+  const auto start = std::chrono::steady_clock::now();
+  const int n_tiers = model.tiers().count();
+
+  // Knob endpoints have exact answers (Fig. 5): alpha = 1 keeps everything in
+  // DRAM; alpha = 0 takes every region's cheapest tier.
+  if (alpha_ >= 1.0) {
+    ++stats_.solves;
+    return PlacementDecision(input.regions.size(), 0);
+  }
+  if (alpha_ <= 0.0) {
+    PlacementDecision decision;
+    decision.reserve(input.regions.size());
+    for (const RegionProfile& region : input.regions) {
+      int best = 0;
+      double best_weight = model.RegionTcoCost(region.region, 0);
+      for (int tier = 1; tier < n_tiers; ++tier) {
+        const double weight = model.RegionTcoCost(region.region, tier);
+        if (weight < best_weight - 1e-15) {
+          best = tier;
+          best_weight = weight;
+        }
+      }
+      decision.push_back(best);
+    }
+    ++stats_.solves;
+    return decision;
+  }
+
+  MckpProblem problem;
+  problem.groups.reserve(input.regions.size());
+  double tco_min = 0.0;
+  double tco_max = 0.0;
+  for (const RegionProfile& region : input.regions) {
+    std::vector<MckpChoice> choices(n_tiers);
+    for (int tier = 0; tier < n_tiers; ++tier) {
+      choices[tier].cost = model.RegionPerfCost(region.region, region.hotness, tier);
+      choices[tier].weight = model.RegionTcoCost(region.region, tier);
+    }
+    double region_min = choices[0].weight;
+    for (int tier = 1; tier < n_tiers; ++tier) {
+      region_min = std::min(region_min, choices[tier].weight);
+    }
+    tco_min += region_min;
+    tco_max += choices[0].weight;  // all data in DRAM (TCO_max, §6.4)
+    problem.groups.push_back(std::move(choices));
+  }
+  // Eq. 1-2: budget = TCO_min + alpha * MTS.
+  const double mts = tco_max - tco_min;
+  problem.capacity = tco_min + alpha_ * mts;
+
+  auto solution = solver_.Solve(problem);
+  if (!solution.ok()) {
+    return solution.status();
+  }
+  TS_CHECK(ValidateSolution(problem, *solution).ok());
+
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ++stats_.solves;
+  stats_.last_solve_ms =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count() / 1e6;
+  stats_.total_solve_ms += stats_.last_solve_ms;
+  stats_.last_groups = problem.groups.size();
+  stats_.last_budget = problem.capacity;
+  stats_.last_tco_min = tco_min;
+  stats_.last_tco_max = tco_max;
+  return std::move(solution->choice);
+}
+
+}  // namespace tierscape

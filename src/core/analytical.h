@@ -1,0 +1,51 @@
+// TierScape's analytical model (§6.2-§6.6).
+//
+// Builds the ILP of Eq. 2 as a multiple-choice knapsack: minimize total
+// perf_ovh (Eq. 7) subject to TCO <= TCO_min + alpha * MTS (Eqs. 1, 10),
+// where the knob alpha in [0,1] trades TCO savings (alpha -> 0) against
+// performance (alpha -> 1, everything in DRAM). Solved with the in-repo MCKP
+// solver (src/solver) in place of Google OR-Tools.
+#ifndef SRC_CORE_ANALYTICAL_H_
+#define SRC_CORE_ANALYTICAL_H_
+
+#include <string>
+
+#include "src/core/placement.h"
+#include "src/solver/mckp.h"
+
+namespace tierscape {
+
+class AnalyticalPolicy : public PlacementPolicy {
+ public:
+  struct Stats {
+    std::uint64_t solves = 0;
+    double last_solve_ms = 0.0;    // real wall-clock of the last Solve call
+    double total_solve_ms = 0.0;
+    std::size_t last_groups = 0;
+    double last_budget = 0.0;      // the TCO cap handed to the solver
+    double last_tco_min = 0.0;
+    double last_tco_max = 0.0;
+  };
+
+  // alpha = 1: maximum performance (all DRAM); alpha = 0: maximum TCO savings.
+  explicit AnalyticalPolicy(double alpha, MckpSolver::Options solver_options = {});
+
+  std::string_view name() const override { return name_; }
+  double alpha() const { return alpha_; }
+  void set_alpha(double alpha);
+
+  StatusOr<PlacementDecision> Decide(const PlacementInput& input,
+                                     const CostModel& model) override;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  double alpha_;
+  std::string name_;
+  MckpSolver solver_;
+  Stats stats_;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_CORE_ANALYTICAL_H_

@@ -1,0 +1,18 @@
+#include "src/core/baselines.h"
+
+namespace tierscape {
+
+StatusOr<PlacementDecision> TwoTierPolicy::Decide(const PlacementInput& input,
+                                                  const CostModel& model) {
+  if (slow_tier_ <= 0 || slow_tier_ >= model.tiers().count()) {
+    return InvalidArgument("two-tier: bad slow tier index");
+  }
+  PlacementDecision decision;
+  decision.reserve(input.regions.size());
+  for (const RegionProfile& region : input.regions) {
+    decision.push_back(region.hotness > input.hotness_threshold ? 0 : slow_tier_);
+  }
+  return decision;
+}
+
+}  // namespace tierscape

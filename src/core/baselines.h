@@ -1,0 +1,39 @@
+// Two-tier baselines (§8.1): HeMem*, GSwap*, and TMO* all reduce to the same
+// percentile-threshold policy over PEBS telemetry, differing only in which
+// slow tier backs the cold side:
+//   HeMem* — NVMM byte-addressable tier,
+//   GSwap* — CT-1 (lzo/zsmalloc on DRAM),
+//   TMO*   — CT-2 (zstd/zsmalloc on NVMM).
+// Regions above the hotness threshold are promoted to DRAM; everything else
+// is pushed to the slow tier.
+#ifndef SRC_CORE_BASELINES_H_
+#define SRC_CORE_BASELINES_H_
+
+#include <string>
+
+#include "src/core/placement.h"
+
+namespace tierscape {
+
+class TwoTierPolicy : public PlacementPolicy {
+ public:
+  // `slow_tier` is an index into the system's TierTable. `name` is the
+  // reporting label ("HeMem*", "GSwap*", "TMO*").
+  TwoTierPolicy(std::string name, int slow_tier)
+      : name_(std::move(name)), slow_tier_(slow_tier) {}
+
+  std::string_view name() const override { return name_; }
+
+  StatusOr<PlacementDecision> Decide(const PlacementInput& input,
+                                     const CostModel& model) override;
+
+  int slow_tier() const { return slow_tier_; }
+
+ private:
+  std::string name_;
+  int slow_tier_;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_CORE_BASELINES_H_

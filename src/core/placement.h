@@ -1,0 +1,43 @@
+// Placement policy interface (§6): given the profiled hotness of every
+// region, recommend a destination tier per region.
+#ifndef SRC_CORE_PLACEMENT_H_
+#define SRC_CORE_PLACEMENT_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/cost_model.h"
+
+namespace tierscape {
+
+struct RegionProfile {
+  std::uint64_t region = 0;
+  double hotness = 0.0;  // decayed sample count (HotnessTable)
+  int current_tier = 0;  // where most of the region lives now
+};
+
+struct PlacementInput {
+  std::vector<RegionProfile> regions;
+  // Hotness value at the configured percentile threshold (threshold-based
+  // policies promote regions strictly above it).
+  double hotness_threshold = 0.0;
+};
+
+// One destination per input region (parallel to PlacementInput::regions).
+using PlacementDecision = std::vector<int>;
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  virtual StatusOr<PlacementDecision> Decide(const PlacementInput& input,
+                                             const CostModel& model) = 0;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_CORE_PLACEMENT_H_

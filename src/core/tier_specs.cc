@@ -1,0 +1,115 @@
+#include "src/core/tier_specs.h"
+
+#include "src/common/logging.h"
+
+namespace tierscape {
+
+std::vector<CompressedTierSpec> CharacterizedTierSpecs() {
+  // Figure 2 encoding: {L4, LO, DE} x {ZB, ZS} x {DR, OP}, numbered so that
+  // C1 = ZB-L4-DR ... C12 = ZS-DE-OP.
+  std::vector<CompressedTierSpec> specs;
+  const Algorithm algorithms[] = {Algorithm::kLz4, Algorithm::kLzo, Algorithm::kDeflate};
+  const PoolManager managers[] = {PoolManager::kZbud, PoolManager::kZsmalloc};
+  const MediumKind media[] = {MediumKind::kDram, MediumKind::kNvmm};
+  int index = 1;
+  for (Algorithm algorithm : algorithms) {
+    for (PoolManager manager : managers) {
+      for (MediumKind medium : media) {
+        specs.push_back(CompressedTierSpec{.label = "C" + std::to_string(index),
+                                           .algorithm = algorithm,
+                                           .pool_manager = manager,
+                                           .backing = medium});
+        ++index;
+      }
+    }
+  }
+  return specs;
+}
+
+StatusOr<CompressedTierSpec> TierSpecByLabel(const std::string& label) {
+  if (label == "CT-1") {
+    // GSwap's production tier [38]: lzo + zsmalloc on DRAM (= C7).
+    return CompressedTierSpec{.label = "CT-1",
+                              .algorithm = Algorithm::kLzo,
+                              .pool_manager = PoolManager::kZsmalloc,
+                              .backing = MediumKind::kDram};
+  }
+  if (label == "CT-2") {
+    // TMO's tier [54]: zstd + zsmalloc, here backed by NVMM for the
+    // high-TCO-savings end (§8: "CT-2 ... with Optane as the physical
+    // backing media").
+    return CompressedTierSpec{.label = "CT-2",
+                              .algorithm = Algorithm::kZstd,
+                              .pool_manager = PoolManager::kZsmalloc,
+                              .backing = MediumKind::kNvmm};
+  }
+  for (const auto& spec : CharacterizedTierSpecs()) {
+    if (spec.label == label) {
+      return spec;
+    }
+  }
+  return NotFound("unknown tier label: " + label);
+}
+
+SystemConfig StandardMixConfig(std::size_t dram_bytes, std::size_t nvmm_bytes) {
+  SystemConfig config;
+  config.dram_bytes = dram_bytes;
+  config.nvmm_bytes = nvmm_bytes;
+  config.nvmm_byte_tier = true;
+  config.compressed_tiers = {*TierSpecByLabel("CT-1"), *TierSpecByLabel("CT-2")};
+  return config;
+}
+
+SystemConfig SpectrumConfig(std::size_t dram_bytes, std::size_t nvmm_bytes) {
+  SystemConfig config;
+  config.dram_bytes = dram_bytes;
+  config.nvmm_bytes = nvmm_bytes;
+  // §8.3: one byte-addressable tier (DRAM) plus five compressed tiers; NVMM
+  // exists only as backing media for the Optane-backed pools.
+  config.nvmm_byte_tier = false;
+  for (const char* label : {"C1", "C2", "C4", "C7", "C12"}) {
+    config.compressed_tiers.push_back(*TierSpecByLabel(label));
+  }
+  return config;
+}
+
+TieredSystem::TieredSystem(const SystemConfig& config) {
+  dram_ = std::make_unique<Medium>(DramSpec(config.dram_bytes));
+  if (config.nvmm_bytes > 0) {
+    nvmm_ = std::make_unique<Medium>(NvmmSpec(config.nvmm_bytes));
+  }
+  if (config.cxl_bytes > 0) {
+    cxl_ = std::make_unique<Medium>(CxlSpec(config.cxl_bytes));
+  }
+  tiers_.AddByteTier(*dram_);
+  if (config.nvmm_byte_tier && nvmm_ != nullptr) {
+    tiers_.AddByteTier(*nvmm_);
+  }
+  if (cxl_ != nullptr) {
+    tiers_.AddByteTier(*cxl_);
+  }
+  for (const auto& spec : config.compressed_tiers) {
+    CompressedTierConfig tier_config;
+    tier_config.label = spec.label;
+    tier_config.algorithm = spec.algorithm;
+    tier_config.pool_manager = spec.pool_manager;
+    const int tier_id = zswap_.AddTier(tier_config, MediumFor(spec.backing));
+    tiers_.AddCompressedTier(zswap_.tier(tier_id));
+  }
+}
+
+Medium& TieredSystem::MediumFor(MediumKind kind) {
+  switch (kind) {
+    case MediumKind::kDram:
+      return *dram_;
+    case MediumKind::kNvmm:
+      TS_CHECK(nvmm_ != nullptr) << "system has no NVMM medium";
+      return *nvmm_;
+    case MediumKind::kCxl:
+      TS_CHECK(cxl_ != nullptr) << "system has no CXL medium";
+      return *cxl_;
+  }
+  return *dram_;
+}
+
+}  // namespace tierscape

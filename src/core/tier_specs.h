@@ -1,0 +1,77 @@
+// Named tier configurations and system assembly.
+//
+// Encodes the tiers used throughout the paper's evaluation:
+//  * C1..C12 — the twelve characterized tiers of Figure 2
+//    ({lz4, lzo, deflate} x {zbud, zsmalloc} x {DRAM, Optane-NVMM}),
+//    e.g. C1 = zbud/lz4/DRAM (best latency), C7 = zsmalloc/lzo/DRAM
+//    (GSwap's production tier), C12 = zsmalloc/deflate/NVMM (best TCO).
+//  * CT-1 — GSwap's tier (= C7); CT-2 — TMO's tier (zstd/zsmalloc) on NVMM.
+//
+// TieredSystem owns the media, the zswap backend, and the tier table, and
+// offers the two assemblies used in §8: the "standard mix"
+// (DRAM + NVMM + CT-1 + CT-2) and the "spectrum"
+// (DRAM + C1, C2, C4, C7, C12).
+#ifndef SRC_CORE_TIER_SPECS_H_
+#define SRC_CORE_TIER_SPECS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mem/medium.h"
+#include "src/tiering/tier_table.h"
+#include "src/zswap/zswap.h"
+
+namespace tierscape {
+
+struct CompressedTierSpec {
+  std::string label;
+  Algorithm algorithm = Algorithm::kLzo;
+  PoolManager pool_manager = PoolManager::kZsmalloc;
+  MediumKind backing = MediumKind::kDram;
+};
+
+// The twelve Figure-2 tiers, C1..C12 (index 0 = C1).
+std::vector<CompressedTierSpec> CharacterizedTierSpecs();
+// Returns the spec for a label like "C7", "CT-1", "CT-2".
+StatusOr<CompressedTierSpec> TierSpecByLabel(const std::string& label);
+
+struct SystemConfig {
+  std::size_t dram_bytes = 512 * kMiB;
+  std::size_t nvmm_bytes = 2 * kGiB;
+  std::size_t cxl_bytes = 0;           // 0 = no CXL medium
+  bool nvmm_byte_tier = true;          // expose NVMM as a byte-addressable tier
+  std::vector<CompressedTierSpec> compressed_tiers;
+};
+
+// Convenience assemblies.
+SystemConfig StandardMixConfig(std::size_t dram_bytes, std::size_t nvmm_bytes);
+SystemConfig SpectrumConfig(std::size_t dram_bytes, std::size_t nvmm_bytes);
+
+class TieredSystem {
+ public:
+  explicit TieredSystem(const SystemConfig& config);
+
+  TieredSystem(const TieredSystem&) = delete;
+  TieredSystem& operator=(const TieredSystem&) = delete;
+
+  Medium& dram() { return *dram_; }
+  Medium* nvmm() { return nvmm_.get(); }
+  Medium* cxl() { return cxl_.get(); }
+  TierTable& tiers() { return tiers_; }
+  ZswapBackend& zswap() { return zswap_; }
+
+ private:
+  Medium& MediumFor(MediumKind kind);
+
+  std::unique_ptr<Medium> dram_;
+  std::unique_ptr<Medium> nvmm_;
+  std::unique_ptr<Medium> cxl_;
+  ZswapBackend zswap_;
+  TierTable tiers_;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_CORE_TIER_SPECS_H_

@@ -1,0 +1,133 @@
+#include "src/core/ts_daemon.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/core/analytical.h"
+
+namespace tierscape {
+
+TsDaemon::TsDaemon(TieringEngine& engine, PlacementPolicy* policy, DaemonConfig config)
+    : engine_(engine),
+      policy_(policy),
+      config_(config),
+      cost_model_(engine.tiers(), engine.space(), engine.sampler().period()),
+      filter_(config.filter),
+      next_window_at_(engine.now() + config.profile_window) {
+  for (std::uint64_t region = 0; region < engine.space().total_regions(); ++region) {
+    hotness_.Track(region);
+  }
+}
+
+Status TsDaemon::OnWindowEnd() {
+  WindowRecord record;
+  record.window = history_.size();
+
+  // 1. Telemetry: drain the sampler, cool + fold the hotness table.
+  const auto samples = engine_.sampler().DrainWindow();
+  std::uint64_t n_samples = 0;
+  for (const auto& [region, count] : samples) {
+    n_samples += count;
+  }
+  hotness_.EndWindow(samples);
+  const Nanos telemetry_cost = n_samples * config_.per_sample_cost;
+  engine_.Compute(telemetry_cost);
+  charged_overhead_ns_ += telemetry_cost;
+
+  // Per-tier faults observed during the closing window.
+  record.faults.assign(engine_.tiers().count(), 0);
+  for (const auto& [tier, faults] : engine_.window_faults()) {
+    record.faults[tier] = faults.faults;
+  }
+  engine_.ResetWindowFaults();
+
+  // 2. Model: ask the policy for a recommendation.
+  if (policy_ != nullptr && config_.enable_migration) {
+    PlacementInput input;
+    input.regions.reserve(engine_.space().total_regions());
+    for (std::uint64_t region = 0; region < engine_.space().total_regions(); ++region) {
+      input.regions.push_back(RegionProfile{.region = region,
+                                            .hotness = hotness_.Hotness(region),
+                                            .current_tier = engine_.RegionTier(region)});
+    }
+    input.hotness_threshold = hotness_.Percentile(config_.threshold_percentile);
+    record.hotness_threshold = input.hotness_threshold;
+
+    auto decision = policy_->Decide(input, cost_model_);
+    if (!decision.ok()) {
+      return decision.status();
+    }
+
+    // Charge the solver cost (§8.4): local solves interfere with the
+    // application; a remote solver costs one RPC round trip.
+    if (auto* analytical = dynamic_cast<AnalyticalPolicy*>(policy_)) {
+      record.solve_ms = analytical->stats().last_solve_ms;
+      Nanos solve_cost = 0;
+      if (config_.remote_solver) {
+        solve_cost = config_.remote_rpc_latency;
+      } else if (config_.charge_measured_solve) {
+        solve_cost =
+            static_cast<Nanos>(record.solve_ms * 1e6 * config_.local_solver_interference);
+      } else {
+        const Nanos modeled = input.regions.size() * engine_.tiers().count() *
+                              config_.solve_cost_per_cell;
+        solve_cost =
+            static_cast<Nanos>(modeled * config_.local_solver_interference);
+      }
+      engine_.Compute(solve_cost);
+      charged_overhead_ns_ += solve_cost;
+    }
+
+    // 3. Filter (§6.7), then record the post-filter recommendation.
+    record.filter = filter_.Apply(input, *decision, cost_model_, engine_);
+    record.recommended_pages.assign(engine_.tiers().count(), 0);
+    for (std::size_t i = 0; i < decision->size(); ++i) {
+      record.recommended_pages[(*decision)[i]] += kPagesPerRegion;
+    }
+
+    // 4. Migrate. A region is also re-packed when enough of its pages have
+    // strayed (demand faults promote individual pages to DRAM; once an eighth
+    // of the region sits outside the decided tier, push it back).
+    for (std::size_t i = 0; i < decision->size(); ++i) {
+      const int dst = (*decision)[i];
+      if (dst == input.regions[i].current_tier) {
+        const auto histogram = engine_.RegionTierHistogram(input.regions[i].region);
+        std::uint64_t total = 0;
+        for (const std::uint64_t count : histogram) {
+          total += count;
+        }
+        if (total - histogram[dst] <= total / 8) {
+          continue;
+        }
+      }
+      auto moved = engine_.MigrateRegion(input.regions[i].region, dst);
+      if (moved.ok()) {
+        record.migrated_pages += *moved;
+      }
+    }
+  } else {
+    record.recommended_pages.assign(engine_.tiers().count(), 0);
+  }
+
+  // 5. Record realized state.
+  record.actual_pages = engine_.PagesPerTier();
+  record.tco = engine_.CurrentTco();
+  record.tco_savings = engine_.TcoSavings();
+  record.at = engine_.now();
+  history_.push_back(std::move(record));
+  next_window_at_ = engine_.now() + config_.profile_window;
+  return OkStatus();
+}
+
+double TsDaemon::MeanTcoSavings(std::size_t skip) const {
+  if (history_.size() <= skip) {
+    return history_.empty() ? 0.0 : history_.back().tco_savings;
+  }
+  double total = 0.0;
+  for (std::size_t i = skip; i < history_.size(); ++i) {
+    total += history_[i].tco_savings;
+  }
+  return total / static_cast<double>(history_.size() - skip);
+}
+
+}  // namespace tierscape

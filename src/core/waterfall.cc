@@ -1,0 +1,22 @@
+#include "src/core/waterfall.h"
+
+#include <algorithm>
+
+namespace tierscape {
+
+StatusOr<PlacementDecision> WaterfallPolicy::Decide(const PlacementInput& input,
+                                                    const CostModel& model) {
+  const int last_tier = model.tiers().count() - 1;
+  PlacementDecision decision;
+  decision.reserve(input.regions.size());
+  for (const RegionProfile& region : input.regions) {
+    if (region.hotness > input.hotness_threshold) {
+      decision.push_back(0);  // promote to DRAM
+    } else {
+      decision.push_back(std::min(region.current_tier + 1, last_tier));
+    }
+  }
+  return decision;
+}
+
+}  // namespace tierscape

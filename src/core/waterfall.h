@@ -1,0 +1,28 @@
+// The Waterfall placement model (§6.1, Figure 3).
+//
+// At every profile window end:
+//  * regions hotter than the threshold are promoted to DRAM (tier 0);
+//  * every other region is demoted ("waterfalled") one tier down — toward
+//    higher TCO savings — except from the last tier, where it stays.
+// Cold data thus ages gradually toward the best TCO-saving tier; pages pulled
+// back to DRAM restart the journey from tier 1 when they cool again.
+#ifndef SRC_CORE_WATERFALL_H_
+#define SRC_CORE_WATERFALL_H_
+
+#include "src/core/placement.h"
+
+namespace tierscape {
+
+class WaterfallPolicy : public PlacementPolicy {
+ public:
+  WaterfallPolicy() = default;
+
+  std::string_view name() const override { return "Waterfall"; }
+
+  StatusOr<PlacementDecision> Decide(const PlacementInput& input,
+                                     const CostModel& model) override;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_CORE_WATERFALL_H_

@@ -1,0 +1,111 @@
+#include "src/mem/buddy_allocator.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace tierscape {
+
+BuddyAllocator::BuddyAllocator(std::uint64_t frame_count)
+    : frame_count_(frame_count), free_blocks_(kMaxOrder + 1), alloc_order_(frame_count, -1) {
+  // Seed the free lists by carving the frame range into maximal aligned blocks.
+  std::uint64_t frame = 0;
+  while (frame < frame_count_) {
+    int order = kMaxOrder;
+    while (order > 0 &&
+           ((frame & ((1ULL << order) - 1)) != 0 || frame + (1ULL << order) > frame_count_)) {
+      --order;
+    }
+    free_blocks_[order].insert(frame);
+    frame += 1ULL << order;
+  }
+}
+
+StatusOr<std::uint64_t> BuddyAllocator::Alloc(int order) {
+  if (order < 0 || order > kMaxOrder) {
+    return InvalidArgument("buddy: order out of range");
+  }
+  // Find the smallest order >= requested with a free block.
+  int have = order;
+  while (have <= kMaxOrder && free_blocks_[have].empty()) {
+    ++have;
+  }
+  if (have > kMaxOrder) {
+    return OutOfMemory("buddy: no free block of requested order");
+  }
+  std::uint64_t frame = *free_blocks_[have].begin();
+  free_blocks_[have].erase(free_blocks_[have].begin());
+  // Split down to the requested order, returning the upper halves to the
+  // free lists.
+  while (have > order) {
+    --have;
+    free_blocks_[have].insert(frame + (1ULL << have));
+  }
+  alloc_order_[frame] = static_cast<std::int8_t>(order);
+  used_frames_ += 1ULL << order;
+  return frame;
+}
+
+Status BuddyAllocator::Free(std::uint64_t frame, int order) {
+  if (order < 0 || order > kMaxOrder || frame >= frame_count_) {
+    return InvalidArgument("buddy: bad free arguments");
+  }
+  if (alloc_order_[frame] != static_cast<std::int8_t>(order)) {
+    return FailedPrecondition("buddy: free of unallocated block or wrong order");
+  }
+  alloc_order_[frame] = -1;
+  used_frames_ -= 1ULL << order;
+  // Coalesce with the buddy as long as it is free at the same order.
+  while (order < kMaxOrder) {
+    const std::uint64_t buddy = BuddyOf(frame, order);
+    if (buddy + (1ULL << order) > frame_count_) {
+      break;
+    }
+    auto it = free_blocks_[order].find(buddy);
+    if (it == free_blocks_[order].end()) {
+      break;
+    }
+    free_blocks_[order].erase(it);
+    frame = std::min(frame, buddy);
+    ++order;
+  }
+  free_blocks_[order].insert(frame);
+  return OkStatus();
+}
+
+int BuddyAllocator::LargestFreeOrder() const {
+  for (int order = kMaxOrder; order >= 0; --order) {
+    if (!free_blocks_[order].empty()) {
+      return order;
+    }
+  }
+  return -1;
+}
+
+bool BuddyAllocator::CheckConsistency() const {
+  std::vector<char> covered(frame_count_, 0);
+  auto mark = [&](std::uint64_t frame, int order) -> bool {
+    for (std::uint64_t i = frame; i < frame + (1ULL << order); ++i) {
+      if (i >= frame_count_ || covered[i]) {
+        return false;
+      }
+      covered[i] = 1;
+    }
+    return true;
+  };
+  for (int order = 0; order <= kMaxOrder; ++order) {
+    for (std::uint64_t frame : free_blocks_[order]) {
+      if (!mark(frame, order)) {
+        return false;
+      }
+    }
+  }
+  for (std::uint64_t frame = 0; frame < frame_count_; ++frame) {
+    if (alloc_order_[frame] >= 0 && !mark(frame, alloc_order_[frame])) {
+      return false;
+    }
+  }
+  return std::all_of(covered.begin(), covered.end(), [](char c) { return c == 1; });
+}
+
+}  // namespace tierscape

@@ -1,0 +1,96 @@
+// Simulated physical memory media.
+//
+// A Medium models one hardware memory tier (DRAM, Optane NVMM, or
+// CXL-attached memory) with three properties the paper's models consume:
+// load latency, unit cost ($/GiB, normalized to DRAM = 1.0), and capacity.
+//
+// Two kinds of allocations are served:
+//  * metadata-only frames for byte-addressable application pages — the
+//    simulation never stores their contents (they are re-synthesizable), and
+//  * backed page runs for compressed-pool pages — these carry real bytes,
+//    because the pool allocators store real compressed objects in them.
+#ifndef SRC_MEM_MEDIUM_H_
+#define SRC_MEM_MEDIUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/mem/buddy_allocator.h"
+
+namespace tierscape {
+
+enum class MediumKind { kDram, kNvmm, kCxl };
+
+std::string_view MediumKindName(MediumKind kind);
+
+struct MediumSpec {
+  std::string name;
+  MediumKind kind = MediumKind::kDram;
+  // Latency charged for one page access served from this medium (first-touch
+  // cacheline; the paper quotes ~33ns for DRAM, ~3x that for Optane reads).
+  Nanos load_latency_ns = 33;
+  // Unit storage cost normalized to DRAM = 1.0. The paper uses 1/3 for
+  // Optane ([45], §8.1) and roughly 1/2 for CXL-attached DRAM.
+  double cost_per_gib = 1.0;
+  std::size_t capacity_bytes = kGiB;
+};
+
+// Default specs used throughout the experiments.
+MediumSpec DramSpec(std::size_t capacity_bytes);
+MediumSpec NvmmSpec(std::size_t capacity_bytes);
+MediumSpec CxlSpec(std::size_t capacity_bytes);
+
+class Medium {
+ public:
+  explicit Medium(MediumSpec spec);
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  const MediumSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+  MediumKind kind() const { return spec_.kind; }
+  Nanos load_latency_ns() const { return spec_.load_latency_ns; }
+  double cost_per_gib() const { return spec_.cost_per_gib; }
+
+  // --- Metadata-only frames (application pages resident on this medium) ---
+  StatusOr<std::uint64_t> AllocFrame();
+  Status FreeFrame(std::uint64_t frame);
+
+  // --- Backed runs (compressed pool pages) ---
+  // Allocates 2^order contiguous frames with zero-initialized real backing.
+  StatusOr<std::uint64_t> AllocBackedRun(int order);
+  Status FreeBackedRun(std::uint64_t frame, int order);
+  // Returns the writable bytes of a backed run.
+  std::span<std::byte> RunData(std::uint64_t frame, int order);
+
+  std::uint64_t total_frames() const { return allocator_.frame_count(); }
+  std::uint64_t used_frames() const { return allocator_.used_frames(); }
+  std::uint64_t free_frames() const { return allocator_.free_frames(); }
+  std::size_t used_bytes() const { return used_frames() * kPageSize; }
+  std::size_t capacity_bytes() const { return spec_.capacity_bytes; }
+  double utilization() const {
+    return total_frames() == 0
+               ? 0.0
+               : static_cast<double>(used_frames()) / static_cast<double>(total_frames());
+  }
+
+  // Cost in normalized dollars of the currently-used capacity.
+  double UsedCost() const { return BytesToGiB(used_bytes()) * spec_.cost_per_gib; }
+
+ private:
+  MediumSpec spec_;
+  BuddyAllocator allocator_;
+  // Real backing for pool pages, keyed by first frame of the run.
+  std::unordered_map<std::uint64_t, std::unique_ptr<std::byte[]>> backing_;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_MEM_MEDIUM_H_

@@ -1,0 +1,292 @@
+#include "src/solver/mckp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "src/common/logging.h"
+
+namespace tierscape {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Status CheckProblem(const MckpProblem& problem) {
+  if (problem.groups.empty()) {
+    return InvalidArgument("mckp: no groups");
+  }
+  if (!(problem.capacity >= 0.0)) {
+    return InvalidArgument("mckp: negative capacity");
+  }
+  double min_weight_total = 0.0;
+  for (const auto& group : problem.groups) {
+    if (group.empty()) {
+      return InvalidArgument("mckp: empty group");
+    }
+    double min_weight = kInf;
+    for (const auto& choice : group) {
+      if (choice.weight < 0.0 || !std::isfinite(choice.cost)) {
+        return InvalidArgument("mckp: bad choice");
+      }
+      min_weight = std::min(min_weight, choice.weight);
+    }
+    min_weight_total += min_weight;
+  }
+  if (min_weight_total > problem.capacity * (1.0 + 1e-9) + 1e-12) {
+    return ResourceExhausted("mckp: minimum-weight assignment exceeds capacity");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status ValidateSolution(const MckpProblem& problem, const MckpSolution& solution) {
+  if (solution.choice.size() != problem.groups.size()) {
+    return InvalidArgument("mckp: solution size mismatch");
+  }
+  double weight = 0.0;
+  double cost = 0.0;
+  for (std::size_t g = 0; g < problem.groups.size(); ++g) {
+    const int k = solution.choice[g];
+    if (k < 0 || k >= static_cast<int>(problem.groups[g].size())) {
+      return InvalidArgument("mckp: bad choice index");
+    }
+    weight += problem.groups[g][k].weight;
+    cost += problem.groups[g][k].cost;
+  }
+  if (weight > problem.capacity * (1.0 + 1e-9) + 1e-9) {
+    return FailedPrecondition("mckp: solution exceeds capacity");
+  }
+  if (std::abs(cost - solution.total_cost) > 1e-6 * (1.0 + std::abs(cost))) {
+    return FailedPrecondition("mckp: reported cost mismatch");
+  }
+  return OkStatus();
+}
+
+StatusOr<MckpSolution> MckpSolver::Solve(const MckpProblem& problem) {
+  TS_RETURN_IF_ERROR(CheckProblem(problem));
+  std::size_t pairs = 0;
+  for (const auto& group : problem.groups) {
+    pairs += group.size();
+  }
+  Strategy strategy = options_.strategy;
+  if (strategy == Strategy::kAuto) {
+    // Beyond dp_buckets_max the DP's rounding loss grows with group count
+    // while its cost grows with buckets; the greedy is both faster and (with
+    // its local-improvement pass) more accurate there.
+    strategy = pairs * static_cast<std::size_t>(EffectiveBuckets(problem.groups.size())) <=
+                       options_.auto_greedy_threshold * 8
+                   ? Strategy::kDp
+                   : Strategy::kGreedy;
+  }
+  stats_ = SolveStats{};
+  stats_.used = strategy;
+  if (strategy == Strategy::kDp) {
+    auto solution = SolveDp(problem);
+    if (solution.ok() || solution.status().code() != StatusCode::kResourceExhausted) {
+      return solution;
+    }
+    // The DP rounds weights up; an exact-fit budget can become infeasible at
+    // the chosen resolution. The greedy path uses exact arithmetic.
+    stats_.used = Strategy::kGreedy;
+    return SolveGreedy(problem);
+  }
+  return SolveGreedy(problem);
+}
+
+int MckpSolver::EffectiveBuckets(std::size_t n_groups) const {
+  const std::size_t scaled = 16 * n_groups;
+  const auto wanted = std::max<std::size_t>(scaled, options_.dp_buckets);
+  return static_cast<int>(
+      std::min<std::size_t>(wanted, options_.dp_buckets_max));
+}
+
+StatusOr<MckpSolution> MckpSolver::SolveDp(const MckpProblem& problem) {
+  const std::size_t n_groups = problem.groups.size();
+  const int buckets = EffectiveBuckets(n_groups);
+  // Bucket width; capacity 0 degenerates to "all weights must be 0".
+  const double width = problem.capacity > 0.0
+                           ? problem.capacity / static_cast<double>(buckets)
+                           : 1.0;
+  auto quantize = [&](double weight) -> int {
+    if (weight <= 0.0) {
+      return 0;
+    }
+    if (problem.capacity <= 0.0) {
+      return buckets + 1;  // any positive weight is over a zero budget
+    }
+    const double q = std::ceil(weight / width - 1e-12);
+    return q > static_cast<double>(buckets) ? buckets + 1 : static_cast<int>(q);
+  };
+
+  // dp[b]: min cost over processed groups with quantized weight <= b.
+  std::vector<double> dp(buckets + 1, kInf);
+  std::vector<double> next(buckets + 1, kInf);
+  // pick[g * (buckets+1) + b]: chosen index for group g at budget b.
+  std::vector<std::uint8_t> pick(n_groups * (buckets + 1), 0xff);
+  dp.assign(buckets + 1, 0.0);
+
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    const auto& group = problem.groups[g];
+    TS_CHECK_LE(group.size(), std::size_t{0xff});
+    std::fill(next.begin(), next.end(), kInf);
+    for (int b = 0; b <= buckets; ++b) {
+      double best = kInf;
+      int best_k = -1;
+      for (std::size_t k = 0; k < group.size(); ++k) {
+        const int wq = quantize(group[k].weight);
+        if (wq > b) {
+          continue;
+        }
+        const double cand = dp[b - wq] + group[k].cost;
+        if (cand < best) {
+          best = cand;
+          best_k = static_cast<int>(k);
+        }
+      }
+      next[b] = best;
+      pick[g * (buckets + 1) + b] = best_k < 0 ? 0xff : static_cast<std::uint8_t>(best_k);
+    }
+    dp.swap(next);
+    stats_.dp_cells += static_cast<std::size_t>(buckets + 1) * group.size();
+  }
+  if (!std::isfinite(dp[buckets])) {
+    return ResourceExhausted("mckp: no feasible assignment at this resolution");
+  }
+
+  // Reconstruct choices walking budgets backwards.
+  MckpSolution solution;
+  solution.choice.assign(n_groups, 0);
+  int b = buckets;
+  for (std::size_t g = n_groups; g-- > 0;) {
+    const std::uint8_t k = pick[g * (buckets + 1) + b];
+    TS_CHECK(k != 0xff);
+    solution.choice[g] = k;
+    b -= quantize(problem.groups[g][k].weight);
+  }
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    const auto& choice = problem.groups[g][solution.choice[g]];
+    solution.total_cost += choice.cost;
+    solution.total_weight += choice.weight;
+  }
+  solution.optimal = true;
+  return solution;
+}
+
+StatusOr<MckpSolution> MckpSolver::SolveGreedy(const MckpProblem& problem) {
+  const std::size_t n_groups = problem.groups.size();
+  MckpSolution solution;
+  solution.choice.assign(n_groups, 0);
+
+  // Start each group at its minimum-cost choice.
+  double total_weight = 0.0;
+  double total_cost = 0.0;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    const auto& group = problem.groups[g];
+    int best = 0;
+    for (std::size_t k = 1; k < group.size(); ++k) {
+      if (group[k].cost < group[best].cost) {
+        best = static_cast<int>(k);
+      }
+    }
+    solution.choice[g] = best;
+    total_weight += group[best].weight;
+    total_cost += group[best].cost;
+  }
+
+  // Weight-reduction moves, cheapest marginal cost per unit of weight first
+  // (the convex-hull walk of the LP relaxation).
+  struct Move {
+    double efficiency;  // delta cost / delta weight
+    std::size_t group;
+    int to;
+    bool operator>(const Move& other) const { return efficiency > other.efficiency; }
+  };
+  auto next_move = [&](std::size_t g) -> Move {
+    const auto& group = problem.groups[g];
+    const auto& cur = group[solution.choice[g]];
+    Move best{kInf, g, -1};
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      const double dw = cur.weight - group[k].weight;
+      if (dw <= 1e-12) {
+        continue;
+      }
+      const double dc = group[k].cost - cur.cost;
+      const double eff = dc / dw;
+      if (eff < best.efficiency) {
+        best = Move{eff, g, static_cast<int>(k)};
+      }
+    }
+    return best;
+  };
+
+  std::priority_queue<Move, std::vector<Move>, std::greater<Move>> heap;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    const Move m = next_move(g);
+    if (m.to >= 0) {
+      heap.push(m);
+    }
+  }
+  while (total_weight > problem.capacity && !heap.empty()) {
+    const Move m = heap.top();
+    heap.pop();
+    // The stored move may be stale if the group has moved since; recompute.
+    const Move fresh = next_move(m.group);
+    if (fresh.to < 0) {
+      continue;
+    }
+    if (fresh.to != m.to || std::abs(fresh.efficiency - m.efficiency) > 1e-12) {
+      heap.push(fresh);
+      continue;
+    }
+    const auto& group = problem.groups[m.group];
+    total_weight -= group[solution.choice[m.group]].weight - group[m.to].weight;
+    total_cost += group[m.to].cost - group[solution.choice[m.group]].cost;
+    solution.choice[m.group] = m.to;
+    ++stats_.greedy_moves;
+    const Move again = next_move(m.group);
+    if (again.to >= 0) {
+      heap.push(again);
+    }
+  }
+  if (total_weight > problem.capacity * (1.0 + 1e-9)) {
+    return ResourceExhausted("mckp: greedy could not meet capacity");
+  }
+
+  // Local improvement: spend leftover budget on cost reductions, best
+  // cost-per-weight first, until a full pass makes no change.
+  for (int round = 0; round < 8; ++round) {
+    bool changed = false;
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      const auto& group = problem.groups[g];
+      const auto& cur = group[solution.choice[g]];
+      int best = -1;
+      double best_gain = 0.0;
+      for (std::size_t k = 0; k < group.size(); ++k) {
+        const double dc = cur.cost - group[k].cost;
+        const double dw = group[k].weight - cur.weight;
+        if (dc > best_gain && total_weight + dw <= problem.capacity * (1.0 + 1e-12)) {
+          best = static_cast<int>(k);
+          best_gain = dc;
+        }
+      }
+      if (best >= 0) {
+        total_weight += group[best].weight - cur.weight;
+        total_cost -= best_gain;
+        solution.choice[g] = best;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  solution.total_cost = total_cost;
+  solution.total_weight = total_weight;
+  solution.optimal = false;
+  return solution;
+}
+
+}  // namespace tierscape

@@ -1,0 +1,93 @@
+// Multiple-choice knapsack (MCKP) solver — the "ILP" of §6.4.
+//
+// TierScape's analytical model (Eq. 2) is, structurally, an MCKP: every 2 MiB
+// region (a *group*) must be assigned to exactly one tier (a *choice*), each
+// choice carrying a performance-overhead cost (Eq. 7) and a TCO weight
+// (Eq. 10); total weight is capped by the knob-scaled TCO budget. The paper
+// solves it with Google OR-Tools; this module is the offline-built
+// equivalent, with two strategies:
+//
+//  * kDp     — dynamic program over a discretized weight budget. Rounds each
+//              weight *up* to the next bucket, so solutions never violate the
+//              budget; with the default resolution the cost error is
+//              negligible and the result is reported as optimal.
+//  * kGreedy — convex-hull incremental-efficiency greedy (the classic MCKP
+//              LP-relaxation walk) plus a local improvement pass; O(n log n),
+//              used for very large instances.
+//
+// The paper reports its ILP consumes <0.3% of a CPU and ~480 MB (§8.4);
+// bench/micro_solver reproduces the equivalent measurement for this solver.
+#ifndef SRC_SOLVER_MCKP_H_
+#define SRC_SOLVER_MCKP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace tierscape {
+
+struct MckpChoice {
+  double cost = 0.0;    // objective contribution (minimized)
+  double weight = 0.0;  // budgeted resource contribution
+};
+
+struct MckpProblem {
+  // groups[g][k] is the k-th choice of group g; each group picks exactly one.
+  std::vector<std::vector<MckpChoice>> groups;
+  double capacity = 0.0;  // maximum total weight
+};
+
+struct MckpSolution {
+  std::vector<int> choice;  // chosen index per group
+  double total_cost = 0.0;
+  double total_weight = 0.0;
+  bool optimal = false;  // true when produced by the DP at full resolution
+};
+
+class MckpSolver {
+ public:
+  enum class Strategy { kAuto, kDp, kGreedy };
+
+  struct Options {
+    Strategy strategy = Strategy::kAuto;
+    // Minimum weight-budget discretization for the DP. Each group's weight
+    // rounds up by at most one bucket, so the effective resolution scales
+    // with the group count (16 buckets per group, capped at dp_buckets_max)
+    // to keep the cumulative rounding loss below ~3% of the budget.
+    int dp_buckets = 2048;
+    int dp_buckets_max = 16384;
+    // kAuto switches to greedy above this many group-choice pairs.
+    std::size_t auto_greedy_threshold = 4'000'000;
+  };
+
+  struct SolveStats {
+    std::size_t dp_cells = 0;
+    std::size_t greedy_moves = 0;
+    Strategy used = Strategy::kDp;
+  };
+
+  MckpSolver() : options_(Options()) {}
+  explicit MckpSolver(Options options) : options_(options) {}
+
+  // Fails with kInvalidArgument for malformed problems and kResourceExhausted
+  // when even the minimum-weight assignment exceeds the capacity.
+  StatusOr<MckpSolution> Solve(const MckpProblem& problem);
+
+  const SolveStats& stats() const { return stats_; }
+
+ private:
+  StatusOr<MckpSolution> SolveDp(const MckpProblem& problem);
+  int EffectiveBuckets(std::size_t n_groups) const;
+  StatusOr<MckpSolution> SolveGreedy(const MckpProblem& problem);
+
+  Options options_;
+  SolveStats stats_;
+};
+
+// Checks that a solution is well-formed and within capacity.
+Status ValidateSolution(const MckpProblem& problem, const MckpSolution& solution);
+
+}  // namespace tierscape
+
+#endif  // SRC_SOLVER_MCKP_H_

@@ -1,0 +1,67 @@
+// PEBS-style access sampler.
+//
+// TS-Daemon profiles applications with Intel PEBS on
+// MEM_INST_RETIRED.ALL_LOADS / ALL_STORES at a sampling period of 5000
+// (§7.2). In the simulation, every memory access the workload performs flows
+// through OnAccess(); one in `period` events produces a sample carrying the
+// virtual address, exactly the telemetry PEBS would deliver. Samples are
+// aggregated at 2 MiB region granularity.
+#ifndef SRC_TELEMETRY_SAMPLER_H_
+#define SRC_TELEMETRY_SAMPLER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/units.h"
+
+namespace tierscape {
+
+// Region index of a virtual address (2 MiB granularity).
+constexpr std::uint64_t RegionOf(std::uint64_t vaddr) { return vaddr / kRegionSize; }
+
+class PebsSampler {
+ public:
+  explicit PebsSampler(std::uint64_t period = 5000) : period_(period) {}
+
+  // Feeds one retired load/store. Deterministic 1-in-period sampling.
+  void OnAccess(std::uint64_t vaddr, bool is_store) { OnAccessN(vaddr, 1, is_store); }
+
+  // Feeds `count` consecutive loads/stores hitting the same page (e.g. the
+  // cachelines of one value read).
+  void OnAccessN(std::uint64_t vaddr, std::uint64_t count, bool is_store) {
+    total_events_ += count;
+    countdown_ += count;
+    while (countdown_ >= period_) {
+      countdown_ -= period_;
+      ++total_samples_;
+      ++window_samples_[RegionOf(vaddr)];
+      if (is_store) {
+        ++store_samples_;
+      }
+    }
+  }
+
+  // Returns and clears the per-region sample counts for the current window.
+  std::unordered_map<std::uint64_t, std::uint32_t> DrainWindow() {
+    auto out = std::move(window_samples_);
+    window_samples_.clear();
+    return out;
+  }
+
+  std::uint64_t period() const { return period_; }
+  std::uint64_t total_events() const { return total_events_; }
+  std::uint64_t total_samples() const { return total_samples_; }
+  std::uint64_t store_samples() const { return store_samples_; }
+
+ private:
+  std::uint64_t period_;
+  std::uint64_t countdown_ = 0;
+  std::uint64_t total_events_ = 0;
+  std::uint64_t total_samples_ = 0;
+  std::uint64_t store_samples_ = 0;
+  std::unordered_map<std::uint64_t, std::uint32_t> window_samples_;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_TELEMETRY_SAMPLER_H_

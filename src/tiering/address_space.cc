@@ -1,0 +1,23 @@
+#include "src/tiering/address_space.h"
+
+namespace tierscape {
+
+std::uint64_t AddressSpace::Allocate(std::string name, std::size_t bytes,
+                                     CorpusProfile profile) {
+  const std::size_t rounded = (bytes + kRegionSize - 1) / kRegionSize * kRegionSize;
+  const std::uint64_t pages = rounded / kPageSize;
+  Segment segment;
+  segment.name = std::move(name);
+  segment.profile = profile;
+  segment.base_vaddr = total_pages_ * kPageSize;
+  segment.bytes = rounded;
+  segment.first_page = total_pages_;
+  segment.page_count = pages;
+  segments_.push_back(segment);
+  page_profiles_.insert(page_profiles_.end(), pages, profile);
+  page_versions_.insert(page_versions_.end(), pages, 0);
+  total_pages_ += pages;
+  return segment.base_vaddr;
+}
+
+}  // namespace tierscape

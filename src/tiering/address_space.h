@@ -1,0 +1,76 @@
+// Simulated application address space.
+//
+// Workloads allocate named segments; every segment is tagged with a corpus
+// profile that determines the (deterministic) contents of its pages. The
+// mapping is identity-style: virtual page number == global page index, and
+// regions are the paper's 2 MiB management unit (§7.2).
+//
+// Page contents are never stored while a page lives on a byte-addressable
+// tier — they are re-synthesized on demand from (profile, page, version) —
+// so a multi-GiB simulated footprint costs only metadata. Stores bump the
+// page version, which changes the synthesized contents, exactly as real
+// stores would dirty a page.
+#ifndef SRC_TIERING_ADDRESS_SPACE_H_
+#define SRC_TIERING_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/compress/corpus.h"
+
+namespace tierscape {
+
+class AddressSpace {
+ public:
+  struct Segment {
+    std::string name;
+    CorpusProfile profile;
+    std::uint64_t base_vaddr = 0;
+    std::size_t bytes = 0;
+    std::uint64_t first_page = 0;
+    std::uint64_t page_count = 0;
+  };
+
+  // Reserves `bytes` (rounded up to whole regions) with the given content
+  // profile. Returns the segment's base virtual address.
+  std::uint64_t Allocate(std::string name, std::size_t bytes, CorpusProfile profile);
+
+  std::uint64_t total_pages() const { return total_pages_; }
+  std::uint64_t total_regions() const { return total_pages_ / kPagesPerRegion; }
+  std::size_t total_bytes() const { return total_pages_ * kPageSize; }
+
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  CorpusProfile ProfileOfPage(std::uint64_t page) const {
+    return page_profiles_[page];
+  }
+
+  std::uint32_t PageVersion(std::uint64_t page) const { return page_versions_[page]; }
+  void DirtyPage(std::uint64_t page) { ++page_versions_[page]; }
+
+  // Synthesizes the current contents of a page into `out` (kPageSize bytes).
+  void SynthesizePage(std::uint64_t page, std::span<std::byte> out) const {
+    FillPage(page_profiles_[page], PageSeed(page), out);
+  }
+
+  std::uint64_t PageSeed(std::uint64_t page) const {
+    return SplitMix64(page * 0x9e3779b97f4a7c15ULL + page_versions_[page]);
+  }
+
+  static std::uint64_t PageOf(std::uint64_t vaddr) { return vaddr / kPageSize; }
+
+ private:
+  std::vector<Segment> segments_;
+  std::vector<CorpusProfile> page_profiles_;
+  std::vector<std::uint32_t> page_versions_;
+  std::uint64_t total_pages_ = 0;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_TIERING_ADDRESS_SPACE_H_

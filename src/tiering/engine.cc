@@ -1,0 +1,221 @@
+#include "src/tiering/engine.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace tierscape {
+
+TieringEngine::TieringEngine(AddressSpace& space, TierTable& tiers, EngineConfig config)
+    : space_(space), tiers_(tiers), config_(config), sampler_(config.pebs_period) {
+  pages_.resize(space_.total_pages());
+}
+
+TieringEngine::~TieringEngine() {
+  // Return byte-tier frames so media can be reused across engines in tests.
+  for (std::uint64_t page = 0; page < pages_.size(); ++page) {
+    (void)EvictPage(page);
+  }
+}
+
+StatusOr<int> TieringEngine::AllocByteFrame(int preferred_tier, std::uint64_t* frame_out) {
+  for (int tier = preferred_tier; tier < tiers_.count(); ++tier) {
+    const TierRef& ref = tiers_.tier(tier);
+    if (ref.kind != TierKind::kByteAddressable) {
+      continue;
+    }
+    auto frame = ref.medium->AllocFrame();
+    if (frame.ok()) {
+      *frame_out = frame.value();
+      return tier;
+    }
+  }
+  return OutOfMemory("engine: all byte-addressable tiers are full");
+}
+
+Status TieringEngine::PlacePageInByteTier(std::uint64_t page, int tier) {
+  std::uint64_t frame = 0;
+  auto used = AllocByteFrame(tier, &frame);
+  if (!used.ok()) {
+    return used.status();
+  }
+  pages_[page].tier = *used;
+  pages_[page].location = frame;
+  pages_[page].compressed_size = 0;
+  return OkStatus();
+}
+
+Status TieringEngine::PlaceInitial() {
+  for (std::uint64_t page = 0; page < pages_.size(); ++page) {
+    TS_RETURN_IF_ERROR(PlacePageInByteTier(page, 0));
+  }
+  return OkStatus();
+}
+
+Status TieringEngine::EvictPage(std::uint64_t page) {
+  PageState& state = pages_[page];
+  if (state.tier < 0) {
+    return OkStatus();
+  }
+  const TierRef& ref = tiers_.tier(state.tier);
+  if (ref.kind == TierKind::kByteAddressable) {
+    TS_RETURN_IF_ERROR(ref.medium->FreeFrame(state.location));
+  } else {
+    TS_RETURN_IF_ERROR(ref.compressed->Invalidate(state.location));
+  }
+  state.tier = -1;
+  return OkStatus();
+}
+
+Nanos TieringEngine::HandleFault(std::uint64_t page) {
+  PageState& state = pages_[page];
+  const TierRef& ref = tiers_.tier(state.tier);
+  CompressedTier& ctier = *ref.compressed;
+
+  std::byte buffer[kPageSize];
+  const Status load = ctier.Load(state.location, buffer);
+  TS_CHECK(load.ok()) << "fault decompression failed: " << load.ToString();
+  if (config_.verify_contents) {
+    TS_CHECK_EQ(PageChecksum(buffer), state.checksum)
+        << "page " << page << " corrupted in tier " << ctier.label();
+  }
+  const Nanos fault_cost = ctier.LoadCost(state.compressed_size);
+  ctier.RecordFault();
+  auto& record = window_faults_[state.tier];
+  ++record.faults;
+  record.latency += fault_cost;
+  ++total_faults_;
+
+  const int came_from = state.tier;
+  const Status freed = ctier.Invalidate(state.location);
+  TS_CHECK(freed.ok()) << freed.ToString();
+  state.tier = -1;
+  const Status placed = PlacePageInByteTier(page, 0);
+  TS_CHECK(placed.ok()) << "no byte tier space on fault: " << placed.ToString();
+  (void)came_from;
+  return fault_cost;
+}
+
+Nanos TieringEngine::AccessBulk(std::uint64_t vaddr, std::uint32_t lines, bool is_store) {
+  const std::uint64_t page = AddressSpace::PageOf(vaddr);
+  TS_CHECK_LT(page, pages_.size());
+  sampler_.OnAccessN(vaddr, lines, is_store);
+
+  PageState& state = pages_[page];
+  Nanos latency = 0;
+  if (tiers_.tier(state.tier).kind == TierKind::kCompressed) {
+    latency += HandleFault(page);
+  }
+  // The accesses themselves, now from a byte-addressable tier.
+  latency += lines * tiers_.tier(state.tier).medium->load_latency_ns();
+  if (is_store) {
+    space_.DirtyPage(page);
+  }
+  clock_ += latency;
+  opt_clock_ += lines * tiers_.dram().load_latency_ns();
+  return latency;
+}
+
+StatusOr<std::uint64_t> TieringEngine::MigrateRegion(std::uint64_t region, int dst) {
+  if (dst < 0 || dst >= tiers_.count()) {
+    return InvalidArgument("engine: bad destination tier");
+  }
+  const std::uint64_t first_page = region * kPagesPerRegion;
+  if (first_page >= pages_.size()) {
+    return InvalidArgument("engine: bad region");
+  }
+  const TierRef& dref = tiers_.tier(dst);
+  std::uint64_t moved = 0;
+  Nanos cost = 0;
+  std::byte buffer[kPageSize];
+
+  for (std::uint64_t page = first_page;
+       page < std::min<std::uint64_t>(first_page + kPagesPerRegion, pages_.size()); ++page) {
+    PageState& state = pages_[page];
+    if (state.tier == dst || state.tier < 0) {
+      continue;
+    }
+    const TierRef& sref = tiers_.tier(state.tier);
+
+    // Read the page contents: synthesize for byte tiers, decompress otherwise.
+    if (sref.kind == TierKind::kByteAddressable) {
+      space_.SynthesizePage(page, buffer);
+      cost += kPageSize / 64 * sref.medium->load_latency_ns();
+    } else {
+      TS_RETURN_IF_ERROR(sref.compressed->Load(state.location, buffer));
+      cost += sref.compressed->LoadCost(state.compressed_size);
+    }
+
+    if (dref.kind == TierKind::kByteAddressable) {
+      auto frame = dref.medium->AllocFrame();
+      if (!frame.ok()) {
+        break;  // destination full: stop early
+      }
+      TS_RETURN_IF_ERROR(EvictPage(page));
+      state.tier = dst;
+      state.location = frame.value();
+      state.compressed_size = 0;
+      cost += kPageSize / 64 * dref.medium->load_latency_ns();
+    } else {
+      auto stored = dref.compressed->Store(buffer);
+      if (!stored.ok()) {
+        if (stored.status().code() == StatusCode::kRejected) {
+          continue;  // incompressible page: leave in place (zswap behaviour)
+        }
+        break;  // destination medium full: stop early
+      }
+      TS_RETURN_IF_ERROR(EvictPage(page));
+      state.tier = dst;
+      state.location = stored->handle;
+      state.compressed_size = stored->compressed_size;
+      state.checksum = PageChecksum(buffer);
+      cost += stored->latency;
+    }
+    ++moved;
+  }
+  migrated_pages_ += moved;
+  migration_ns_ += cost;
+  clock_ += static_cast<Nanos>(static_cast<double>(cost) * config_.migration_interference);
+  return moved;
+}
+
+double TieringEngine::CurrentTco() const {
+  double tco = 0.0;
+  for (const Medium* medium : tiers_.media()) {
+    tco += medium->UsedCost();
+  }
+  return tco;
+}
+
+double TieringEngine::DramOnlyTco() const {
+  return BytesToGiB(space_.total_bytes()) * tiers_.dram().cost_per_gib();
+}
+
+std::vector<std::uint64_t> TieringEngine::PagesPerTier() const {
+  std::vector<std::uint64_t> counts(tiers_.count(), 0);
+  for (const PageState& state : pages_) {
+    if (state.tier >= 0) {
+      ++counts[state.tier];
+    }
+  }
+  return counts;
+}
+
+std::vector<std::uint64_t> TieringEngine::RegionTierHistogram(std::uint64_t region) const {
+  std::vector<std::uint64_t> counts(tiers_.count(), 0);
+  const std::uint64_t first_page = region * kPagesPerRegion;
+  for (std::uint64_t page = first_page;
+       page < std::min<std::uint64_t>(first_page + kPagesPerRegion, pages_.size()); ++page) {
+    if (pages_[page].tier >= 0) {
+      ++counts[pages_[page].tier];
+    }
+  }
+  return counts;
+}
+
+int TieringEngine::RegionTier(std::uint64_t region) const {
+  const auto counts = RegionTierHistogram(region);
+  return static_cast<int>(std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+}  // namespace tierscape

@@ -1,0 +1,147 @@
+// The tiered-memory access engine.
+//
+// Executes every memory access of a workload against the current page
+// placement, charging virtual time: a DRAM/NVMM/CXL access costs that
+// medium's load latency; touching a page held in a compressed tier raises a
+// fault — the entry is really decompressed, verified, and the page promoted
+// to DRAM (or the next byte tier when DRAM is full), at the tier's load cost
+// (§6.5). The engine also tracks the hypothetical all-DRAM execution time
+// (Eq. 3), so slowdown and perf_ovh (Eq. 5) fall out exactly as defined.
+//
+// Region migration (2 MiB at a time, §7.2) really moves data: compressed
+// stores run the compressor and land in the pool on the tier's backing
+// medium. Migration cost is tracked separately as TS-Daemon tax, with a
+// configurable fraction charged to application time to model bandwidth
+// interference from the daemon's push threads.
+#ifndef SRC_TIERING_ENGINE_H_
+#define SRC_TIERING_ENGINE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/telemetry/sampler.h"
+#include "src/tiering/address_space.h"
+#include "src/tiering/tier_table.h"
+
+namespace tierscape {
+
+struct EngineConfig {
+  std::uint64_t pebs_period = 5000;
+  // Fraction of migration work charged to the application clock. The paper
+  // runs migration on TS-Daemon's dedicated push threads (PT2 in the
+  // artifact), so the application only sees bandwidth interference.
+  double migration_interference = 0.05;
+  // Verify page contents against checksums on every decompression fault.
+  bool verify_contents = true;
+};
+
+class TieringEngine {
+ public:
+  struct PageState {
+    std::int32_t tier = -1;         // index into the TierTable; -1 = not placed
+    std::uint64_t location = 0;     // frame (byte tier) or pool handle
+    std::uint32_t compressed_size = 0;
+    std::uint64_t checksum = 0;     // contents checksum at compression time
+  };
+
+  struct FaultRecord {
+    std::uint64_t faults = 0;
+    Nanos latency = 0;
+  };
+
+  TieringEngine(AddressSpace& space, TierTable& tiers, EngineConfig config = {});
+  ~TieringEngine();
+
+  TieringEngine(const TieringEngine&) = delete;
+  TieringEngine& operator=(const TieringEngine&) = delete;
+
+  // Places every page on the initial tier (DRAM, spilling to the next byte
+  // tiers when full). Must be called once before accesses.
+  Status PlaceInitial();
+
+  // Executes one load/store; returns the access latency charged.
+  Nanos Access(std::uint64_t vaddr, bool is_store) { return AccessBulk(vaddr, 1, is_store); }
+
+  // Executes `lines` consecutive cacheline accesses within one page (e.g.
+  // streaming a KV value): at most one decompression fault, then per-line
+  // residency latency. Returns the total latency charged.
+  Nanos AccessBulk(std::uint64_t vaddr, std::uint32_t lines, bool is_store);
+
+  // Charges pure compute time (no memory access) to the application clock.
+  void Compute(Nanos ns) { clock_ += ns; opt_clock_ += ns; }
+
+  // Moves all pages of `region` to tier `dst`. Incompressible pages stay
+  // where they are (zswap-style rejection); a full destination stops the
+  // migration early. Returns the number of pages actually moved.
+  StatusOr<std::uint64_t> MigrateRegion(std::uint64_t region, int dst);
+
+  // --- clocks -------------------------------------------------------------
+  Nanos now() const { return clock_; }
+  // All-DRAM execution time of the same access stream (Eq. 3).
+  Nanos optimal_now() const { return opt_clock_; }
+  // perf_ovh (Eq. 5) and the slowdown ratio derived from it.
+  Nanos perf_overhead() const { return clock_ - opt_clock_; }
+  double Slowdown() const {
+    return opt_clock_ == 0 ? 1.0
+                           : static_cast<double>(clock_) / static_cast<double>(opt_clock_);
+  }
+
+  // --- TCO (Eq. 8/10) -----------------------------------------------------
+  // Current dollars: used bytes on every medium (application pages on byte
+  // tiers + real compressed pool bytes) times the medium's unit cost.
+  double CurrentTco() const;
+  // TCO_max: everything resident in DRAM.
+  double DramOnlyTco() const;
+  double TcoSavings() const {
+    const double max_tco = DramOnlyTco();
+    return max_tco == 0.0 ? 0.0 : 1.0 - CurrentTco() / max_tco;
+  }
+
+  // --- bookkeeping ----------------------------------------------------------
+  const PageState& page_state(std::uint64_t page) const { return pages_[page]; }
+  std::vector<std::uint64_t> PagesPerTier() const;
+  // Pages of `region` currently in each tier.
+  std::vector<std::uint64_t> RegionTierHistogram(std::uint64_t region) const;
+  // Dominant tier of a region (where most of its pages live).
+  int RegionTier(std::uint64_t region) const;
+
+  const std::unordered_map<int, FaultRecord>& window_faults() const { return window_faults_; }
+  void ResetWindowFaults() { window_faults_.clear(); }
+
+  std::uint64_t total_faults() const { return total_faults_; }
+  std::uint64_t total_migrated_pages() const { return migrated_pages_; }
+  Nanos migration_ns() const { return migration_ns_; }
+
+  PebsSampler& sampler() { return sampler_; }
+  AddressSpace& space() { return space_; }
+  TierTable& tiers() { return tiers_; }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  // Allocates a frame on the byte tier `tier` or, when full, on successive
+  // byte tiers. Returns the tier actually used.
+  StatusOr<int> AllocByteFrame(int preferred_tier, std::uint64_t* frame_out);
+  Status EvictPage(std::uint64_t page);  // frees the page's current location
+  Status PlacePageInByteTier(std::uint64_t page, int tier);
+  // Handles an access to a compressed page: decompress + promote.
+  Nanos HandleFault(std::uint64_t page);
+
+  AddressSpace& space_;
+  TierTable& tiers_;
+  EngineConfig config_;
+  PebsSampler sampler_;
+  std::vector<PageState> pages_;
+  Nanos clock_ = 0;
+  Nanos opt_clock_ = 0;
+  Nanos migration_ns_ = 0;
+  std::uint64_t total_faults_ = 0;
+  std::uint64_t migrated_pages_ = 0;
+  std::unordered_map<int, FaultRecord> window_faults_;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_TIERING_ENGINE_H_

@@ -1,0 +1,65 @@
+#include "src/tiering/tier_table.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace tierscape {
+
+void TierTable::NoteMedium(Medium& medium) {
+  if (std::find(media_.begin(), media_.end(), &medium) == media_.end()) {
+    media_.push_back(&medium);
+  }
+}
+
+int TierTable::AddByteTier(Medium& medium) {
+  if (tiers_.empty()) {
+    TS_CHECK(medium.kind() == MediumKind::kDram) << "tier 0 must be DRAM";
+  }
+  TierRef ref;
+  ref.kind = TierKind::kByteAddressable;
+  ref.medium = &medium;
+  ref.label = medium.name();
+  tiers_.push_back(ref);
+  NoteMedium(medium);
+  return count() - 1;
+}
+
+int TierTable::AddCompressedTier(CompressedTier& tier) {
+  TS_CHECK(!tiers_.empty()) << "add the DRAM tier first";
+  TierRef ref;
+  ref.kind = TierKind::kCompressed;
+  ref.compressed = &tier;
+  ref.label = tier.label();
+  tiers_.push_back(ref);
+  NoteMedium(tier.medium());
+  return count() - 1;
+}
+
+int TierTable::FindByLabel(const std::string& label) const {
+  for (int i = 0; i < count(); ++i) {
+    if (tiers_[i].label == label) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+Nanos TierTable::AccessLatency(int index) const {
+  const TierRef& ref = tiers_.at(index);
+  if (ref.kind == TierKind::kByteAddressable) {
+    return ref.medium->load_latency_ns();
+  }
+  // Decompression fault followed by the access from DRAM (§6.5).
+  return ref.compressed->NominalLoadCost() + dram().load_latency_ns();
+}
+
+double TierTable::PageCostPerGib(int index) const {
+  const TierRef& ref = tiers_.at(index);
+  if (ref.kind == TierKind::kByteAddressable) {
+    return ref.medium->cost_per_gib();
+  }
+  return ref.compressed->medium().cost_per_gib() * ref.compressed->EffectiveRatio();
+}
+
+}  // namespace tierscape

@@ -1,0 +1,76 @@
+// Unified tier registry: byte-addressable media and compressed tiers in one
+// latency-ordered list.
+//
+// Tier index 0 is always DRAM (the fastest tier, §6). Placement models and
+// the engine address tiers by index; the table answers the two questions the
+// cost model asks of every tier (Eqs. 7 and 10): what does one access cost,
+// and what does one stored page cost in dollars.
+#ifndef SRC_TIERING_TIER_TABLE_H_
+#define SRC_TIERING_TIER_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/mem/medium.h"
+#include "src/zswap/compressed_tier.h"
+
+namespace tierscape {
+
+enum class TierKind { kByteAddressable, kCompressed };
+
+struct TierRef {
+  TierKind kind = TierKind::kByteAddressable;
+  Medium* medium = nullptr;          // set for byte-addressable tiers
+  CompressedTier* compressed = nullptr;  // set for compressed tiers
+  std::string label;
+
+  bool is_dram() const {
+    return kind == TierKind::kByteAddressable && medium->kind() == MediumKind::kDram;
+  }
+};
+
+class TierTable {
+ public:
+  // Index 0 must be the DRAM tier.
+  int AddByteTier(Medium& medium);
+  int AddCompressedTier(CompressedTier& tier);
+
+  int count() const { return static_cast<int>(tiers_.size()); }
+  const TierRef& tier(int index) const { return tiers_.at(index); }
+  int FindByLabel(const std::string& label) const;
+
+  // Expected cost of one page access served by this tier. For compressed
+  // tiers this is the decompression fault cost plus the DRAM access that
+  // follows promotion (Eq. 4's Lat_CT + Lat_TD term).
+  Nanos AccessLatency(int index) const;
+
+  // Extra cost of an access vs. DRAM (the delta of Eq. 6/7).
+  Nanos AccessPenalty(int index) const {
+    const Nanos lat = AccessLatency(index);
+    const Nanos dram_lat = dram().load_latency_ns();
+    return lat > dram_lat ? lat - dram_lat : 0;
+  }
+
+  // Normalized $/GiB of a page resident in this tier, scaled by the tier's
+  // measured effective compression ratio for compressed tiers (Eq. 8's
+  // C_CT * USD_CT term).
+  double PageCostPerGib(int index) const;
+
+  Medium& dram() const { return *tiers_.at(0).medium; }
+
+  // Distinct backing media across all tiers (for Eq. 8-style TCO accounting:
+  // compressed pools are counted through their backing medium usage).
+  const std::vector<Medium*>& media() const { return media_; }
+
+ private:
+  std::vector<TierRef> tiers_;
+  std::vector<Medium*> media_;
+
+  void NoteMedium(Medium& medium);
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_TIERING_TIER_TABLE_H_

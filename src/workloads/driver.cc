@@ -1,0 +1,61 @@
+#include "src/workloads/driver.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace tierscape {
+
+ExperimentResult RunExperiment(TieredSystem& system, Workload& workload,
+                               PlacementPolicy* policy, const ExperimentConfig& config) {
+  ExperimentResult result;
+  result.workload = std::string(workload.name());
+  result.policy = policy != nullptr ? std::string(policy->name()) : "DRAM-only";
+
+  AddressSpace space;
+  workload.Reserve(space);
+  TieringEngine engine(space, system.tiers(), config.engine);
+  const Status placed = engine.PlaceInitial();
+  TS_CHECK(placed.ok()) << "initial placement failed: " << placed.ToString();
+
+  // Population phase: establish the footprint (not measured).
+  workload.Populate(engine);
+
+  DaemonConfig daemon_config = config.daemon;
+  if (config.target_windows > 0 && daemon_config.window_ops == 0) {
+    daemon_config.window_ops = std::max<std::uint64_t>(1, config.ops / config.target_windows);
+  }
+  TsDaemon daemon(engine, policy, daemon_config);
+
+  // Measured phase.
+  const Nanos start = engine.now();
+  const Nanos opt_start = engine.optimal_now();
+  for (std::uint64_t op = 0; op < config.ops; ++op) {
+    const Nanos latency = workload.Op(engine);
+    result.op_latency_ns.Record(latency);
+    const Status window = daemon.MaybeRunWindow();
+    TS_CHECK(window.ok()) << "daemon window failed: " << window.ToString();
+  }
+
+  const Nanos elapsed = engine.now() - start;
+  const Nanos opt_elapsed = engine.optimal_now() - opt_start;
+  result.slowdown = opt_elapsed == 0
+                        ? 1.0
+                        : static_cast<double>(elapsed) / static_cast<double>(opt_elapsed);
+  result.perf_overhead_pct = (result.slowdown - 1.0) * 100.0;
+  result.mean_tco_savings = daemon.MeanTcoSavings();
+  result.final_tco_savings = engine.TcoSavings();
+  result.throughput_mops =
+      elapsed == 0 ? 0.0
+                   : static_cast<double>(config.ops) / (static_cast<double>(elapsed) / 1e9) / 1e6;
+  result.windows = daemon.history();
+  result.total_faults = engine.total_faults();
+  result.migrated_pages = engine.total_migrated_pages();
+  result.daemon_overhead_ns = daemon.charged_overhead_ns();
+  for (const auto& window : result.windows) {
+    result.total_solve_ms += window.solve_ms;
+  }
+  return result;
+}
+
+}  // namespace tierscape

@@ -1,0 +1,67 @@
+// Experiment driver: wires a workload, a tiered system, and a placement
+// policy together and runs the measured phase window by window. Every bench
+// harness and example builds on this.
+#ifndef SRC_WORKLOADS_DRIVER_H_
+#define SRC_WORKLOADS_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/core/tier_specs.h"
+#include "src/core/ts_daemon.h"
+#include "src/workloads/workload.h"
+
+namespace tierscape {
+
+struct ExperimentConfig {
+  ExperimentConfig() {
+    // Scaled-down defaults: the paper samples 1-in-5000 over tens of GiB and
+    // 5 s windows; at a few hundred MiB and millisecond windows the same
+    // telemetry density per region requires a proportionally shorter period.
+    engine.pebs_period = 128;
+    daemon.profile_window = 2 * kMilli;
+  }
+
+  std::uint64_t ops = 200'000;
+  // When > 0 (default), windows are op-count driven: ops / target_windows per
+  // window, keeping the window count stable across policies of very
+  // different speed.
+  std::uint64_t target_windows = 40;
+  EngineConfig engine;
+  DaemonConfig daemon;
+};
+
+struct ExperimentResult {
+  std::string workload;
+  std::string policy;
+
+  // Performance of the measured phase relative to the same access stream
+  // served entirely from DRAM (Eq. 3 baseline). slowdown = 1.0 means parity.
+  double slowdown = 1.0;
+  double perf_overhead_pct = 0.0;  // (slowdown - 1) * 100
+
+  // Memory TCO savings relative to everything-in-DRAM (Eq. 8), averaged over
+  // the steady-state windows and at the end of the run.
+  double mean_tco_savings = 0.0;
+  double final_tco_savings = 0.0;
+
+  double throughput_mops = 0.0;  // measured ops per virtual second (millions)
+
+  Histogram op_latency_ns;
+  std::vector<TsDaemon::WindowRecord> windows;
+
+  std::uint64_t total_faults = 0;
+  std::uint64_t migrated_pages = 0;
+  Nanos daemon_overhead_ns = 0;
+  double total_solve_ms = 0.0;
+};
+
+// Runs `workload` against `system` under `policy` (null = static all-DRAM).
+// The system must be freshly constructed (media empty).
+ExperimentResult RunExperiment(TieredSystem& system, Workload& workload,
+                               PlacementPolicy* policy, const ExperimentConfig& config);
+
+}  // namespace tierscape
+
+#endif  // SRC_WORKLOADS_DRIVER_H_

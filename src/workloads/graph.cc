@@ -1,0 +1,177 @@
+#include "src/workloads/graph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace tierscape {
+namespace {
+
+// Addresses within the simulated segments.
+constexpr std::uint64_t IndexAddr(std::uint64_t base, std::uint64_t v) { return base + v * 8; }
+constexpr std::uint64_t EdgeAddr(std::uint64_t base, std::uint64_t e) { return base + e * 4; }
+constexpr std::uint64_t RankAddr(std::uint64_t base, std::uint64_t v) { return base + v * 8; }
+
+}  // namespace
+
+RmatGraph::RmatGraph(const RmatConfig& config) {
+  const std::uint64_t n = config.vertices;
+  const std::uint64_t m = n * config.edges_per_vertex;
+  Rng rng(config.seed);
+  const int bits = 63 - __builtin_clzll(n);
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_list;
+  edge_list.reserve(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    for (int level = 0; level < bits; ++level) {
+      const double p = rng.NextDouble();
+      src <<= 1;
+      dst <<= 1;
+      if (p < config.a) {
+        // top-left quadrant: neither bit set
+      } else if (p < config.a + config.b) {
+        dst |= 1;
+      } else if (p < config.a + config.b + config.c) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    edge_list.emplace_back(static_cast<std::uint32_t>(src % n),
+                           static_cast<std::uint32_t>(dst % n));
+  }
+  std::sort(edge_list.begin(), edge_list.end());
+
+  offsets_.assign(n + 1, 0);
+  targets_.reserve(m);
+  for (const auto& [src, dst] : edge_list) {
+    ++offsets_[src + 1];
+    targets_.push_back(dst);
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    offsets_[v + 1] += offsets_[v];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PageRank
+// ---------------------------------------------------------------------------
+
+PageRankWorkload::PageRankWorkload(GraphWorkloadConfig config)
+    : config_(config), graph_(std::make_shared<RmatGraph>(config.rmat)), rng_(config.seed) {}
+
+void PageRankWorkload::Reserve(AddressSpace& space) {
+  csr_index_base_ =
+      space.Allocate("pagerank/csr-index", (graph_->vertices() + 1) * 8, CorpusProfile::kBinary);
+  csr_edges_base_ =
+      space.Allocate("pagerank/csr-edges", graph_->edges() * 4, CorpusProfile::kBinary);
+  rank_base_ = space.Allocate("pagerank/ranks", graph_->vertices() * 8, CorpusProfile::kBinary);
+}
+
+void PageRankWorkload::Populate(TieringEngine& engine) {
+  // Initialize the rank array (sequential stores) and touch the CSR once.
+  for (std::uint64_t v = 0; v < graph_->vertices(); v += kPageSize / 8) {
+    engine.Access(RankAddr(rank_base_, v), /*is_store=*/true);
+  }
+  for (std::uint64_t e = 0; e < graph_->edges(); e += kPageSize / 4) {
+    engine.Access(EdgeAddr(csr_edges_base_, e), /*is_store=*/false);
+  }
+}
+
+Nanos PageRankWorkload::Op(TieringEngine& engine) {
+  const std::uint64_t v = cursor_;
+  cursor_ = (cursor_ + 1) % graph_->vertices();
+  Nanos latency = engine.Access(IndexAddr(csr_index_base_, v), false);
+
+  auto [begin, end] = graph_->Neighbors(v);
+  const std::uint64_t degree = static_cast<std::uint64_t>(end - begin);
+  const std::uint64_t limit = std::min(degree, config_.max_edges_per_op);
+  const std::uint64_t edge_offset = graph_->EdgeOffset(v);
+  std::uint64_t last_edge_page = ~0ULL;
+  for (std::uint64_t i = 0; i < limit; ++i) {
+    // Sequential scan of the edge slice: one access per touched page.
+    const std::uint64_t addr = EdgeAddr(csr_edges_base_, edge_offset + i);
+    if (addr / kPageSize != last_edge_page) {
+      latency += engine.Access(addr, false);
+      last_edge_page = addr / kPageSize;
+    }
+    // Random gather of the neighbor's rank — the tiering-sensitive part.
+    latency += engine.Access(RankAddr(rank_base_, begin[i]), false);
+  }
+  latency += engine.Access(RankAddr(rank_base_, v), /*is_store=*/true);
+  engine.Compute(config_.op_compute);
+  return latency + config_.op_compute;
+}
+
+// ---------------------------------------------------------------------------
+// BFS
+// ---------------------------------------------------------------------------
+
+BfsWorkload::BfsWorkload(GraphWorkloadConfig config)
+    : config_(config), graph_(std::make_shared<RmatGraph>(config.rmat)) {
+  // Precompute a BFS order host-side; ops then replay the traversal against
+  // the simulated memory.
+  const std::uint64_t n = graph_->vertices();
+  std::vector<char> seen(n, 0);
+  bfs_order_.reserve(n);
+  std::deque<std::uint32_t> queue;
+  for (std::uint64_t root = 0; root < n; ++root) {
+    if (seen[root]) {
+      continue;
+    }
+    seen[root] = 1;
+    queue.push_back(static_cast<std::uint32_t>(root));
+    while (!queue.empty()) {
+      const std::uint32_t v = queue.front();
+      queue.pop_front();
+      bfs_order_.push_back(v);
+      auto [begin, end] = graph_->Neighbors(v);
+      for (const std::uint32_t* t = begin; t != end; ++t) {
+        if (!seen[*t]) {
+          seen[*t] = 1;
+          queue.push_back(*t);
+        }
+      }
+    }
+  }
+}
+
+void BfsWorkload::Reserve(AddressSpace& space) {
+  csr_index_base_ =
+      space.Allocate("bfs/csr-index", (graph_->vertices() + 1) * 8, CorpusProfile::kBinary);
+  csr_edges_base_ = space.Allocate("bfs/csr-edges", graph_->edges() * 4, CorpusProfile::kBinary);
+  visited_base_ = space.Allocate("bfs/visited", graph_->vertices() * 8, CorpusProfile::kZero);
+}
+
+void BfsWorkload::Populate(TieringEngine& engine) {
+  for (std::uint64_t e = 0; e < graph_->edges(); e += kPageSize / 4) {
+    engine.Access(EdgeAddr(csr_edges_base_, e), /*is_store=*/false);
+  }
+}
+
+Nanos BfsWorkload::Op(TieringEngine& engine) {
+  const std::uint32_t v = bfs_order_[cursor_];
+  cursor_ = (cursor_ + 1) % bfs_order_.size();
+  Nanos latency = engine.Access(IndexAddr(csr_index_base_, v), false);
+
+  auto [begin, end] = graph_->Neighbors(v);
+  const auto degree = static_cast<std::uint64_t>(end - begin);
+  const std::uint64_t limit = std::min(degree, config_.max_edges_per_op);
+  const std::uint64_t edge_offset = graph_->EdgeOffset(v);
+  std::uint64_t last_edge_page = ~0ULL;
+  for (std::uint64_t i = 0; i < limit; ++i) {
+    const std::uint64_t addr = EdgeAddr(csr_edges_base_, edge_offset + i);
+    if (addr / kPageSize != last_edge_page) {
+      latency += engine.Access(addr, false);
+      last_edge_page = addr / kPageSize;
+    }
+    // Visited-bit test and set.
+    latency += engine.Access(RankAddr(visited_base_, begin[i]), /*is_store=*/true);
+  }
+  engine.Compute(config_.op_compute);
+  return latency + config_.op_compute;
+}
+
+}  // namespace tierscape

@@ -1,0 +1,30 @@
+#include "src/workloads/graphsage.h"
+
+namespace tierscape {
+
+void GraphSageWorkload::Reserve(AddressSpace& space) {
+  features_base_ = space.Allocate("graphsage/features",
+                                  config_.nodes * config_.feature_bytes,
+                                  CorpusProfile::kBinary);
+  embeddings_base_ =
+      space.Allocate("graphsage/embeddings", config_.nodes * 256, CorpusProfile::kBinary);
+}
+
+Nanos GraphSageWorkload::Op(TieringEngine& engine) {
+  const std::uint64_t node = zipf_->Next();
+  Nanos latency = 0;
+  // Gather the node's own feature row plus `fanout` sampled neighbors'.
+  const auto lines = static_cast<std::uint32_t>(config_.feature_bytes / 64);
+  latency += engine.AccessBulk(features_base_ + node * config_.feature_bytes, lines, false);
+  for (std::uint64_t i = 0; i < config_.fanout; ++i) {
+    const std::uint64_t neighbor = zipf_->Next();
+    latency += engine.AccessBulk(features_base_ + neighbor * config_.feature_bytes, lines,
+                                 false);
+  }
+  // Aggregate + update the embedding.
+  latency += engine.Access(embeddings_base_ + node * 256, /*is_store=*/true);
+  engine.Compute(config_.op_compute);
+  return latency + config_.op_compute;
+}
+
+}  // namespace tierscape

@@ -1,0 +1,50 @@
+// GraphSAGE-style workload: inductive representation learning on large
+// graphs [30] over an ogbn-products-like node set (Table 2).
+//
+// Each operation runs one mini-batch step for a node: sample a fixed fan-out
+// of neighbors (zipf-skewed popularity, as in product co-purchase graphs),
+// gather their feature rows, and write the node's embedding. Feature rows
+// dominate the footprint; the cold tail of rarely-sampled products is what
+// tiering targets.
+#ifndef SRC_WORKLOADS_GRAPHSAGE_H_
+#define SRC_WORKLOADS_GRAPHSAGE_H_
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/workloads/workload.h"
+
+namespace tierscape {
+
+struct GraphSageConfig {
+  std::uint64_t nodes = 256 * 1024;
+  std::size_t feature_bytes = 512;  // per-node feature row
+  std::uint64_t fanout = 10;        // sampled neighbors per step
+  double zipf_theta = 0.8;          // popularity skew of sampled nodes
+  std::uint64_t seed = 31;
+  Nanos op_compute = 3000;          // aggregation FLOPs dominate compute
+};
+
+class GraphSageWorkload : public Workload {
+ public:
+  explicit GraphSageWorkload(GraphSageConfig config)
+      : config_(config),
+        rng_(config.seed),
+        zipf_(std::make_unique<ZipfianGenerator>(config.nodes, config.zipf_theta,
+                                                 config.seed + 1)) {}
+
+  std::string_view name() const override { return "graphsage"; }
+  void Reserve(AddressSpace& space) override;
+  Nanos Op(TieringEngine& engine) override;
+
+ private:
+  GraphSageConfig config_;
+  Rng rng_;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+  std::uint64_t features_base_ = 0;
+  std::uint64_t embeddings_base_ = 0;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_WORKLOADS_GRAPHSAGE_H_

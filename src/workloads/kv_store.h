@@ -1,0 +1,72 @@
+// In-memory key-value store workload: models Memcached and Redis under the
+// two request generators the paper uses (§8.1):
+//  * YCSB "workloadc" — read-only GETs, scrambled-zipfian key popularity;
+//  * memtier          — gaussian key pattern, configurable SET ratio and
+//                       1 KiB / 4 KiB values.
+//
+// Layout: a hash-table segment (binary records) plus value segments with a
+// mixed compressibility profile (text-like and structured values), mirroring
+// the heterogeneous data of production caches (§3.4).
+#ifndef SRC_WORKLOADS_KV_STORE_H_
+#define SRC_WORKLOADS_KV_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/workloads/workload.h"
+
+namespace tierscape {
+
+struct KvConfig {
+  std::string name = "memcached-ycsb";
+  std::uint64_t items = 48 * 1024;
+  std::size_t value_size = 1024;          // 1 KiB or 4 KiB (memtier configs)
+  enum class KeyDist { kZipfian, kGaussian } key_dist = KeyDist::kZipfian;
+  double zipf_theta = 0.99;               // YCSB default
+  double gaussian_stddev_fraction = 1.0 / 6.0;  // memtier gaussian default
+  double read_ratio = 1.0;                // workloadc = 100% reads
+  std::uint64_t seed = 42;
+  // Compute cost per request outside memory accesses (parse + hash + network
+  // stack on the server side of a loopback memtier/YCSB setup).
+  Nanos op_compute = 6000;
+};
+
+// Presets matching the paper's configurations.
+KvConfig MemcachedYcsbConfig();
+KvConfig MemcachedMemtier1kConfig();
+KvConfig MemcachedMemtier4kConfig();
+KvConfig RedisYcsbConfig();
+
+class KvWorkload : public Workload {
+ public:
+  explicit KvWorkload(KvConfig config);
+
+  std::string_view name() const override { return config_.name; }
+  void Reserve(AddressSpace& space) override;
+  void Populate(TieringEngine& engine) override;
+  Nanos Op(TieringEngine& engine) override;
+
+  const KvConfig& config() const { return config_; }
+
+ private:
+  std::uint64_t NextKey();
+  std::uint64_t ValueAddr(std::uint64_t key) const {
+    return values_base_ + key * config_.value_size;
+  }
+  std::uint64_t BucketAddr(std::uint64_t key) const {
+    // 64-byte hash buckets, scattered by key hash.
+    return table_base_ + (SplitMix64(key) % config_.items) * 64;
+  }
+
+  KvConfig config_;
+  Rng rng_;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+  std::unique_ptr<GaussianGenerator> gaussian_;
+  std::uint64_t table_base_ = 0;
+  std::uint64_t values_base_ = 0;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_WORKLOADS_KV_STORE_H_

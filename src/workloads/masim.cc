@@ -1,0 +1,54 @@
+#include "src/workloads/masim.h"
+
+namespace tierscape {
+
+MasimConfig DefaultMasimConfig(std::size_t total_bytes) {
+  MasimConfig config;
+  config.regions = {
+      // 10% of the footprint takes ~80% of accesses; 30% is warm; 60% cold.
+      MasimRegionSpec{.name = "masim/hot",
+                      .bytes = total_bytes / 10,
+                      .access_weight = 80.0,
+                      .profile = CorpusProfile::kBinary,
+                      .store_fraction = 0.2},
+      MasimRegionSpec{.name = "masim/warm",
+                      .bytes = total_bytes * 3 / 10,
+                      .access_weight = 19.0,
+                      .profile = CorpusProfile::kDickens,
+                      .store_fraction = 0.05},
+      MasimRegionSpec{.name = "masim/cold",
+                      .bytes = total_bytes * 6 / 10,
+                      .access_weight = 1.0,
+                      .profile = CorpusProfile::kNci,
+                      .store_fraction = 0.0},
+  };
+  return config;
+}
+
+void MasimWorkload::Reserve(AddressSpace& space) {
+  for (const MasimRegionSpec& region : config_.regions) {
+    bases_.push_back(space.Allocate(region.name, region.bytes, region.profile));
+    total_weight_ += region.access_weight;
+  }
+}
+
+Nanos MasimWorkload::Op(TieringEngine& engine) {
+  Nanos latency = 0;
+  for (std::uint64_t i = 0; i < config_.accesses_per_op; ++i) {
+    // Pick a region by weight, then a uniform page inside it.
+    double pick = rng_.NextDouble() * total_weight_;
+    std::size_t r = 0;
+    while (r + 1 < config_.regions.size() && pick >= config_.regions[r].access_weight) {
+      pick -= config_.regions[r].access_weight;
+      ++r;
+    }
+    const MasimRegionSpec& spec = config_.regions[r];
+    const std::uint64_t addr = bases_[r] + rng_.NextBelow(spec.bytes);
+    const bool is_store = rng_.NextDouble() < spec.store_fraction;
+    latency += engine.Access(addr, is_store);
+  }
+  engine.Compute(config_.op_compute);
+  return latency + config_.op_compute;
+}
+
+}  // namespace tierscape

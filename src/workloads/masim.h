@@ -1,0 +1,51 @@
+// masim: the memory-access microbenchmark the TierScape artifact uses to
+// validate its setup (§A.2.4). A configurable set of phases, each accessing
+// a window of the footprint with a given weight, produces controllable
+// hot/warm/cold splits — ideal for tests and the quickstart example.
+#ifndef SRC_WORKLOADS_MASIM_H_
+#define SRC_WORKLOADS_MASIM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workloads/workload.h"
+
+namespace tierscape {
+
+struct MasimRegionSpec {
+  std::string name;
+  std::size_t bytes = 64 * kMiB;
+  double access_weight = 1.0;  // relative probability of hitting this range
+  CorpusProfile profile = CorpusProfile::kDickens;
+  double store_fraction = 0.0;
+};
+
+struct MasimConfig {
+  std::vector<MasimRegionSpec> regions;
+  std::uint64_t accesses_per_op = 8;
+  std::uint64_t seed = 5;
+  Nanos op_compute = 100;
+};
+
+// A classic 10/30/60 hot/warm/cold split.
+MasimConfig DefaultMasimConfig(std::size_t total_bytes);
+
+class MasimWorkload : public Workload {
+ public:
+  explicit MasimWorkload(MasimConfig config) : config_(std::move(config)), rng_(config_.seed) {}
+
+  std::string_view name() const override { return "masim"; }
+  void Reserve(AddressSpace& space) override;
+  Nanos Op(TieringEngine& engine) override;
+
+ private:
+  MasimConfig config_;
+  Rng rng_;
+  std::vector<std::uint64_t> bases_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_WORKLOADS_MASIM_H_

@@ -1,0 +1,41 @@
+#include "src/workloads/xsbench.h"
+
+namespace tierscape {
+
+void XsBenchWorkload::Reserve(AddressSpace& space) {
+  grid_base_ = space.Allocate("xsbench/unionized-grid",
+                              config_.gridpoints * kGridEntryBytes, CorpusProfile::kBinary);
+  nuclide_base_ =
+      space.Allocate("xsbench/nuclide-grids",
+                     config_.nuclides * config_.nuclide_gridpoints * kXsRowBytes,
+                     CorpusProfile::kBinary);
+}
+
+Nanos XsBenchWorkload::Op(TieringEngine& engine) {
+  Nanos latency = 0;
+  // Binary search over the unionized grid: touches log2(G) scattered entries.
+  std::uint64_t lo = 0;
+  std::uint64_t hi = config_.gridpoints;
+  const std::uint64_t energy_index = rng_.NextBelow(config_.gridpoints);
+  while (lo + 1 < hi) {
+    const std::uint64_t mid = (lo + hi) / 2;
+    latency += engine.Access(grid_base_ + mid * kGridEntryBytes, false);
+    if (mid <= energy_index) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // Gather the cross-section rows for the sampled material's nuclides.
+  for (std::uint64_t i = 0; i < config_.nuclides_per_lookup; ++i) {
+    const std::uint64_t nuclide = rng_.NextBelow(config_.nuclides);
+    const std::uint64_t row = energy_index % config_.nuclide_gridpoints;
+    const std::uint64_t addr =
+        nuclide_base_ + (nuclide * config_.nuclide_gridpoints + row) * kXsRowBytes;
+    latency += engine.Access(addr, false);
+  }
+  engine.Compute(config_.op_compute);
+  return latency + config_.op_compute;
+}
+
+}  // namespace tierscape

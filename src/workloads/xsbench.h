@@ -1,0 +1,47 @@
+// XSBench-style workload: the unionized-energy-grid macroscopic cross-section
+// lookup kernel of Monte Carlo neutron transport [52] (Table 2, 119 GB "XL"
+// in the paper; scaled down here).
+//
+// Each operation samples a random particle energy, binary-searches the
+// unionized grid (log2(G) scattered touches), then gathers the cross-section
+// rows of the materials' nuclides. Accesses are near-uniform over a large
+// footprint — the warm-dominated regime where TierScape's low-latency
+// compressed tiers matter most.
+#ifndef SRC_WORKLOADS_XSBENCH_H_
+#define SRC_WORKLOADS_XSBENCH_H_
+
+#include "src/common/rng.h"
+#include "src/workloads/workload.h"
+
+namespace tierscape {
+
+struct XsBenchConfig {
+  std::uint64_t gridpoints = 512 * 1024;
+  std::uint64_t nuclides = 64;
+  std::uint64_t nuclide_gridpoints = 8 * 1024;
+  std::uint64_t nuclides_per_lookup = 5;
+  std::uint64_t seed = 23;
+  Nanos op_compute = 1500;
+};
+
+class XsBenchWorkload : public Workload {
+ public:
+  explicit XsBenchWorkload(XsBenchConfig config) : config_(config), rng_(config.seed) {}
+
+  std::string_view name() const override { return "xsbench"; }
+  void Reserve(AddressSpace& space) override;
+  Nanos Op(TieringEngine& engine) override;
+
+ private:
+  static constexpr std::size_t kGridEntryBytes = 32;   // energy + per-row index
+  static constexpr std::size_t kXsRowBytes = 48;       // 6 cross sections
+
+  XsBenchConfig config_;
+  Rng rng_;
+  std::uint64_t grid_base_ = 0;
+  std::uint64_t nuclide_base_ = 0;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_WORKLOADS_XSBENCH_H_

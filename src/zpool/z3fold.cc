@@ -1,0 +1,152 @@
+#include "src/zpool/z3fold.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace tierscape {
+namespace {
+
+constexpr ZPoolHandle MakeHandle(std::uint64_t frame, int slot) {
+  return (frame << 2) | static_cast<std::uint64_t>(slot);
+}
+constexpr std::uint64_t HandleFrame(ZPoolHandle handle) { return handle >> 2; }
+constexpr int HandleSlot(ZPoolHandle handle) { return static_cast<int>(handle & 3); }
+
+std::size_t ChunkAlignUp(std::size_t v) { return (v + 63) & ~std::size_t{63}; }
+std::size_t ChunkAlignDown(std::size_t v) { return v & ~std::size_t{63}; }
+
+}  // namespace
+
+Z3foldPool::~Z3foldPool() {
+  for (auto& [frame, page] : pages_) {
+    (void)medium_.FreeBackedRun(frame, 0);
+  }
+}
+
+int Z3foldPool::FindSlot(const Page& page, std::size_t size, std::size_t& offset_out) const {
+  const Extent& first = page.slots[kSlotFirst];
+  const Extent& middle = page.slots[kSlotMiddle];
+  const Extent& last = page.slots[kSlotLast];
+
+  // Upper bound for front-growing slots: start of the leftmost later extent.
+  std::size_t front_limit = kPageSize;
+  if (last.size != 0) {
+    front_limit = last.offset;
+  }
+  if (middle.size != 0) {
+    front_limit = std::min(front_limit, middle.offset);
+  }
+  if (first.size == 0 && size <= front_limit) {
+    offset_out = 0;
+    return kSlotFirst;
+  }
+  if (middle.size == 0) {
+    const std::size_t start = ChunkAlignUp(first.size);  // directly after FIRST
+    const std::size_t limit = last.size != 0 ? last.offset : kPageSize;
+    if (start + size <= limit) {
+      offset_out = start;
+      return kSlotMiddle;
+    }
+  }
+  if (last.size == 0) {
+    const std::size_t start = ChunkAlignDown(kPageSize - size);
+    const std::size_t floor = middle.size != 0 ? middle.offset + middle.size
+                                               : ChunkAlignUp(first.size);
+    if (start >= floor && start + size <= kPageSize) {
+      offset_out = start;
+      return kSlotLast;
+    }
+  }
+  return -1;
+}
+
+void Z3foldPool::RemoveFromPartial(std::uint64_t frame) {
+  auto it = std::find(partial_.begin(), partial_.end(), frame);
+  TS_CHECK(it != partial_.end()) << "z3fold: page missing from partial list";
+  partial_.erase(it);
+}
+
+StatusOr<ZPoolHandle> Z3foldPool::Alloc(std::size_t size) {
+  if (size == 0 || size > kPageSize) {
+    return Rejected("z3fold: object size not storable");
+  }
+  for (std::uint64_t frame : partial_) {
+    Page& page = pages_.at(frame);
+    std::size_t offset = 0;
+    const int slot = FindSlot(page, size, offset);
+    if (slot < 0) {
+      continue;
+    }
+    page.slots[slot] = Extent{.offset = offset, .size = size};
+    ++page.used_slots;
+    if (page.used_slots == 3) {
+      RemoveFromPartial(frame);
+    }
+    stored_bytes_ += size;
+    ++object_count_;
+    return MakeHandle(frame, slot);
+  }
+  auto frame = medium_.AllocBackedRun(0);
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  Page page;
+  page.frame = frame.value();
+  page.slots[kSlotFirst] = Extent{.offset = 0, .size = size};
+  page.used_slots = 1;
+  pages_.emplace(page.frame, page);
+  partial_.push_back(page.frame);
+  stored_bytes_ += size;
+  ++object_count_;
+  return MakeHandle(page.frame, kSlotFirst);
+}
+
+Status Z3foldPool::Free(ZPoolHandle handle) {
+  const std::uint64_t frame = HandleFrame(handle);
+  const int slot = HandleSlot(handle);
+  if (slot > kSlotLast) {
+    return InvalidArgument("z3fold: bad slot");
+  }
+  auto it = pages_.find(frame);
+  if (it == pages_.end()) {
+    return NotFound("z3fold: bad handle");
+  }
+  Page& page = it->second;
+  Extent& extent = page.slots[slot];
+  if (extent.size == 0) {
+    return NotFound("z3fold: slot already free");
+  }
+  stored_bytes_ -= extent.size;
+  --object_count_;
+  extent = Extent{};
+  --page.used_slots;
+  if (page.used_slots == 0) {
+    RemoveFromPartial(frame);
+    TS_RETURN_IF_ERROR(medium_.FreeBackedRun(frame, 0));
+    pages_.erase(it);
+  } else if (page.used_slots == 2) {
+    // Was full; it has room again.
+    partial_.push_back(frame);
+  }
+  return OkStatus();
+}
+
+StatusOr<std::span<std::byte>> Z3foldPool::Map(ZPoolHandle handle) {
+  const std::uint64_t frame = HandleFrame(handle);
+  const int slot = HandleSlot(handle);
+  if (slot > kSlotLast) {
+    return InvalidArgument("z3fold: bad slot");
+  }
+  auto it = pages_.find(frame);
+  if (it == pages_.end()) {
+    return NotFound("z3fold: bad handle");
+  }
+  const Extent& extent = it->second.slots[slot];
+  if (extent.size == 0) {
+    return NotFound("z3fold: slot is free");
+  }
+  return medium_.RunData(frame, 0).subspan(extent.offset, extent.size);
+}
+
+}  // namespace tierscape

@@ -1,0 +1,126 @@
+#include "src/zpool/zbud.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace tierscape {
+namespace {
+
+// Handle layout: frame << 1 | slot (0 = first, 1 = last).
+constexpr ZPoolHandle MakeHandle(std::uint64_t frame, int slot) {
+  return (frame << 1) | static_cast<std::uint64_t>(slot);
+}
+constexpr std::uint64_t HandleFrame(ZPoolHandle handle) { return handle >> 1; }
+constexpr int HandleSlot(ZPoolHandle handle) { return static_cast<int>(handle & 1); }
+
+std::size_t Chunks(std::size_t size) {
+  return (size + 63) / 64;
+}
+
+}  // namespace
+
+ZbudPool::~ZbudPool() {
+  for (auto& [frame, page] : pages_) {
+    (void)medium_.FreeBackedRun(frame, 0);
+  }
+}
+
+void ZbudPool::RemoveFromUnbuddied(std::uint64_t frame, std::size_t free_chunks) {
+  auto& bucket = unbuddied_[free_chunks];
+  auto it = std::find(bucket.begin(), bucket.end(), frame);
+  TS_CHECK(it != bucket.end()) << "zbud: page missing from unbuddied list";
+  bucket.erase(it);
+}
+
+StatusOr<ZPoolHandle> ZbudPool::Alloc(std::size_t size) {
+  if (size == 0 || size > kPageSize) {
+    return Rejected("zbud: object size not storable");
+  }
+  const std::size_t need = Chunks(size);
+  // First-fit over unbuddied pages with enough free chunks (smallest
+  // sufficient bucket first, like the kernel's per-chunk lists).
+  for (std::size_t free_chunks = need; free_chunks <= kChunksPerPage; ++free_chunks) {
+    auto& bucket = unbuddied_[free_chunks];
+    if (bucket.empty()) {
+      continue;
+    }
+    const std::uint64_t frame = bucket.back();
+    bucket.pop_back();
+    Page& page = pages_.at(frame);
+    int slot = 0;
+    if (page.first_size == 0) {
+      page.first_size = size;
+      slot = 0;
+    } else {
+      TS_CHECK_EQ(page.last_size, std::size_t{0});
+      page.last_size = size;
+      slot = 1;
+    }
+    stored_bytes_ += size;
+    ++object_count_;
+    return MakeHandle(frame, slot);
+  }
+  // No buddy slot available: take a fresh pool page from the medium.
+  auto frame = medium_.AllocBackedRun(0);
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  Page page;
+  page.frame = frame.value();
+  page.first_size = size;
+  pages_.emplace(page.frame, page);
+  unbuddied_[page.FreeChunks()].push_back(page.frame);
+  stored_bytes_ += size;
+  ++object_count_;
+  return MakeHandle(page.frame, 0);
+}
+
+Status ZbudPool::Free(ZPoolHandle handle) {
+  const std::uint64_t frame = HandleFrame(handle);
+  const int slot = HandleSlot(handle);
+  auto it = pages_.find(frame);
+  if (it == pages_.end()) {
+    return NotFound("zbud: bad handle");
+  }
+  Page& page = it->second;
+  std::size_t& slot_size = slot == 0 ? page.first_size : page.last_size;
+  if (slot_size == 0) {
+    return NotFound("zbud: slot already free");
+  }
+  const bool was_buddied = page.first_size != 0 && page.last_size != 0;
+  if (!was_buddied) {
+    RemoveFromUnbuddied(frame, page.FreeChunks());
+  }
+  stored_bytes_ -= slot_size;
+  --object_count_;
+  slot_size = 0;
+  if (page.first_size == 0 && page.last_size == 0) {
+    TS_RETURN_IF_ERROR(medium_.FreeBackedRun(frame, 0));
+    pages_.erase(it);
+  } else {
+    unbuddied_[page.FreeChunks()].push_back(frame);
+  }
+  return OkStatus();
+}
+
+StatusOr<std::span<std::byte>> ZbudPool::Map(ZPoolHandle handle) {
+  const std::uint64_t frame = HandleFrame(handle);
+  const int slot = HandleSlot(handle);
+  auto it = pages_.find(frame);
+  if (it == pages_.end()) {
+    return NotFound("zbud: bad handle");
+  }
+  const Page& page = it->second;
+  const std::size_t size = slot == 0 ? page.first_size : page.last_size;
+  if (size == 0) {
+    return NotFound("zbud: slot is free");
+  }
+  std::span<std::byte> data = medium_.RunData(frame, 0);
+  if (slot == 0) {
+    return data.subspan(0, size);
+  }
+  return data.subspan(kPageSize - size, size);
+}
+
+}  // namespace tierscape

@@ -1,0 +1,62 @@
+// zbud: buddied pool pages holding at most two compressed objects each —
+// one packed from the front, one from the back of the page. Free space is
+// tracked in 64-byte chunks, and partially-filled pages are kept on
+// "unbuddied" lists indexed by free chunk count for first-fit pairing,
+// matching the kernel implementation's structure.
+#ifndef SRC_ZPOOL_ZBUD_H_
+#define SRC_ZPOOL_ZBUD_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/zpool/zpool.h"
+
+namespace tierscape {
+
+class ZbudPool : public ZPool {
+ public:
+  explicit ZbudPool(Medium& medium) : medium_(medium) {}
+  ~ZbudPool() override;
+
+  PoolManager manager() const override { return PoolManager::kZbud; }
+  StatusOr<ZPoolHandle> Alloc(std::size_t size) override;
+  Status Free(ZPoolHandle handle) override;
+  StatusOr<std::span<std::byte>> Map(ZPoolHandle handle) override;
+
+  std::size_t pool_pages() const override { return pages_.size(); }
+  std::size_t stored_bytes() const override { return stored_bytes_; }
+  std::size_t object_count() const override { return object_count_; }
+  Nanos map_overhead_ns() const override { return 400; }
+
+ private:
+  static constexpr std::size_t kChunkSize = 64;
+  static constexpr std::size_t kChunksPerPage = kPageSize / kChunkSize;
+
+  struct Page {
+    std::uint64_t frame = 0;
+    std::size_t first_size = 0;  // 0 = slot free
+    std::size_t last_size = 0;   // 0 = slot free
+    std::size_t FreeChunks() const {
+      const std::size_t used =
+          (first_size + kChunkSize - 1) / kChunkSize + (last_size + kChunkSize - 1) / kChunkSize;
+      return kChunksPerPage - used;
+    }
+  };
+
+  Medium& medium_;
+  // All pool pages, keyed by frame.
+  std::unordered_map<std::uint64_t, Page> pages_;
+  // Frames of pages with exactly one object, indexed by free chunks.
+  std::vector<std::vector<std::uint64_t>> unbuddied_ =
+      std::vector<std::vector<std::uint64_t>>(kChunksPerPage + 1);
+  std::size_t stored_bytes_ = 0;
+  std::size_t object_count_ = 0;
+
+  void RemoveFromUnbuddied(std::uint64_t frame, std::size_t free_chunks);
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_ZPOOL_ZBUD_H_

@@ -1,0 +1,45 @@
+#include "src/zpool/zpool.h"
+
+#include <string>
+
+#include "src/zpool/z3fold.h"
+#include "src/zpool/zbud.h"
+#include "src/zpool/zsmalloc.h"
+
+namespace tierscape {
+
+std::string_view PoolManagerName(PoolManager manager) {
+  switch (manager) {
+    case PoolManager::kZbud:
+      return "zbud";
+    case PoolManager::kZ3fold:
+      return "z3fold";
+    case PoolManager::kZsmalloc:
+      return "zsmalloc";
+  }
+  return "?";
+}
+
+StatusOr<PoolManager> PoolManagerFromName(std::string_view name) {
+  for (int i = 0; i < kPoolManagerCount; ++i) {
+    const auto manager = static_cast<PoolManager>(i);
+    if (PoolManagerName(manager) == name) {
+      return manager;
+    }
+  }
+  return NotFound("unknown pool manager: " + std::string(name));
+}
+
+std::unique_ptr<ZPool> CreateZPool(PoolManager manager, Medium& medium) {
+  switch (manager) {
+    case PoolManager::kZbud:
+      return std::make_unique<ZbudPool>(medium);
+    case PoolManager::kZ3fold:
+      return std::make_unique<Z3foldPool>(medium);
+    case PoolManager::kZsmalloc:
+      return std::make_unique<ZsmallocPool>(medium);
+  }
+  return nullptr;
+}
+
+}  // namespace tierscape

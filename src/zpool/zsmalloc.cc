@@ -1,0 +1,152 @@
+#include "src/zpool/zsmalloc.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace tierscape {
+namespace {
+
+// Handle layout: zspage id << 12 | slot (a zspage holds at most 512 slots).
+constexpr ZPoolHandle MakeHandle(std::uint64_t zspage_id, std::uint16_t slot) {
+  return (zspage_id << 12) | slot;
+}
+constexpr std::uint64_t HandleZspage(ZPoolHandle handle) { return handle >> 12; }
+constexpr std::uint16_t HandleSlot(ZPoolHandle handle) {
+  return static_cast<std::uint16_t>(handle & 0xfff);
+}
+
+}  // namespace
+
+ZsmallocPool::ZsmallocPool(Medium& medium) : medium_(medium) {
+  for (std::size_t size = kMinClassSize; size <= kPageSize; size += kClassStep) {
+    SizeClass cls;
+    cls.size = size;
+    // Pick the zspage size (1, 2 or 4 pages) with the least tail waste.
+    double best_waste = 2.0;
+    for (int order = 0; order <= 2; ++order) {
+      const std::size_t bytes = kPageSize << order;
+      const std::size_t slots = bytes / size;
+      const double waste =
+          static_cast<double>(bytes - slots * size) / static_cast<double>(bytes);
+      if (waste < best_waste - 1e-9) {
+        best_waste = waste;
+        cls.order = order;
+        cls.slots_per_zspage = static_cast<int>(slots);
+      }
+    }
+    classes_.push_back(cls);
+  }
+  // Merge classes that produce identical zspage geometry into the largest
+  // such class (the kernel does the same to bound per-class fragmentation).
+  merge_target_.assign(classes_.size(), 0);
+  for (int i = static_cast<int>(classes_.size()) - 1, rep = -1; i >= 0; --i) {
+    if (rep < 0 || classes_[rep].order != classes_[i].order ||
+        classes_[rep].slots_per_zspage != classes_[i].slots_per_zspage) {
+      rep = i;
+    }
+    merge_target_[i] = rep;
+  }
+}
+
+ZsmallocPool::~ZsmallocPool() {
+  for (auto& [id, zspage] : zspages_) {
+    (void)medium_.FreeBackedRun(zspage.frame, zspage.order);
+  }
+}
+
+int ZsmallocPool::ClassIndex(std::size_t size) const {
+  const std::size_t clamped = std::max(size, kMinClassSize);
+  const std::size_t rounded = (clamped + kClassStep - 1) / kClassStep * kClassStep;
+  return merge_target_[(rounded - kMinClassSize) / kClassStep];
+}
+
+StatusOr<ZPoolHandle> ZsmallocPool::Alloc(std::size_t size) {
+  if (size == 0 || size > kPageSize) {
+    return Rejected("zsmalloc: object size not storable");
+  }
+  SizeClass& cls = classes_[ClassIndex(size)];
+  if (cls.partial.empty()) {
+    auto frame = medium_.AllocBackedRun(cls.order);
+    if (!frame.ok()) {
+      return frame.status();
+    }
+    Zspage zspage;
+    zspage.class_index = ClassIndex(size);
+    zspage.frame = frame.value();
+    zspage.order = cls.order;
+    zspage.slot_sizes.assign(cls.slots_per_zspage, 0);
+    zspage.free_slots.reserve(cls.slots_per_zspage);
+    for (int slot = cls.slots_per_zspage - 1; slot >= 0; --slot) {
+      zspage.free_slots.push_back(static_cast<std::uint16_t>(slot));
+    }
+    const std::uint64_t id = next_zspage_id_++;
+    zspages_.emplace(id, std::move(zspage));
+    cls.partial.push_back(id);
+    pool_pages_ += std::size_t{1} << cls.order;
+  }
+  const std::uint64_t id = cls.partial.back();
+  Zspage& zspage = zspages_.at(id);
+  const std::uint16_t slot = zspage.free_slots.back();
+  zspage.free_slots.pop_back();
+  zspage.slot_sizes[slot] = size;
+  ++zspage.used;
+  if (zspage.free_slots.empty()) {
+    cls.partial.pop_back();
+  }
+  stored_bytes_ += size;
+  ++object_count_;
+  return MakeHandle(id, slot);
+}
+
+Status ZsmallocPool::Free(ZPoolHandle handle) {
+  const std::uint64_t id = HandleZspage(handle);
+  const std::uint16_t slot = HandleSlot(handle);
+  auto it = zspages_.find(id);
+  if (it == zspages_.end()) {
+    return NotFound("zsmalloc: bad handle");
+  }
+  Zspage& zspage = it->second;
+  if (slot >= zspage.slot_sizes.size() || zspage.slot_sizes[slot] == 0) {
+    return NotFound("zsmalloc: slot already free");
+  }
+  SizeClass& cls = classes_[zspage.class_index];
+  stored_bytes_ -= zspage.slot_sizes[slot];
+  --object_count_;
+  zspage.slot_sizes[slot] = 0;
+  const bool was_full = zspage.free_slots.empty();
+  zspage.free_slots.push_back(slot);
+  --zspage.used;
+  if (zspage.used == 0) {
+    // Release the zspage back to the medium (the kernel keeps a small cache;
+    // releasing eagerly keeps capacity accounting exact).
+    auto in_partial = std::find(cls.partial.begin(), cls.partial.end(), id);
+    if (in_partial != cls.partial.end()) {
+      cls.partial.erase(in_partial);
+    }
+    pool_pages_ -= std::size_t{1} << zspage.order;
+    TS_RETURN_IF_ERROR(medium_.FreeBackedRun(zspage.frame, zspage.order));
+    zspages_.erase(it);
+  } else if (was_full) {
+    cls.partial.push_back(id);
+  }
+  return OkStatus();
+}
+
+StatusOr<std::span<std::byte>> ZsmallocPool::Map(ZPoolHandle handle) {
+  const std::uint64_t id = HandleZspage(handle);
+  const std::uint16_t slot = HandleSlot(handle);
+  auto it = zspages_.find(id);
+  if (it == zspages_.end()) {
+    return NotFound("zsmalloc: bad handle");
+  }
+  Zspage& zspage = it->second;
+  if (slot >= zspage.slot_sizes.size() || zspage.slot_sizes[slot] == 0) {
+    return NotFound("zsmalloc: slot is free");
+  }
+  const SizeClass& cls = classes_[zspage.class_index];
+  return medium_.RunData(zspage.frame, zspage.order)
+      .subspan(static_cast<std::size_t>(slot) * cls.size, zspage.slot_sizes[slot]);
+}
+
+}  // namespace tierscape

@@ -1,0 +1,70 @@
+// zsmalloc: size-class slab allocator for compressed objects — the densest
+// of the three pool managers and the one with the highest management
+// overhead, as characterized in the paper (§2, [24]).
+//
+// Objects are rounded up to 16-byte size classes. Each class carves
+// "zspages" (1, 2 or 4 contiguous pool pages, chosen to minimize per-class
+// waste) into equal slots; objects may straddle page boundaries inside a
+// zspage, which is where the density advantage over zbud/z3fold comes from.
+#ifndef SRC_ZPOOL_ZSMALLOC_H_
+#define SRC_ZPOOL_ZSMALLOC_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/zpool/zpool.h"
+
+namespace tierscape {
+
+class ZsmallocPool : public ZPool {
+ public:
+  explicit ZsmallocPool(Medium& medium);
+  ~ZsmallocPool() override;
+
+  PoolManager manager() const override { return PoolManager::kZsmalloc; }
+  StatusOr<ZPoolHandle> Alloc(std::size_t size) override;
+  Status Free(ZPoolHandle handle) override;
+  StatusOr<std::span<std::byte>> Map(ZPoolHandle handle) override;
+
+  std::size_t pool_pages() const override { return pool_pages_; }
+  std::size_t stored_bytes() const override { return stored_bytes_; }
+  std::size_t object_count() const override { return object_count_; }
+  Nanos map_overhead_ns() const override { return 1500; }
+
+ private:
+  static constexpr std::size_t kMinClassSize = 32;
+  static constexpr std::size_t kClassStep = 16;
+
+  struct Zspage {
+    int class_index = 0;
+    std::uint64_t frame = 0;
+    int order = 0;                      // pages = 1 << order
+    std::vector<std::uint16_t> free_slots;  // LIFO free list
+    std::vector<std::size_t> slot_sizes;    // requested size per slot (0 = free)
+    int used = 0;
+  };
+  struct SizeClass {
+    std::size_t size = 0;
+    int order = 0;           // zspage size chosen at construction
+    int slots_per_zspage = 0;
+    std::vector<std::uint64_t> partial;  // zspage ids with free slots
+  };
+
+  int ClassIndex(std::size_t size) const;
+
+  Medium& medium_;
+  std::vector<SizeClass> classes_;
+  // Kernel-style class merging: classes with identical (order,
+  // slots-per-zspage) share storage; merge_target_[i] is the representative.
+  std::vector<int> merge_target_;
+  std::unordered_map<std::uint64_t, Zspage> zspages_;
+  std::uint64_t next_zspage_id_ = 1;
+  std::size_t pool_pages_ = 0;
+  std::size_t stored_bytes_ = 0;
+  std::size_t object_count_ = 0;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_ZPOOL_ZSMALLOC_H_

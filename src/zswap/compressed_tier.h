@@ -1,0 +1,107 @@
+// A single compressed memory tier: compression algorithm x pool manager x
+// backing medium (§4 of the paper). Pages stored here are really compressed
+// and really placed in the pool on the backing medium, so compression ratios,
+// fragmentation, and capacity pressure are measured rather than assumed.
+//
+// Virtual-time cost model (per 4 KiB page):
+//   store = compress(algorithm) + pool insert
+//   load  = pool lookup overhead + read of the compressed bytes from the
+//           backing medium (per-cacheline) + decompress(algorithm)
+// which reproduces the paper's observation (§3.3) that first-access latency
+// is set by algorithm + pool manager + medium + actual data compressibility.
+#ifndef SRC_ZSWAP_COMPRESSED_TIER_H_
+#define SRC_ZSWAP_COMPRESSED_TIER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/compress/compressor.h"
+#include "src/mem/medium.h"
+#include "src/zpool/zpool.h"
+
+namespace tierscape {
+
+struct CompressedTierConfig {
+  std::string label;  // e.g. "C7", "CT-1"
+  Algorithm algorithm = Algorithm::kLzo;
+  PoolManager pool_manager = PoolManager::kZsmalloc;
+  // Pages whose compressed size exceeds this fraction of the page are
+  // rejected, mirroring zswap's refusal of incompressible data (footnote 1).
+  double max_store_ratio = 0.9;
+};
+
+class CompressedTier {
+ public:
+  struct StoreResult {
+    ZPoolHandle handle = 0;
+    std::uint32_t compressed_size = 0;
+    Nanos latency = 0;
+  };
+
+  struct Stats {
+    std::uint64_t stores = 0;
+    std::uint64_t rejects = 0;
+    std::uint64_t loads = 0;       // decompressions (faults + migrations)
+    std::uint64_t faults = 0;      // demand faults only (updated by callers)
+    std::uint64_t invalidates = 0;
+  };
+
+  CompressedTier(int tier_id, CompressedTierConfig config, Medium& medium);
+
+  int tier_id() const { return tier_id_; }
+  const std::string& label() const { return config_.label; }
+  const CompressedTierConfig& config() const { return config_; }
+  const Compressor& compressor() const { return *compressor_; }
+  ZPool& pool() { return *pool_; }
+  const ZPool& pool() const { return *pool_; }
+  Medium& medium() { return medium_; }
+  const Medium& medium() const { return medium_; }
+
+  // Compresses `page` (must be kPageSize) and stores it. Returns kRejected if
+  // the data is not compressible enough, kOutOfMemory if the medium is full.
+  StatusOr<StoreResult> Store(std::span<const std::byte> page);
+
+  // Decompresses the entry into `out` (must be kPageSize). Does not free.
+  Status Load(ZPoolHandle handle, std::span<std::byte> out);
+
+  // Drops a stored entry.
+  Status Invalidate(ZPoolHandle handle);
+
+  // Virtual-time cost of loading an entry of the given compressed size.
+  Nanos LoadCost(std::size_t compressed_size) const;
+  // Expected load cost for a typical entry (used by the placement models).
+  Nanos NominalLoadCost() const;
+  Nanos StoreCost(std::size_t compressed_size) const;
+
+  // Number of pages currently stored (objects in the pool).
+  std::size_t stored_pages() const { return pool_->object_count(); }
+  // Real memory held on the backing medium.
+  std::size_t pool_bytes() const { return pool_->pool_bytes(); }
+  // Measured compression ratio including pool fragmentation: pool bytes per
+  // stored original byte. In (0, 1] for useful tiers.
+  double EffectiveRatio() const;
+
+  const Stats& stats() const { return stats_; }
+  void RecordFault() { ++stats_.faults; }
+
+  // Normalized dollars for the pool's current footprint.
+  double UsedCost() const { return BytesToGiB(pool_bytes()) * medium_.cost_per_gib(); }
+
+ private:
+  int tier_id_;
+  CompressedTierConfig config_;
+  Medium& medium_;
+  const Compressor* compressor_;
+  std::unique_ptr<ZPool> pool_;
+  Stats stats_;
+  // Running average of compressed sizes, for NominalLoadCost.
+  std::uint64_t total_compressed_bytes_ = 0;
+  std::uint64_t total_stored_ = 0;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_ZSWAP_COMPRESSED_TIER_H_

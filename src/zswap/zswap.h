@@ -1,0 +1,57 @@
+// Multi-active-tier zswap backend.
+//
+// Stock Linux supports exactly one active zswap pool; the paper's kernel
+// patch (§7.1) adds multiple simultaneously-active compressed tiers, a
+// backing-media parameter, per-tier statistics, and page migration between
+// tiers. This class is the userspace equivalent of that patched subsystem:
+// TS-Daemon talks to it the way it would talk to the patched kernel.
+#ifndef SRC_ZSWAP_ZSWAP_H_
+#define SRC_ZSWAP_ZSWAP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/zswap/compressed_tier.h"
+
+namespace tierscape {
+
+class ZswapBackend {
+ public:
+  ZswapBackend() = default;
+  ZswapBackend(const ZswapBackend&) = delete;
+  ZswapBackend& operator=(const ZswapBackend&) = delete;
+
+  // Registers a new active tier backed by `medium` (must outlive the backend).
+  // Returns the tier id.
+  int AddTier(CompressedTierConfig config, Medium& medium);
+
+  int tier_count() const { return static_cast<int>(tiers_.size()); }
+  CompressedTier& tier(int tier_id) { return *tiers_.at(tier_id); }
+  const CompressedTier& tier(int tier_id) const { return *tiers_.at(tier_id); }
+
+  // Finds a tier by label ("C7", "CT-1", ...); -1 if absent.
+  int FindTier(const std::string& label) const;
+
+  struct MigrateResult {
+    CompressedTier::StoreResult store;
+    Nanos latency = 0;  // decompress from source + compress into destination
+  };
+
+  // Moves one entry between tiers using the naive decompress-then-recompress
+  // path (§7.1). On success the source entry is invalidated. On kRejected the
+  // source entry is left untouched (the destination cannot hold the data).
+  StatusOr<MigrateResult> Migrate(int from_tier, ZPoolHandle handle, int to_tier);
+
+  // Sum of real pool bytes across all tiers.
+  std::size_t total_pool_bytes() const;
+  // Sum of stored (original) pages across all tiers.
+  std::size_t total_stored_pages() const;
+
+ private:
+  std::vector<std::unique_ptr<CompressedTier>> tiers_;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_ZSWAP_ZSWAP_H_

@@ -1,0 +1,203 @@
+// Unit + property tests for the entropy-coding building blocks: the LSB-first
+// bitstream and the canonical length-limited Huffman coder.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/compress/bitstream.h"
+#include "src/compress/codelen.h"
+#include "src/compress/huffman.h"
+
+namespace tierscape {
+namespace {
+
+TEST(BitStreamTest, RoundTripsFixedPattern) {
+  std::vector<std::byte> buffer(64);
+  BitWriter writer(buffer);
+  ASSERT_TRUE(writer.Write(0b101, 3));
+  ASSERT_TRUE(writer.Write(0xffff, 16));
+  ASSERT_TRUE(writer.Write(0, 1));
+  ASSERT_TRUE(writer.Write(0x12345678, 32));
+  const std::size_t size = writer.Finish();
+  ASSERT_GT(size, 0u);
+
+  BitReader reader(std::span<const std::byte>(buffer.data(), size));
+  EXPECT_EQ(reader.Read(3), 0b101u);
+  EXPECT_EQ(reader.Read(16), 0xffffu);
+  EXPECT_EQ(reader.Read(1), 0u);
+  EXPECT_EQ(reader.Read(32), 0x12345678u);
+  EXPECT_FALSE(reader.exhausted());
+}
+
+TEST(BitStreamTest, RandomWidthsRoundTrip) {
+  Rng rng(31);
+  std::vector<std::pair<std::uint32_t, int>> values;
+  for (int i = 0; i < 2000; ++i) {
+    const int bits = 1 + static_cast<int>(rng.NextBelow(32));
+    const std::uint32_t value =
+        static_cast<std::uint32_t>(rng.Next()) &
+        (bits == 32 ? 0xffffffffu : ((1u << bits) - 1));
+    values.emplace_back(value, bits);
+  }
+  std::vector<std::byte> buffer(16 * 1024);
+  BitWriter writer(buffer);
+  for (const auto& [value, bits] : values) {
+    ASSERT_TRUE(writer.Write(value, bits));
+  }
+  const std::size_t size = writer.Finish();
+  BitReader reader(std::span<const std::byte>(buffer.data(), size));
+  for (const auto& [value, bits] : values) {
+    ASSERT_EQ(reader.Read(bits), value);
+  }
+}
+
+TEST(BitStreamTest, OverflowDetected) {
+  std::vector<std::byte> buffer(2);
+  BitWriter writer(buffer);
+  ASSERT_TRUE(writer.Write(0xff, 8));
+  ASSERT_TRUE(writer.Write(0xff, 8));
+  // A trailing partial bit may sit in the accumulator, but a full byte past
+  // the end must fail, and Finish must report the overflow.
+  EXPECT_FALSE(writer.Write(0xff, 8));
+  EXPECT_TRUE(writer.overflowed());
+  EXPECT_EQ(writer.Finish(), 0u);
+}
+
+TEST(BitStreamTest, ReaderPastEndSetsExhausted) {
+  std::vector<std::byte> buffer = {std::byte{0xab}};
+  BitReader reader(buffer);
+  reader.Read(8);
+  EXPECT_FALSE(reader.exhausted());
+  reader.Read(8);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(HuffmanTest, SkewedFrequenciesGetShortCodes) {
+  std::vector<std::uint32_t> freqs(8, 1);
+  freqs[0] = 1000;
+  const HuffmanCode code = BuildHuffmanCode(freqs, kMaxHuffmanBits);
+  for (std::size_t sym = 1; sym < freqs.size(); ++sym) {
+    EXPECT_LE(code.lengths[0], code.lengths[sym]);
+  }
+}
+
+TEST(HuffmanTest, UnusedSymbolsGetNoCode) {
+  std::vector<std::uint32_t> freqs = {5, 0, 3, 0};
+  const HuffmanCode code = BuildHuffmanCode(freqs, kMaxHuffmanBits);
+  EXPECT_GT(code.lengths[0], 0);
+  EXPECT_EQ(code.lengths[1], 0);
+  EXPECT_GT(code.lengths[2], 0);
+  EXPECT_EQ(code.lengths[3], 0);
+}
+
+TEST(HuffmanTest, SingleSymbolGetsOneBit) {
+  std::vector<std::uint32_t> freqs = {0, 7, 0};
+  const HuffmanCode code = BuildHuffmanCode(freqs, kMaxHuffmanBits);
+  EXPECT_EQ(code.lengths[1], 1);
+}
+
+TEST(HuffmanTest, KraftInequalityHolds) {
+  Rng rng(5);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::uint32_t> freqs(64);
+    for (auto& f : freqs) {
+      f = rng.NextBelow(1000);
+    }
+    const HuffmanCode code = BuildHuffmanCode(freqs, kMaxHuffmanBits);
+    std::uint64_t kraft = 0;
+    for (const auto len : code.lengths) {
+      if (len > 0) {
+        ASSERT_LE(len, kMaxHuffmanBits);
+        kraft += 1ull << (kMaxHuffmanBits - len);
+      }
+    }
+    EXPECT_LE(kraft, 1ull << kMaxHuffmanBits);
+  }
+}
+
+TEST(HuffmanTest, LengthLimitingRespectsMaxBits) {
+  // Fibonacci-ish frequencies force deep trees without limiting.
+  std::vector<std::uint32_t> freqs;
+  std::uint32_t a = 1;
+  std::uint32_t b = 1;
+  for (int i = 0; i < 30; ++i) {
+    freqs.push_back(a);
+    const std::uint32_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const HuffmanCode code = BuildHuffmanCode(freqs, 10);
+  for (const auto len : code.lengths) {
+    EXPECT_LE(len, 10);
+  }
+}
+
+TEST(HuffmanTest, EncodeDecodeRandomStreams) {
+  Rng rng(77);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::uint32_t> freqs(100);
+    for (auto& f : freqs) {
+      f = rng.NextBelow(50);
+    }
+    freqs[0] = 500;  // ensure at least one used symbol
+    const HuffmanCode code = BuildHuffmanCode(freqs, kMaxHuffmanBits);
+    HuffmanDecoder decoder;
+    ASSERT_TRUE(decoder.Init(code.lengths));
+
+    // Encode a random stream of used symbols.
+    std::vector<int> symbols;
+    for (int i = 0; i < 500; ++i) {
+      int sym = 0;
+      do {
+        sym = static_cast<int>(rng.NextBelow(freqs.size()));
+      } while (code.lengths[sym] == 0);
+      symbols.push_back(sym);
+    }
+    std::vector<std::byte> buffer(8 * 1024);
+    BitWriter writer(buffer);
+    for (const int sym : symbols) {
+      ASSERT_TRUE(code.Encode(writer, sym));
+    }
+    const std::size_t size = writer.Finish();
+    BitReader reader(std::span<const std::byte>(buffer.data(), size));
+    for (const int sym : symbols) {
+      ASSERT_EQ(decoder.Decode(reader), sym);
+    }
+  }
+}
+
+TEST(HuffmanDecoderTest, RejectsOversubscribedLengths) {
+  // Three symbols of length 1 oversubscribe the code space.
+  const std::uint8_t lengths[] = {1, 1, 1};
+  HuffmanDecoder decoder;
+  EXPECT_FALSE(decoder.Init(lengths));
+}
+
+TEST(CodeLengthsTest, RoundTripWithRuns) {
+  Rng rng(9);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<std::uint8_t> lengths(286);
+    std::size_t i = 0;
+    while (i < lengths.size()) {
+      const std::uint8_t value =
+          rng.NextBelow(3) == 0 ? 0 : static_cast<std::uint8_t>(1 + rng.NextBelow(15));
+      std::size_t run = 1 + rng.NextBelow(30);
+      run = std::min(run, lengths.size() - i);
+      for (std::size_t j = 0; j < run; ++j) {
+        lengths[i++] = value;
+      }
+    }
+    std::vector<std::byte> buffer(4096);
+    BitWriter writer(buffer);
+    ASSERT_TRUE(WriteCodeLengths(writer, lengths));
+    const std::size_t size = writer.Finish();
+    std::vector<std::uint8_t> decoded(lengths.size());
+    BitReader reader(std::span<const std::byte>(buffer.data(), size));
+    ASSERT_TRUE(ReadCodeLengths(reader, decoded));
+    EXPECT_EQ(decoded, lengths);
+  }
+}
+
+}  // namespace
+}  // namespace tierscape

@@ -1,0 +1,204 @@
+// Unit tests for src/common: status, RNG distributions, histograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace tierscape {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  const Status status = OutOfMemory("pool full");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(status.ToString(), "OUT_OF_MEMORY: pool full");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = NotFound("nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.Next() == b.Next();
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(ZipfianTest, SkewsTowardHead) {
+  const std::uint64_t n = 1000;
+  ZipfianGenerator gen(n, 0.99, 77, /*scrambled=*/false);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[gen.Next()];
+  }
+  // Rank 0 must dominate, and the head must carry a large share.
+  int head = 0;
+  for (std::uint64_t r = 0; r < 10; ++r) {
+    head += counts[r];
+  }
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(head, 100000 / 4);
+}
+
+TEST(ZipfianTest, ScrambledSpreadsHotKeys) {
+  const std::uint64_t n = 1000;
+  ZipfianGenerator gen(n, 0.99, 77, /*scrambled=*/true);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[gen.Next()];
+  }
+  // The hottest key should not be key 0 in general (scrambling moved it).
+  std::uint64_t hottest = 0;
+  int best = 0;
+  for (const auto& [key, count] : counts) {
+    if (count > best) {
+      best = count;
+      hottest = key;
+    }
+  }
+  EXPECT_NE(hottest, 0u);
+}
+
+TEST(ZipfianTest, StaysInRange) {
+  ZipfianGenerator gen(100, 0.9, 3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(gen.Next(), 100u);
+  }
+}
+
+TEST(GaussianGeneratorTest, CentersMidKeyspace) {
+  GaussianGenerator gen(10000, 1.0 / 6.0, 8);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = gen.Next();
+    EXPECT_LT(v, 10000u);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, 5000.0, 100.0);
+}
+
+TEST(HistogramTest, ExactSmallValues) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 31u);
+  EXPECT_NEAR(h.Mean(), 15.5, 1e-9);
+}
+
+TEST(HistogramTest, PercentileMonotone) {
+  Histogram h;
+  Rng rng(4);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(rng.NextBelow(1'000'000));
+  }
+  const std::uint64_t p50 = h.Percentile(0.50);
+  const std::uint64_t p95 = h.Percentile(0.95);
+  const std::uint64_t p999 = h.Percentile(0.999);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p999);
+  // Uniform distribution: p50 near 500k within bucket error (~3%).
+  EXPECT_NEAR(static_cast<double>(p50), 500'000.0, 500'000.0 * 0.05);
+}
+
+TEST(HistogramTest, BoundedRelativeError) {
+  Histogram h(5);  // 1/32 resolution
+  const std::uint64_t value = 123'456'789;
+  h.Record(value);
+  const std::uint64_t p = h.Percentile(1.0);
+  EXPECT_NEAR(static_cast<double>(p), static_cast<double>(value),
+              static_cast<double>(value) / 16.0);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  b.Record(20);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 20u);
+}
+
+TEST(ExactPercentileTest, Interpolates) {
+  EXPECT_DOUBLE_EQ(ExactPercentile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(ExactPercentile({5.0}, 0.99), 5.0);
+  EXPECT_DOUBLE_EQ(ExactPercentile({}, 0.5), 0.0);
+}
+
+TEST(UnitsTest, Constants) {
+  EXPECT_EQ(kPageSize, 4096u);
+  EXPECT_EQ(kRegionSize, 2u * 1024 * 1024);
+  EXPECT_EQ(kPagesPerRegion, 512u);
+}
+
+TEST(SplitMixTest, Avalanche) {
+  // Flipping one input bit should flip ~half the output bits.
+  int total = 0;
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    total += __builtin_popcountll(SplitMix64(x) ^ SplitMix64(x ^ 1));
+  }
+  EXPECT_GT(total / 100, 20);
+  EXPECT_LT(total / 100, 44);
+}
+
+}  // namespace
+}  // namespace tierscape

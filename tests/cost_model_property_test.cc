@@ -1,0 +1,124 @@
+// Property tests for the cost model and the analytical model's solver
+// interaction: identities the equations of §6.4-§6.6 must satisfy for
+// arbitrary inputs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/core/analytical.h"
+#include "src/core/cost_model.h"
+#include "src/core/tier_specs.h"
+
+namespace tierscape {
+namespace {
+
+class Fixture : public ::testing::TestWithParam<int> {
+ protected:
+  Fixture() : system_(SpectrumConfig(128 * kMiB, 256 * kMiB)) {
+    space_.Allocate("nci", 8 * kMiB, CorpusProfile::kNci);
+    space_.Allocate("dickens", 8 * kMiB, CorpusProfile::kDickens);
+    space_.Allocate("binary", 8 * kMiB, CorpusProfile::kBinary);
+    space_.Allocate("random", 8 * kMiB, CorpusProfile::kRandom);
+    model_ = std::make_unique<CostModel>(system_.tiers(), space_, 128);
+  }
+
+  TieredSystem system_;
+  AddressSpace space_;
+  std::unique_ptr<CostModel> model_;
+};
+
+// Eq. 7: perf cost is linear in hotness for every (region, tier).
+TEST_P(Fixture, PerfCostLinearInHotness) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t region = rng.NextBelow(space_.total_regions());
+    const int tier = static_cast<int>(rng.NextBelow(system_.tiers().count()));
+    const double h = rng.NextDouble() * 100.0;
+    const double one = model_->RegionPerfCost(region, h, tier);
+    const double two = model_->RegionPerfCost(region, 2.0 * h, tier);
+    EXPECT_NEAR(two, 2.0 * one, 1e-6 * (1.0 + two));
+  }
+}
+
+// Eq. 10: TCO weights are hotness-independent, positive, and bounded by the
+// DRAM weight for useful placements.
+TEST_P(Fixture, TcoWeightsBounded) {
+  Rng rng(GetParam() + 100);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t region = rng.NextBelow(space_.total_regions());
+    const double dram = model_->RegionTcoCost(region, 0);
+    EXPECT_GT(dram, 0.0);
+    for (int tier = 1; tier < system_.tiers().count(); ++tier) {
+      const double weight = model_->RegionTcoCost(region, tier);
+      EXPECT_GT(weight, 0.0);
+      EXPECT_LE(weight, dram * (1.0 + 1e-9))
+          << "tier " << tier << " costs more than DRAM";
+    }
+  }
+}
+
+// PredictRatio is deterministic and in (0, 1].
+TEST_P(Fixture, PredictRatioStable) {
+  Rng rng(GetParam() + 200);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t region = rng.NextBelow(space_.total_regions());
+    const int tier = static_cast<int>(rng.NextBelow(system_.tiers().count()));
+    const double first = model_->PredictRatio(region, tier);
+    const double second = model_->PredictRatio(region, tier);
+    EXPECT_DOUBLE_EQ(first, second);
+    EXPECT_GT(first, 0.0);
+    EXPECT_LE(first, 1.0);
+  }
+}
+
+// The solver's placement respects the knob budget identity: realized model
+// TCO <= TCO_min + alpha * (TCO_max - TCO_min), for random hotness profiles.
+TEST_P(Fixture, SolverRespectsBudget) {
+  Rng rng(GetParam() + 300);
+  PlacementInput input;
+  for (std::uint64_t region = 0; region < space_.total_regions(); ++region) {
+    input.regions.push_back(RegionProfile{
+        .region = region, .hotness = rng.NextDouble() * 20.0, .current_tier = 0});
+  }
+  for (const double alpha : {0.25, 0.5, 0.75}) {
+    AnalyticalPolicy policy(alpha);
+    auto decision = policy.Decide(input, *model_);
+    ASSERT_TRUE(decision.ok());
+    double tco = 0.0;
+    double tco_min = 0.0;
+    double tco_max = 0.0;
+    for (std::size_t i = 0; i < input.regions.size(); ++i) {
+      const std::uint64_t region = input.regions[i].region;
+      tco += model_->RegionTcoCost(region, (*decision)[i]);
+      tco_max += model_->RegionTcoCost(region, 0);
+      double region_min = model_->RegionTcoCost(region, 0);
+      for (int tier = 1; tier < system_.tiers().count(); ++tier) {
+        region_min = std::min(region_min, model_->RegionTcoCost(region, tier));
+      }
+      tco_min += region_min;
+    }
+    const double budget = tco_min + alpha * (tco_max - tco_min);
+    EXPECT_LE(tco, budget * (1.0 + 1e-6)) << "alpha " << alpha;
+  }
+}
+
+// Hotter regions never land in slower tiers than colder ones of the same
+// content profile (exchange-argument sanity of the optimal placement).
+TEST_P(Fixture, PlacementMonotoneInHotness) {
+  PlacementInput input;
+  // Two regions of the same profile (both inside the nci segment).
+  input.regions.push_back(RegionProfile{.region = 0, .hotness = 50.0, .current_tier = 0});
+  input.regions.push_back(RegionProfile{.region = 1, .hotness = 1.0, .current_tier = 0});
+  AnalyticalPolicy policy(0.3 + 0.1 * (GetParam() % 3));
+  auto decision = policy.Decide(input, *model_);
+  ASSERT_TRUE(decision.ok());
+  const Nanos hot_penalty = model_->RegionPenalty(0, (*decision)[0]);
+  const Nanos cold_penalty = model_->RegionPenalty(1, (*decision)[1]);
+  EXPECT_LE(hot_penalty, cold_penalty);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fixture, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace tierscape

@@ -1,0 +1,139 @@
+// Edge-case tests for the tiering engine: error paths, capacity limits during
+// migration and faulting, migration-cost accounting, and resource lifetime.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/mem/medium.h"
+#include "src/tiering/address_space.h"
+#include "src/tiering/engine.h"
+#include "src/tiering/tier_table.h"
+#include "src/zswap/zswap.h"
+
+namespace tierscape {
+namespace {
+
+TEST(EngineEdgeTest, BadMigrationArgumentsRejected) {
+  Medium dram(DramSpec(32 * kMiB));
+  TierTable tiers;
+  tiers.AddByteTier(dram);
+  AddressSpace space;
+  space.Allocate("a", 2 * kMiB, CorpusProfile::kBinary);
+  TieringEngine engine(space, tiers);
+  ASSERT_TRUE(engine.PlaceInitial().ok());
+  EXPECT_FALSE(engine.MigrateRegion(0, 7).ok());   // no such tier
+  EXPECT_FALSE(engine.MigrateRegion(0, -1).ok());  // negative tier
+  EXPECT_FALSE(engine.MigrateRegion(99, 0).ok());  // no such region
+}
+
+TEST(EngineEdgeTest, MigrationToFullByteTierStopsEarly) {
+  Medium dram(DramSpec(32 * kMiB));
+  Medium nvmm(NvmmSpec(kRegionSize / 2));  // room for only 256 pages
+  TierTable tiers;
+  tiers.AddByteTier(dram);
+  tiers.AddByteTier(nvmm);
+  AddressSpace space;
+  space.Allocate("a", 2 * kMiB, CorpusProfile::kBinary);
+  TieringEngine engine(space, tiers);
+  ASSERT_TRUE(engine.PlaceInitial().ok());
+
+  auto moved = engine.MigrateRegion(0, 1);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, kRegionSize / 2 / kPageSize);  // exactly the NVMM capacity
+  const auto counts = engine.PagesPerTier();
+  EXPECT_EQ(counts[0] + counts[1], space.total_pages());  // nothing lost
+}
+
+TEST(EngineEdgeTest, FaultSpillsToNvmmWhenDramFull) {
+  // DRAM sized exactly one region; all pages compressed; on fault with no
+  // DRAM headroom, promotion must land in NVMM (§6.5 "when DRAM is full").
+  Medium dram(DramSpec(kRegionSize));
+  Medium nvmm(NvmmSpec(64 * kMiB));
+  ZswapBackend zswap;
+  CompressedTierConfig config;
+  config.label = "CT";
+  const int ct = zswap.AddTier(config, nvmm);
+  TierTable tiers;
+  tiers.AddByteTier(dram);
+  tiers.AddByteTier(nvmm);
+  tiers.AddCompressedTier(zswap.tier(ct));
+  AddressSpace space;
+  space.Allocate("a", 2 * kMiB, CorpusProfile::kNci);
+  TieringEngine engine(space, tiers);
+  ASSERT_TRUE(engine.PlaceInitial().ok());
+  ASSERT_TRUE(engine.MigrateRegion(0, 2).ok());
+
+  // Fill DRAM with foreign allocations so promotions cannot land there.
+  while (dram.AllocFrame().ok()) {
+  }
+  engine.Access(0, false);
+  EXPECT_EQ(engine.page_state(0).tier, 1);  // spilled to NVMM
+  EXPECT_EQ(engine.total_faults(), 1u);
+}
+
+TEST(EngineEdgeTest, MigrationInterferenceCharged) {
+  Medium dram(DramSpec(32 * kMiB));
+  Medium nvmm(NvmmSpec(32 * kMiB));
+  TierTable tiers;
+  tiers.AddByteTier(dram);
+  tiers.AddByteTier(nvmm);
+  AddressSpace space;
+  space.Allocate("a", 2 * kMiB, CorpusProfile::kBinary);
+
+  EngineConfig config;
+  config.migration_interference = 0.5;
+  TieringEngine engine(space, tiers, config);
+  ASSERT_TRUE(engine.PlaceInitial().ok());
+  const Nanos before = engine.now();
+  ASSERT_TRUE(engine.MigrateRegion(0, 1).ok());
+  EXPECT_GT(engine.migration_ns(), 0u);
+  // Half the migration work hits the application clock; none hits the
+  // all-DRAM reference clock.
+  const Nanos charged = engine.now() - before;
+  EXPECT_EQ(charged, static_cast<Nanos>(engine.migration_ns() * 0.5));
+  EXPECT_EQ(engine.optimal_now(), 0u);
+}
+
+TEST(EngineEdgeTest, DestructorReturnsFramesToMedia) {
+  Medium dram(DramSpec(32 * kMiB));
+  Medium nvmm(NvmmSpec(32 * kMiB));
+  ZswapBackend zswap;
+  CompressedTierConfig config;
+  config.label = "CT";
+  const int ct = zswap.AddTier(config, nvmm);
+  TierTable tiers;
+  tiers.AddByteTier(dram);
+  tiers.AddCompressedTier(zswap.tier(ct));
+  AddressSpace space;
+  space.Allocate("a", 4 * kMiB, CorpusProfile::kDickens);
+  {
+    TieringEngine engine(space, tiers);
+    ASSERT_TRUE(engine.PlaceInitial().ok());
+    ASSERT_TRUE(engine.MigrateRegion(1, 1).ok());
+    EXPECT_GT(dram.used_frames(), 0u);
+    EXPECT_GT(nvmm.used_frames(), 0u);
+  }
+  EXPECT_EQ(dram.used_frames(), 0u);
+  EXPECT_EQ(nvmm.used_frames(), 0u);
+  EXPECT_EQ(zswap.tier(ct).stored_pages(), 0u);
+}
+
+TEST(EngineEdgeTest, SlowdownIdentityWithoutTiering) {
+  Medium dram(DramSpec(32 * kMiB));
+  TierTable tiers;
+  tiers.AddByteTier(dram);
+  AddressSpace space;
+  space.Allocate("a", 2 * kMiB, CorpusProfile::kBinary);
+  TieringEngine engine(space, tiers);
+  ASSERT_TRUE(engine.PlaceInitial().ok());
+  for (int i = 0; i < 1000; ++i) {
+    engine.AccessBulk((i % 512) * kPageSize, 1 + i % 16, i % 3 == 0);
+    engine.Compute(100);
+  }
+  // Everything served from DRAM: perf_ovh (Eq. 5) is exactly zero.
+  EXPECT_EQ(engine.perf_overhead(), 0u);
+  EXPECT_DOUBLE_EQ(engine.Slowdown(), 1.0);
+}
+
+}  // namespace
+}  // namespace tierscape

@@ -1,0 +1,178 @@
+// Unit + property tests for the buddy allocator and simulated media.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mem/buddy_allocator.h"
+#include "src/mem/medium.h"
+
+namespace tierscape {
+namespace {
+
+TEST(BuddyAllocatorTest, AllocatesDistinctFrames) {
+  BuddyAllocator buddy(64);
+  std::set<std::uint64_t> frames;
+  for (int i = 0; i < 64; ++i) {
+    auto frame = buddy.Alloc(0);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_TRUE(frames.insert(*frame).second) << "duplicate frame " << *frame;
+  }
+  EXPECT_EQ(buddy.used_frames(), 64u);
+  EXPECT_FALSE(buddy.Alloc(0).ok());
+}
+
+TEST(BuddyAllocatorTest, FreeRestoresCapacity) {
+  BuddyAllocator buddy(64);
+  std::vector<std::uint64_t> frames;
+  for (int i = 0; i < 64; ++i) {
+    frames.push_back(buddy.Alloc(0).value());
+  }
+  for (std::uint64_t frame : frames) {
+    ASSERT_TRUE(buddy.Free(frame, 0).ok());
+  }
+  EXPECT_EQ(buddy.used_frames(), 0u);
+  // After freeing everything, coalescing must restore a max-order block.
+  EXPECT_EQ(buddy.LargestFreeOrder(), BuddyAllocator::kMaxOrder < 6
+                                          ? BuddyAllocator::kMaxOrder
+                                          : 6);  // 64 frames = order 6
+}
+
+TEST(BuddyAllocatorTest, SplitsAndCoalesces) {
+  BuddyAllocator buddy(1024);
+  auto big = buddy.Alloc(4);  // 16 frames
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(buddy.used_frames(), 16u);
+  ASSERT_TRUE(buddy.Free(*big, 4).ok());
+  EXPECT_EQ(buddy.used_frames(), 0u);
+  EXPECT_TRUE(buddy.CheckConsistency());
+}
+
+TEST(BuddyAllocatorTest, RejectsDoubleFree) {
+  BuddyAllocator buddy(16);
+  auto frame = buddy.Alloc(0);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(buddy.Free(*frame, 0).ok());
+  EXPECT_FALSE(buddy.Free(*frame, 0).ok());
+}
+
+TEST(BuddyAllocatorTest, RejectsWrongOrderFree) {
+  BuddyAllocator buddy(16);
+  auto frame = buddy.Alloc(1);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(buddy.Free(*frame, 0).ok());
+  EXPECT_TRUE(buddy.Free(*frame, 1).ok());
+}
+
+TEST(BuddyAllocatorTest, HandlesNonPowerOfTwoFrameCount) {
+  BuddyAllocator buddy(1000);
+  EXPECT_TRUE(buddy.CheckConsistency());
+  std::vector<std::uint64_t> frames;
+  for (int i = 0; i < 1000; ++i) {
+    auto frame = buddy.Alloc(0);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_LT(*frame, 1000u);
+    frames.push_back(*frame);
+  }
+  EXPECT_FALSE(buddy.Alloc(0).ok());
+  for (std::uint64_t frame : frames) {
+    ASSERT_TRUE(buddy.Free(frame, 0).ok());
+  }
+  EXPECT_TRUE(buddy.CheckConsistency());
+}
+
+// Property test: random alloc/free interleavings keep the allocator
+// consistent and never double-assign a frame.
+TEST(BuddyAllocatorPropertyTest, RandomWorkloadStaysConsistent) {
+  Rng rng(2024);
+  BuddyAllocator buddy(4096);
+  std::vector<std::pair<std::uint64_t, int>> live;
+  std::vector<char> owned(4096, 0);
+  for (int step = 0; step < 20000; ++step) {
+    if (live.empty() || rng.NextBelow(100) < 60) {
+      const int order = static_cast<int>(rng.NextBelow(5));
+      auto frame = buddy.Alloc(order);
+      if (frame.ok()) {
+        for (std::uint64_t f = *frame; f < *frame + (1ull << order); ++f) {
+          ASSERT_FALSE(owned[f]) << "frame " << f << " double-assigned";
+          owned[f] = 1;
+        }
+        live.emplace_back(*frame, order);
+      }
+    } else {
+      const std::size_t pick = rng.NextBelow(live.size());
+      auto [frame, order] = live[pick];
+      ASSERT_TRUE(buddy.Free(frame, order).ok());
+      for (std::uint64_t f = frame; f < frame + (1ull << order); ++f) {
+        owned[f] = 0;
+      }
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_TRUE(buddy.CheckConsistency());
+}
+
+TEST(MediumTest, SpecsMatchPaperRatios) {
+  const MediumSpec dram = DramSpec(kGiB);
+  const MediumSpec nvmm = NvmmSpec(kGiB);
+  EXPECT_DOUBLE_EQ(dram.cost_per_gib, 1.0);
+  // §8.1: per-GB cost of NVMM is 1/3 of DRAM.
+  EXPECT_NEAR(nvmm.cost_per_gib, 1.0 / 3.0, 1e-12);
+  EXPECT_GT(nvmm.load_latency_ns, dram.load_latency_ns);
+}
+
+TEST(MediumTest, FrameAccounting) {
+  Medium medium(DramSpec(kMiB));  // 256 frames
+  EXPECT_EQ(medium.total_frames(), 256u);
+  auto frame = medium.AllocFrame();
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(medium.used_frames(), 1u);
+  EXPECT_EQ(medium.used_bytes(), kPageSize);
+  ASSERT_TRUE(medium.FreeFrame(*frame).ok());
+  EXPECT_EQ(medium.used_frames(), 0u);
+}
+
+TEST(MediumTest, BackedRunsCarryZeroedData) {
+  Medium medium(DramSpec(kMiB));
+  auto run = medium.AllocBackedRun(2);  // 4 pages
+  ASSERT_TRUE(run.ok());
+  auto data = medium.RunData(*run, 2);
+  EXPECT_EQ(data.size(), 4 * kPageSize);
+  for (std::size_t i = 0; i < data.size(); i += 517) {
+    EXPECT_EQ(data[i], std::byte{0});
+  }
+  data[0] = std::byte{42};
+  EXPECT_EQ(medium.RunData(*run, 2)[0], std::byte{42});
+  ASSERT_TRUE(medium.FreeBackedRun(*run, 2).ok());
+  EXPECT_EQ(medium.used_frames(), 0u);
+}
+
+TEST(MediumTest, UsedCostScalesWithUsage) {
+  Medium medium(NvmmSpec(3 * kGiB));
+  EXPECT_DOUBLE_EQ(medium.UsedCost(), 0.0);
+  std::vector<std::uint64_t> frames;
+  const std::size_t n = kGiB / kPageSize;
+  for (std::size_t i = 0; i < n; ++i) {
+    frames.push_back(medium.AllocFrame().value());
+  }
+  // 1 GiB at 1/3 $/GiB.
+  EXPECT_NEAR(medium.UsedCost(), 1.0 / 3.0, 1e-9);
+  for (std::uint64_t frame : frames) {
+    ASSERT_TRUE(medium.FreeFrame(frame).ok());
+  }
+}
+
+TEST(MediumTest, ExhaustionReturnsOutOfMemory) {
+  Medium medium(DramSpec(16 * kPageSize));
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(medium.AllocFrame().ok());
+  }
+  auto frame = medium.AllocFrame();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kOutOfMemory);
+}
+
+}  // namespace
+}  // namespace tierscape

@@ -1,0 +1,167 @@
+// Tests for the workload generators and the experiment driver.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/analytical.h"
+#include "src/workloads/driver.h"
+#include "src/workloads/graph.h"
+#include "src/workloads/graphsage.h"
+#include "src/workloads/kv_store.h"
+#include "src/workloads/masim.h"
+#include "src/workloads/xsbench.h"
+
+namespace tierscape {
+namespace {
+
+TEST(RmatGraphTest, EdgeCountAndDegreeSkew) {
+  RmatConfig config;
+  config.vertices = 1 << 12;
+  config.edges_per_vertex = 8;
+  RmatGraph graph(config);
+  EXPECT_EQ(graph.vertices(), config.vertices);
+  EXPECT_EQ(graph.edges(), config.vertices * config.edges_per_vertex);
+
+  // Power-law skew: the top 1% of vertices should hold far more than 1% of
+  // the edges.
+  std::vector<std::uint64_t> degrees;
+  for (std::uint64_t v = 0; v < graph.vertices(); ++v) {
+    auto [begin, end] = graph.Neighbors(v);
+    degrees.push_back(static_cast<std::uint64_t>(end - begin));
+  }
+  std::sort(degrees.rbegin(), degrees.rend());
+  std::uint64_t top = 0;
+  for (std::size_t i = 0; i < degrees.size() / 100; ++i) {
+    top += degrees[i];
+  }
+  EXPECT_GT(top, graph.edges() / 10);
+}
+
+TEST(RmatGraphTest, Deterministic) {
+  RmatConfig config;
+  config.vertices = 1 << 10;
+  RmatGraph a(config);
+  RmatGraph b(config);
+  for (std::uint64_t v = 0; v < a.vertices(); v += 37) {
+    EXPECT_EQ(a.EdgeOffset(v), b.EdgeOffset(v));
+  }
+}
+
+template <typename WorkloadT, typename ConfigT>
+void SmokeRunWorkload(ConfigT config) {
+  WorkloadT workload(config);
+  TieredSystem system(StandardMixConfig(512 * kMiB, kGiB));
+  ExperimentConfig experiment;
+  experiment.ops = 2000;
+  experiment.target_windows = 4;
+  const ExperimentResult result = RunExperiment(system, workload, nullptr, experiment);
+  EXPECT_EQ(result.op_latency_ns.count(), 2000u);
+  EXPECT_GT(result.throughput_mops, 0.0);
+  // No policy: everything stays in DRAM.
+  EXPECT_DOUBLE_EQ(result.slowdown, 1.0);
+  EXPECT_EQ(result.total_faults, 0u);
+}
+
+TEST(WorkloadSmokeTest, Kv) {
+  KvConfig config = MemcachedYcsbConfig();
+  config.items = 4096;
+  SmokeRunWorkload<KvWorkload>(config);
+}
+
+TEST(WorkloadSmokeTest, KvMemtier) {
+  KvConfig config = MemcachedMemtier1kConfig();
+  config.items = 4096;
+  SmokeRunWorkload<KvWorkload>(config);
+}
+
+TEST(WorkloadSmokeTest, PageRank) {
+  GraphWorkloadConfig config;
+  config.rmat.vertices = 1 << 12;
+  SmokeRunWorkload<PageRankWorkload>(config);
+}
+
+TEST(WorkloadSmokeTest, Bfs) {
+  GraphWorkloadConfig config;
+  config.rmat.vertices = 1 << 12;
+  SmokeRunWorkload<BfsWorkload>(config);
+}
+
+TEST(WorkloadSmokeTest, XsBench) {
+  XsBenchConfig config;
+  config.gridpoints = 32 * 1024;
+  config.nuclide_gridpoints = 1024;
+  SmokeRunWorkload<XsBenchWorkload>(config);
+}
+
+TEST(WorkloadSmokeTest, GraphSage) {
+  GraphSageConfig config;
+  config.nodes = 16 * 1024;
+  SmokeRunWorkload<GraphSageWorkload>(config);
+}
+
+TEST(WorkloadSmokeTest, Masim) {
+  SmokeRunWorkload<MasimWorkload>(DefaultMasimConfig(16 * kMiB));
+}
+
+TEST(KvWorkloadTest, ZipfianKeysSkewRegionHotness) {
+  KvConfig config = MemcachedYcsbConfig();
+  config.items = 8192;
+  KvWorkload workload(config);
+  TieredSystem system(StandardMixConfig(128 * kMiB, 256 * kMiB));
+  AddressSpace space;
+  workload.Reserve(space);
+  TieringEngine engine(space, system.tiers(), EngineConfig{.pebs_period = 8});
+  ASSERT_TRUE(engine.PlaceInitial().ok());
+  workload.Populate(engine);
+  engine.sampler().DrainWindow();
+  for (int i = 0; i < 20000; ++i) {
+    workload.Op(engine);
+  }
+  const auto window = engine.sampler().DrainWindow();
+  ASSERT_FALSE(window.empty());
+  std::uint32_t max_count = 0;
+  std::uint64_t total = 0;
+  for (const auto& [region, count] : window) {
+    max_count = std::max(max_count, count);
+    total += count;
+  }
+  // Zipfian traffic: the hottest region clearly exceeds the mean (the skew
+  // is diluted by 2 MiB aggregation but must survive it).
+  EXPECT_GT(max_count, 3 * total / (2 * window.size()));
+}
+
+TEST(DriverTest, PolicyRunProducesWindowsAndSavings) {
+  TieredSystem system(StandardMixConfig(64 * kMiB, 256 * kMiB));
+  MasimWorkload workload(DefaultMasimConfig(32 * kMiB));
+  AnalyticalPolicy policy(0.3);
+  ExperimentConfig config;
+  config.ops = 20000;
+  config.target_windows = 10;
+  const ExperimentResult result = RunExperiment(system, workload, &policy, config);
+  EXPECT_EQ(result.windows.size(), 10u);
+  EXPECT_GT(result.mean_tco_savings, 0.05);
+  EXPECT_GT(result.slowdown, 1.0);
+  EXPECT_GT(result.migrated_pages, 0u);
+  EXPECT_EQ(result.policy, policy.name());
+}
+
+TEST(DriverTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    TieredSystem system(StandardMixConfig(64 * kMiB, 256 * kMiB));
+    MasimWorkload workload(DefaultMasimConfig(32 * kMiB));
+    AnalyticalPolicy policy(0.3);
+    ExperimentConfig config;
+    config.ops = 10000;
+    config.target_windows = 5;
+    return RunExperiment(system, workload, &policy, config);
+  };
+  const ExperimentResult a = run();
+  const ExperimentResult b = run();
+  EXPECT_DOUBLE_EQ(a.slowdown, b.slowdown);
+  EXPECT_DOUBLE_EQ(a.mean_tco_savings, b.mean_tco_savings);
+  EXPECT_EQ(a.total_faults, b.total_faults);
+  EXPECT_EQ(a.migrated_pages, b.migrated_pages);
+}
+
+}  // namespace
+}  // namespace tierscape

@@ -1,0 +1,177 @@
+// Stress and failure-injection tests for the multi-tier zswap backend:
+// several tiers sharing one backing medium under churn, capacity exhaustion
+// mid-stream, and migration storms across the full tier matrix.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/compress/corpus.h"
+#include "src/mem/medium.h"
+#include "src/zswap/zswap.h"
+
+namespace tierscape {
+namespace {
+
+std::vector<std::byte> Page(CorpusProfile profile, std::uint64_t seed) {
+  std::vector<std::byte> page(kPageSize);
+  FillPage(profile, seed, page);
+  return page;
+}
+
+// Three tiers sharing one DRAM medium: pool pressure from one tier must not
+// corrupt another's objects, and freeing must return capacity for all.
+TEST(ZswapStressTest, TiersSharingMediumUnderChurn) {
+  Medium dram(DramSpec(24 * kMiB));
+  ZswapBackend backend;
+  CompressedTierConfig a;
+  a.label = "A";
+  a.algorithm = Algorithm::kLz4;
+  a.pool_manager = PoolManager::kZbud;
+  CompressedTierConfig b;
+  b.label = "B";
+  b.algorithm = Algorithm::kLzo;
+  b.pool_manager = PoolManager::kZ3fold;
+  CompressedTierConfig c;
+  c.label = "C";
+  c.algorithm = Algorithm::kZstd;
+  c.pool_manager = PoolManager::kZsmalloc;
+  const int tiers[] = {backend.AddTier(a, dram), backend.AddTier(b, dram),
+                       backend.AddTier(c, dram)};
+
+  struct Entry {
+    int tier;
+    ZPoolHandle handle;
+    std::uint64_t seed;
+  };
+  std::vector<Entry> live;
+  Rng rng(99);
+  std::vector<std::byte> out(kPageSize);
+  for (int step = 0; step < 4000; ++step) {
+    if (live.size() < 600 && rng.NextBelow(100) < 60) {
+      const int tier = tiers[rng.NextBelow(3)];
+      const std::uint64_t seed = 10'000 + step;
+      auto stored = backend.tier(tier).Store(Page(CorpusProfile::kNci, seed));
+      if (stored.ok()) {
+        live.push_back(Entry{tier, stored->handle, seed});
+      } else {
+        // Shared medium may be full — that must be the only failure mode.
+        ASSERT_EQ(stored.status().code(), StatusCode::kOutOfMemory);
+      }
+    } else if (!live.empty()) {
+      const std::size_t pick = rng.NextBelow(live.size());
+      const Entry entry = live[pick];
+      ASSERT_TRUE(backend.tier(entry.tier).Load(entry.handle, out).ok());
+      ASSERT_EQ(out, Page(CorpusProfile::kNci, entry.seed))
+          << "corruption in tier " << entry.tier << " at step " << step;
+      ASSERT_TRUE(backend.tier(entry.tier).Invalidate(entry.handle).ok());
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  for (const Entry& entry : live) {
+    ASSERT_TRUE(backend.tier(entry.tier).Load(entry.handle, out).ok());
+    EXPECT_EQ(out, Page(CorpusProfile::kNci, entry.seed));
+    ASSERT_TRUE(backend.tier(entry.tier).Invalidate(entry.handle).ok());
+  }
+  EXPECT_EQ(dram.used_frames(), 0u);
+}
+
+// Capacity exhaustion mid-stream: stores fail cleanly with kOutOfMemory and
+// previously stored entries stay intact and loadable.
+TEST(ZswapStressTest, ExhaustionLeavesExistingEntriesIntact) {
+  Medium tiny(NvmmSpec(96 * kPageSize));
+  ZswapBackend backend;
+  CompressedTierConfig config;
+  config.label = "T";
+  config.algorithm = Algorithm::kLzo;
+  config.pool_manager = PoolManager::kZsmalloc;
+  const int tier = backend.AddTier(config, tiny);
+
+  std::vector<std::pair<ZPoolHandle, std::uint64_t>> stored;
+  for (std::uint64_t seed = 0; seed < 10'000; ++seed) {
+    auto result = backend.tier(tier).Store(Page(CorpusProfile::kDickens, seed));
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kOutOfMemory);
+      break;
+    }
+    stored.emplace_back(result->handle, seed);
+  }
+  ASSERT_GT(stored.size(), 50u);
+  ASSERT_LT(stored.size(), 10'000u) << "medium never filled";
+  std::vector<std::byte> out(kPageSize);
+  for (const auto& [handle, seed] : stored) {
+    ASSERT_TRUE(backend.tier(tier).Load(handle, out).ok());
+    EXPECT_EQ(out, Page(CorpusProfile::kDickens, seed));
+  }
+}
+
+// Migration storm: drive an entry through every (algorithm, pool) tier in
+// sequence; contents must survive the full chain of naive
+// decompress/recompress hops (§7.1).
+TEST(ZswapStressTest, MigrationChainAcrossAllTierKinds) {
+  Medium dram(DramSpec(32 * kMiB));
+  Medium nvmm(NvmmSpec(32 * kMiB));
+  ZswapBackend backend;
+  std::vector<int> tiers;
+  int index = 0;
+  for (const Algorithm algorithm :
+       {Algorithm::kLz4, Algorithm::kLzo, Algorithm::kZstd, Algorithm::kDeflate,
+        Algorithm::kLzoRle, Algorithm::kLz4Hc, Algorithm::k842}) {
+    for (const PoolManager manager :
+         {PoolManager::kZbud, PoolManager::kZ3fold, PoolManager::kZsmalloc}) {
+      CompressedTierConfig config;
+      config.label = "T" + std::to_string(index);
+      config.algorithm = algorithm;
+      config.pool_manager = manager;
+      tiers.push_back(backend.AddTier(config, index % 2 == 0 ? dram : nvmm));
+      ++index;
+    }
+  }
+
+  const auto page = Page(CorpusProfile::kNci, 777);
+  auto stored = backend.tier(tiers[0]).Store(page);
+  ASSERT_TRUE(stored.ok());
+  ZPoolHandle handle = stored->handle;
+  int current = tiers[0];
+  for (std::size_t hop = 1; hop < tiers.size(); ++hop) {
+    auto migrated = backend.Migrate(current, handle, tiers[hop]);
+    ASSERT_TRUE(migrated.ok()) << "hop " << hop << ": "
+                               << migrated.status().ToString();
+    handle = migrated->store.handle;
+    current = tiers[hop];
+    EXPECT_GT(migrated->latency, 0u);
+  }
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(backend.tier(current).Load(handle, out).ok());
+  EXPECT_EQ(out, page);
+  // Exactly one live entry across the whole backend.
+  EXPECT_EQ(backend.total_stored_pages(), 1u);
+}
+
+// Dirty-page semantics through compression: a page compressed at version v,
+// invalidated after a store bumps contents to v+1, recompresses to different
+// bytes and round-trips to the *new* contents.
+TEST(ZswapStressTest, RecompressionTracksContentVersions) {
+  Medium dram(DramSpec(16 * kMiB));
+  ZswapBackend backend;
+  CompressedTierConfig config;
+  config.label = "T";
+  const int tier = backend.AddTier(config, dram);
+
+  const auto v0 = Page(CorpusProfile::kBinary, 5);
+  const auto v1 = Page(CorpusProfile::kBinary, 6);  // "after the store"
+  ASSERT_NE(v0, v1);
+  auto first = backend.tier(tier).Store(v0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(backend.tier(tier).Invalidate(first->handle).ok());
+  auto second = backend.tier(tier).Store(v1);
+  ASSERT_TRUE(second.ok());
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(backend.tier(tier).Load(second->handle, out).ok());
+  EXPECT_EQ(out, v1);
+}
+
+}  // namespace
+}  // namespace tierscape

@@ -1,0 +1,195 @@
+// Tests for the multi-active-tier zswap backend: store/load integrity,
+// incompressible rejection (footnote 1), per-tier stats, inter-tier
+// migration (§7.1), and the latency model's media/algorithm sensitivity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/compress/corpus.h"
+#include "src/mem/medium.h"
+#include "src/zswap/zswap.h"
+
+namespace tierscape {
+namespace {
+
+CompressedTierConfig TierConfig(const std::string& label, Algorithm algorithm,
+                                PoolManager manager) {
+  CompressedTierConfig config;
+  config.label = label;
+  config.algorithm = algorithm;
+  config.pool_manager = manager;
+  return config;
+}
+
+std::vector<std::byte> Page(CorpusProfile profile, std::uint64_t seed) {
+  std::vector<std::byte> page(kPageSize);
+  FillPage(profile, seed, page);
+  return page;
+}
+
+class ZswapTest : public ::testing::Test {
+ protected:
+  ZswapTest() : dram_(DramSpec(64 * kMiB)), nvmm_(NvmmSpec(64 * kMiB)) {
+    lz4_tier_ = backend_.AddTier(
+        TierConfig("fast", Algorithm::kLz4, PoolManager::kZbud), dram_);
+    deflate_tier_ = backend_.AddTier(
+        TierConfig("dense", Algorithm::kDeflate, PoolManager::kZsmalloc), nvmm_);
+  }
+
+  Medium dram_;
+  Medium nvmm_;
+  ZswapBackend backend_;
+  int lz4_tier_ = -1;
+  int deflate_tier_ = -1;
+};
+
+TEST_F(ZswapTest, StoreLoadRoundTrip) {
+  const auto page = Page(CorpusProfile::kDickens, 1);
+  auto stored = backend_.tier(lz4_tier_).Store(page);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_LT(stored->compressed_size, kPageSize);
+  EXPECT_GT(stored->latency, 0u);
+
+  std::vector<std::byte> restored(kPageSize);
+  ASSERT_TRUE(backend_.tier(lz4_tier_).Load(stored->handle, restored).ok());
+  EXPECT_EQ(restored, page);
+}
+
+TEST_F(ZswapTest, RejectsIncompressiblePages) {
+  const auto page = Page(CorpusProfile::kRandom, 2);
+  auto stored = backend_.tier(lz4_tier_).Store(page);
+  ASSERT_FALSE(stored.ok());
+  EXPECT_EQ(stored.status().code(), StatusCode::kRejected);
+  EXPECT_EQ(backend_.tier(lz4_tier_).stats().rejects, 1u);
+  EXPECT_EQ(backend_.tier(lz4_tier_).stored_pages(), 0u);
+}
+
+TEST_F(ZswapTest, MultipleTiersActiveSimultaneously) {
+  // The central kernel limitation TierScape removes: several tiers hold data
+  // at the same time.
+  const auto page_a = Page(CorpusProfile::kNci, 3);
+  const auto page_b = Page(CorpusProfile::kDickens, 4);
+  auto in_fast = backend_.tier(lz4_tier_).Store(page_a);
+  auto in_dense = backend_.tier(deflate_tier_).Store(page_b);
+  ASSERT_TRUE(in_fast.ok());
+  ASSERT_TRUE(in_dense.ok());
+  EXPECT_EQ(backend_.total_stored_pages(), 2u);
+  EXPECT_GT(dram_.used_bytes(), 0u);
+  EXPECT_GT(nvmm_.used_bytes(), 0u);
+
+  std::vector<std::byte> restored(kPageSize);
+  ASSERT_TRUE(backend_.tier(lz4_tier_).Load(in_fast->handle, restored).ok());
+  EXPECT_EQ(restored, page_a);
+  ASSERT_TRUE(backend_.tier(deflate_tier_).Load(in_dense->handle, restored).ok());
+  EXPECT_EQ(restored, page_b);
+}
+
+TEST_F(ZswapTest, InvalidateFreesPoolSpace) {
+  const auto page = Page(CorpusProfile::kNci, 5);
+  auto stored = backend_.tier(lz4_tier_).Store(page);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_GT(backend_.tier(lz4_tier_).pool_bytes(), 0u);
+  ASSERT_TRUE(backend_.tier(lz4_tier_).Invalidate(stored->handle).ok());
+  EXPECT_EQ(backend_.tier(lz4_tier_).pool_bytes(), 0u);
+  std::vector<std::byte> scratch(kPageSize);
+  EXPECT_FALSE(backend_.tier(lz4_tier_).Load(stored->handle, scratch).ok());
+}
+
+TEST_F(ZswapTest, MigrationMovesDataBetweenTiers) {
+  const auto page = Page(CorpusProfile::kDickens, 6);
+  auto stored = backend_.tier(lz4_tier_).Store(page);
+  ASSERT_TRUE(stored.ok());
+
+  auto migrated = backend_.Migrate(lz4_tier_, stored->handle, deflate_tier_);
+  ASSERT_TRUE(migrated.ok());
+  EXPECT_GT(migrated->latency, 0u);
+  // Source entry gone, destination holds the page, deflate packs it tighter.
+  EXPECT_EQ(backend_.tier(lz4_tier_).stored_pages(), 0u);
+  EXPECT_EQ(backend_.tier(deflate_tier_).stored_pages(), 1u);
+  EXPECT_LT(migrated->store.compressed_size, stored->compressed_size);
+
+  std::vector<std::byte> restored(kPageSize);
+  ASSERT_TRUE(backend_.tier(deflate_tier_).Load(migrated->store.handle, restored).ok());
+  EXPECT_EQ(restored, page);
+}
+
+TEST_F(ZswapTest, MigrationRejectionLeavesSourceIntact) {
+  // A page that deflate stores but a tight-ratio lz4 tier cannot.
+  Medium extra(DramSpec(4 * kMiB));
+  CompressedTierConfig tight = TierConfig("tight", Algorithm::kLz4, PoolManager::kZbud);
+  tight.max_store_ratio = 0.10;
+  const int tight_tier = backend_.AddTier(tight, extra);
+
+  const auto page = Page(CorpusProfile::kDickens, 7);
+  auto stored = backend_.tier(deflate_tier_).Store(page);
+  ASSERT_TRUE(stored.ok());
+  auto migrated = backend_.Migrate(deflate_tier_, stored->handle, tight_tier);
+  ASSERT_FALSE(migrated.ok());
+  EXPECT_EQ(migrated.status().code(), StatusCode::kRejected);
+  // Source still loadable.
+  std::vector<std::byte> restored(kPageSize);
+  ASSERT_TRUE(backend_.tier(deflate_tier_).Load(stored->handle, restored).ok());
+  EXPECT_EQ(restored, page);
+}
+
+TEST_F(ZswapTest, StatsTrackOperations) {
+  const auto page = Page(CorpusProfile::kNci, 8);
+  auto stored = backend_.tier(lz4_tier_).Store(page);
+  ASSERT_TRUE(stored.ok());
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(backend_.tier(lz4_tier_).Load(stored->handle, out).ok());
+  backend_.tier(lz4_tier_).RecordFault();
+  ASSERT_TRUE(backend_.tier(lz4_tier_).Invalidate(stored->handle).ok());
+
+  const auto& stats = backend_.tier(lz4_tier_).stats();
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.loads, 1u);
+  EXPECT_EQ(stats.faults, 1u);
+  EXPECT_EQ(stats.invalidates, 1u);
+}
+
+TEST_F(ZswapTest, FindTierByLabel) {
+  EXPECT_EQ(backend_.FindTier("fast"), lz4_tier_);
+  EXPECT_EQ(backend_.FindTier("dense"), deflate_tier_);
+  EXPECT_EQ(backend_.FindTier("absent"), -1);
+}
+
+TEST_F(ZswapTest, EffectiveRatioReflectsPoolFragmentation) {
+  // zbud can never do better than 0.5 regardless of how well data compresses.
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    ASSERT_TRUE(backend_.tier(lz4_tier_).Store(Page(CorpusProfile::kNci, seed)).ok());
+  }
+  EXPECT_GE(backend_.tier(lz4_tier_).EffectiveRatio(), 0.5);
+  // zsmalloc + deflate on nci must beat 0.5 comfortably.
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    ASSERT_TRUE(
+        backend_.tier(deflate_tier_).Store(Page(CorpusProfile::kNci, seed)).ok());
+  }
+  EXPECT_LT(backend_.tier(deflate_tier_).EffectiveRatio(), 0.35);
+}
+
+TEST(ZswapLatencyModelTest, MediaAndAlgorithmSensitivity) {
+  Medium dram(DramSpec(16 * kMiB));
+  Medium nvmm(NvmmSpec(16 * kMiB));
+  ZswapBackend backend;
+  const int dram_lz4 =
+      backend.AddTier(TierConfig("dr-lz4", Algorithm::kLz4, PoolManager::kZbud), dram);
+  const int nvmm_lz4 =
+      backend.AddTier(TierConfig("op-lz4", Algorithm::kLz4, PoolManager::kZbud), nvmm);
+  const int dram_deflate = backend.AddTier(
+      TierConfig("dr-de", Algorithm::kDeflate, PoolManager::kZbud), dram);
+
+  const std::size_t half_page = kPageSize / 2;
+  // Fig. 2a: Optane-backed tiers are slower than DRAM-backed ones...
+  EXPECT_GT(backend.tier(nvmm_lz4).LoadCost(half_page),
+            backend.tier(dram_lz4).LoadCost(half_page));
+  // ...and deflate tiers are slower than lz4 tiers on the same medium.
+  EXPECT_GT(backend.tier(dram_deflate).LoadCost(half_page),
+            backend.tier(dram_lz4).LoadCost(half_page));
+  // Compressibility lowers access latency (§3.3): fewer bytes to read.
+  EXPECT_LT(backend.tier(dram_lz4).LoadCost(kPageSize / 8),
+            backend.tier(dram_lz4).LoadCost(kPageSize));
+}
+
+}  // namespace
+}  // namespace tierscape
