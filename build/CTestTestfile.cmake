@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/common")
+subdirs("src/mem")
+subdirs("src/compress")
+subdirs("src/zpool")
+subdirs("src/zswap")
+subdirs("src/telemetry")
+subdirs("src/solver")
+subdirs("src/tiering")
+subdirs("src/core")
+subdirs("src/workloads")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

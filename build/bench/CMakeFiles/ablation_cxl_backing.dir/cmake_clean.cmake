@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cxl_backing.dir/ablation_cxl_backing.cc.o"
+  "CMakeFiles/ablation_cxl_backing.dir/ablation_cxl_backing.cc.o.d"
+  "ablation_cxl_backing"
+  "ablation_cxl_backing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cxl_backing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

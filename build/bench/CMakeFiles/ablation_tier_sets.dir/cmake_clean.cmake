@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tier_sets.dir/ablation_tier_sets.cc.o"
+  "CMakeFiles/ablation_tier_sets.dir/ablation_tier_sets.cc.o.d"
+  "ablation_tier_sets"
+  "ablation_tier_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tier_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

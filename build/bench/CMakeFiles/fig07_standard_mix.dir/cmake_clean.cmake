@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_standard_mix.dir/fig07_standard_mix.cc.o"
+  "CMakeFiles/fig07_standard_mix.dir/fig07_standard_mix.cc.o.d"
+  "fig07_standard_mix"
+  "fig07_standard_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_standard_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_waterfall_trace.dir/fig08_waterfall_trace.cc.o"
+  "CMakeFiles/fig08_waterfall_trace.dir/fig08_waterfall_trace.cc.o.d"
+  "fig08_waterfall_trace"
+  "fig08_waterfall_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_waterfall_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

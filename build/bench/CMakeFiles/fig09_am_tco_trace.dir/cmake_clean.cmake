@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_am_tco_trace.dir/fig09_am_tco_trace.cc.o"
+  "CMakeFiles/fig09_am_tco_trace.dir/fig09_am_tco_trace.cc.o.d"
+  "fig09_am_tco_trace"
+  "fig09_am_tco_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_am_tco_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

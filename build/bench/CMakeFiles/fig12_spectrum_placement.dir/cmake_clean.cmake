@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_spectrum_placement.dir/fig12_spectrum_placement.cc.o"
+  "CMakeFiles/fig12_spectrum_placement.dir/fig12_spectrum_placement.cc.o.d"
+  "fig12_spectrum_placement"
+  "fig12_spectrum_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_spectrum_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

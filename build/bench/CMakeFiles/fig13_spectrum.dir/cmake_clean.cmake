@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_spectrum.dir/fig13_spectrum.cc.o"
+  "CMakeFiles/fig13_spectrum.dir/fig13_spectrum.cc.o.d"
+  "fig13_spectrum"
+  "fig13_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

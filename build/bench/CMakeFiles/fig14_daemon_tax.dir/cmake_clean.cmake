@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_daemon_tax.dir/fig14_daemon_tax.cc.o"
+  "CMakeFiles/fig14_daemon_tax.dir/fig14_daemon_tax.cc.o.d"
+  "fig14_daemon_tax"
+  "fig14_daemon_tax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_daemon_tax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

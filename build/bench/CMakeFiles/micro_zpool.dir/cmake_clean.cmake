@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_zpool.dir/micro_zpool.cc.o"
+  "CMakeFiles/micro_zpool.dir/micro_zpool.cc.o.d"
+  "micro_zpool"
+  "micro_zpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_zpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

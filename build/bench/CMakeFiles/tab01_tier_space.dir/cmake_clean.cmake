@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_tier_space.dir/tab01_tier_space.cc.o"
+  "CMakeFiles/tab01_tier_space.dir/tab01_tier_space.cc.o.d"
+  "tab01_tier_space"
+  "tab01_tier_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_tier_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

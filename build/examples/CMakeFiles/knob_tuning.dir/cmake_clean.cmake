@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knob_tuning.dir/knob_tuning.cpp.o"
+  "CMakeFiles/knob_tuning.dir/knob_tuning.cpp.o.d"
+  "knob_tuning"
+  "knob_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knob_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/memcached_tiering.cpp" "examples/CMakeFiles/memcached_tiering.dir/memcached_tiering.cpp.o" "gcc" "examples/CMakeFiles/memcached_tiering.dir/memcached_tiering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ts_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ts_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/tiering/CMakeFiles/ts_tiering.dir/DependInfo.cmake"
+  "/root/repo/build/src/zswap/CMakeFiles/ts_zswap.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ts_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/zpool/CMakeFiles/ts_zpool.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ts_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ts_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcached_tiering.dir/memcached_tiering.cpp.o"
+  "CMakeFiles/memcached_tiering.dir/memcached_tiering.cpp.o.d"
+  "memcached_tiering"
+  "memcached_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcached_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

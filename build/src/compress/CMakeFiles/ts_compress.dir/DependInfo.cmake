@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/codelen.cc" "src/compress/CMakeFiles/ts_compress.dir/codelen.cc.o" "gcc" "src/compress/CMakeFiles/ts_compress.dir/codelen.cc.o.d"
+  "/root/repo/src/compress/compressor.cc" "src/compress/CMakeFiles/ts_compress.dir/compressor.cc.o" "gcc" "src/compress/CMakeFiles/ts_compress.dir/compressor.cc.o.d"
+  "/root/repo/src/compress/corpus.cc" "src/compress/CMakeFiles/ts_compress.dir/corpus.cc.o" "gcc" "src/compress/CMakeFiles/ts_compress.dir/corpus.cc.o.d"
+  "/root/repo/src/compress/deflate.cc" "src/compress/CMakeFiles/ts_compress.dir/deflate.cc.o" "gcc" "src/compress/CMakeFiles/ts_compress.dir/deflate.cc.o.d"
+  "/root/repo/src/compress/huffman.cc" "src/compress/CMakeFiles/ts_compress.dir/huffman.cc.o" "gcc" "src/compress/CMakeFiles/ts_compress.dir/huffman.cc.o.d"
+  "/root/repo/src/compress/lz4.cc" "src/compress/CMakeFiles/ts_compress.dir/lz4.cc.o" "gcc" "src/compress/CMakeFiles/ts_compress.dir/lz4.cc.o.d"
+  "/root/repo/src/compress/lzo.cc" "src/compress/CMakeFiles/ts_compress.dir/lzo.cc.o" "gcc" "src/compress/CMakeFiles/ts_compress.dir/lzo.cc.o.d"
+  "/root/repo/src/compress/n842.cc" "src/compress/CMakeFiles/ts_compress.dir/n842.cc.o" "gcc" "src/compress/CMakeFiles/ts_compress.dir/n842.cc.o.d"
+  "/root/repo/src/compress/zstd_like.cc" "src/compress/CMakeFiles/ts_compress.dir/zstd_like.cc.o" "gcc" "src/compress/CMakeFiles/ts_compress.dir/zstd_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

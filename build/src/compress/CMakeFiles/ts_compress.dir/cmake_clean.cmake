@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_compress.dir/codelen.cc.o"
+  "CMakeFiles/ts_compress.dir/codelen.cc.o.d"
+  "CMakeFiles/ts_compress.dir/compressor.cc.o"
+  "CMakeFiles/ts_compress.dir/compressor.cc.o.d"
+  "CMakeFiles/ts_compress.dir/corpus.cc.o"
+  "CMakeFiles/ts_compress.dir/corpus.cc.o.d"
+  "CMakeFiles/ts_compress.dir/deflate.cc.o"
+  "CMakeFiles/ts_compress.dir/deflate.cc.o.d"
+  "CMakeFiles/ts_compress.dir/huffman.cc.o"
+  "CMakeFiles/ts_compress.dir/huffman.cc.o.d"
+  "CMakeFiles/ts_compress.dir/lz4.cc.o"
+  "CMakeFiles/ts_compress.dir/lz4.cc.o.d"
+  "CMakeFiles/ts_compress.dir/lzo.cc.o"
+  "CMakeFiles/ts_compress.dir/lzo.cc.o.d"
+  "CMakeFiles/ts_compress.dir/n842.cc.o"
+  "CMakeFiles/ts_compress.dir/n842.cc.o.d"
+  "CMakeFiles/ts_compress.dir/zstd_like.cc.o"
+  "CMakeFiles/ts_compress.dir/zstd_like.cc.o.d"
+  "libts_compress.a"
+  "libts_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytical.cc" "src/core/CMakeFiles/ts_core.dir/analytical.cc.o" "gcc" "src/core/CMakeFiles/ts_core.dir/analytical.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/ts_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/ts_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/ts_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/ts_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/migration_filter.cc" "src/core/CMakeFiles/ts_core.dir/migration_filter.cc.o" "gcc" "src/core/CMakeFiles/ts_core.dir/migration_filter.cc.o.d"
+  "/root/repo/src/core/tier_specs.cc" "src/core/CMakeFiles/ts_core.dir/tier_specs.cc.o" "gcc" "src/core/CMakeFiles/ts_core.dir/tier_specs.cc.o.d"
+  "/root/repo/src/core/ts_daemon.cc" "src/core/CMakeFiles/ts_core.dir/ts_daemon.cc.o" "gcc" "src/core/CMakeFiles/ts_core.dir/ts_daemon.cc.o.d"
+  "/root/repo/src/core/waterfall.cc" "src/core/CMakeFiles/ts_core.dir/waterfall.cc.o" "gcc" "src/core/CMakeFiles/ts_core.dir/waterfall.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ts_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ts_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ts_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/zpool/CMakeFiles/ts_zpool.dir/DependInfo.cmake"
+  "/root/repo/build/src/zswap/CMakeFiles/ts_zswap.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ts_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ts_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/tiering/CMakeFiles/ts_tiering.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

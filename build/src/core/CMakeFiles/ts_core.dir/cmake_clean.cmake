@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_core.dir/analytical.cc.o"
+  "CMakeFiles/ts_core.dir/analytical.cc.o.d"
+  "CMakeFiles/ts_core.dir/baselines.cc.o"
+  "CMakeFiles/ts_core.dir/baselines.cc.o.d"
+  "CMakeFiles/ts_core.dir/cost_model.cc.o"
+  "CMakeFiles/ts_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/ts_core.dir/migration_filter.cc.o"
+  "CMakeFiles/ts_core.dir/migration_filter.cc.o.d"
+  "CMakeFiles/ts_core.dir/tier_specs.cc.o"
+  "CMakeFiles/ts_core.dir/tier_specs.cc.o.d"
+  "CMakeFiles/ts_core.dir/ts_daemon.cc.o"
+  "CMakeFiles/ts_core.dir/ts_daemon.cc.o.d"
+  "CMakeFiles/ts_core.dir/waterfall.cc.o"
+  "CMakeFiles/ts_core.dir/waterfall.cc.o.d"
+  "libts_core.a"
+  "libts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_mem.dir/buddy_allocator.cc.o"
+  "CMakeFiles/ts_mem.dir/buddy_allocator.cc.o.d"
+  "CMakeFiles/ts_mem.dir/medium.cc.o"
+  "CMakeFiles/ts_mem.dir/medium.cc.o.d"
+  "libts_mem.a"
+  "libts_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

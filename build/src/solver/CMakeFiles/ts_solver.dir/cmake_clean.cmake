@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_solver.dir/mckp.cc.o"
+  "CMakeFiles/ts_solver.dir/mckp.cc.o.d"
+  "libts_solver.a"
+  "libts_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

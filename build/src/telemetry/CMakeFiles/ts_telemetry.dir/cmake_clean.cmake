@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_telemetry.dir/hotness.cc.o"
+  "CMakeFiles/ts_telemetry.dir/hotness.cc.o.d"
+  "libts_telemetry.a"
+  "libts_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_tiering.dir/address_space.cc.o"
+  "CMakeFiles/ts_tiering.dir/address_space.cc.o.d"
+  "CMakeFiles/ts_tiering.dir/engine.cc.o"
+  "CMakeFiles/ts_tiering.dir/engine.cc.o.d"
+  "CMakeFiles/ts_tiering.dir/tier_table.cc.o"
+  "CMakeFiles/ts_tiering.dir/tier_table.cc.o.d"
+  "libts_tiering.a"
+  "libts_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

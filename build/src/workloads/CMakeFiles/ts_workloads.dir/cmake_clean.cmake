@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_workloads.dir/driver.cc.o"
+  "CMakeFiles/ts_workloads.dir/driver.cc.o.d"
+  "CMakeFiles/ts_workloads.dir/graph.cc.o"
+  "CMakeFiles/ts_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/ts_workloads.dir/graphsage.cc.o"
+  "CMakeFiles/ts_workloads.dir/graphsage.cc.o.d"
+  "CMakeFiles/ts_workloads.dir/kv_store.cc.o"
+  "CMakeFiles/ts_workloads.dir/kv_store.cc.o.d"
+  "CMakeFiles/ts_workloads.dir/masim.cc.o"
+  "CMakeFiles/ts_workloads.dir/masim.cc.o.d"
+  "CMakeFiles/ts_workloads.dir/xsbench.cc.o"
+  "CMakeFiles/ts_workloads.dir/xsbench.cc.o.d"
+  "libts_workloads.a"
+  "libts_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zpool/z3fold.cc" "src/zpool/CMakeFiles/ts_zpool.dir/z3fold.cc.o" "gcc" "src/zpool/CMakeFiles/ts_zpool.dir/z3fold.cc.o.d"
+  "/root/repo/src/zpool/zbud.cc" "src/zpool/CMakeFiles/ts_zpool.dir/zbud.cc.o" "gcc" "src/zpool/CMakeFiles/ts_zpool.dir/zbud.cc.o.d"
+  "/root/repo/src/zpool/zpool.cc" "src/zpool/CMakeFiles/ts_zpool.dir/zpool.cc.o" "gcc" "src/zpool/CMakeFiles/ts_zpool.dir/zpool.cc.o.d"
+  "/root/repo/src/zpool/zsmalloc.cc" "src/zpool/CMakeFiles/ts_zpool.dir/zsmalloc.cc.o" "gcc" "src/zpool/CMakeFiles/ts_zpool.dir/zsmalloc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ts_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ts_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_zpool.dir/z3fold.cc.o"
+  "CMakeFiles/ts_zpool.dir/z3fold.cc.o.d"
+  "CMakeFiles/ts_zpool.dir/zbud.cc.o"
+  "CMakeFiles/ts_zpool.dir/zbud.cc.o.d"
+  "CMakeFiles/ts_zpool.dir/zpool.cc.o"
+  "CMakeFiles/ts_zpool.dir/zpool.cc.o.d"
+  "CMakeFiles/ts_zpool.dir/zsmalloc.cc.o"
+  "CMakeFiles/ts_zpool.dir/zsmalloc.cc.o.d"
+  "libts_zpool.a"
+  "libts_zpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_zpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

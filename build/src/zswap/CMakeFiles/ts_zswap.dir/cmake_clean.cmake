@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_zswap.dir/compressed_tier.cc.o"
+  "CMakeFiles/ts_zswap.dir/compressed_tier.cc.o.d"
+  "CMakeFiles/ts_zswap.dir/zswap.cc.o"
+  "CMakeFiles/ts_zswap.dir/zswap.cc.o.d"
+  "libts_zswap.a"
+  "libts_zswap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_zswap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

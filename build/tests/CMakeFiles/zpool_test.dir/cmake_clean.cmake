@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zpool_test.dir/zpool_test.cc.o"
+  "CMakeFiles/zpool_test.dir/zpool_test.cc.o.d"
+  "zpool_test"
+  "zpool_test.pdb"
+  "zpool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zpool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

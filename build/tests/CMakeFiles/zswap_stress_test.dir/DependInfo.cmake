@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/zswap_stress_test.cc" "tests/CMakeFiles/zswap_stress_test.dir/zswap_stress_test.cc.o" "gcc" "tests/CMakeFiles/zswap_stress_test.dir/zswap_stress_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zswap/CMakeFiles/ts_zswap.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ts_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/zpool/CMakeFiles/ts_zpool.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ts_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zswap_stress_test.dir/zswap_stress_test.cc.o"
+  "CMakeFiles/zswap_stress_test.dir/zswap_stress_test.cc.o.d"
+  "zswap_stress_test"
+  "zswap_stress_test.pdb"
+  "zswap_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zswap_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

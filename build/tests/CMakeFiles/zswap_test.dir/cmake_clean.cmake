@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zswap_test.dir/zswap_test.cc.o"
+  "CMakeFiles/zswap_test.dir/zswap_test.cc.o.d"
+  "zswap_test"
+  "zswap_test.pdb"
+  "zswap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zswap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_test[1]_include.cmake")
+include("/root/repo/build/tests/zpool_test[1]_include.cmake")
+include("/root/repo/build/tests/zswap_test[1]_include.cmake")
+include("/root/repo/build/tests/telemetry_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/tiering_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/bitstream_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/zswap_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_property_test[1]_include.cmake")
+include("/root/repo/build/tests/daemon_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_edge_test[1]_include.cmake")
