@@ -1,0 +1,87 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace tierscape {
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = std::max(1, threads) - 1;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty() || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->size = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunShard(*batch);  // the caller is one of the workers
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return batch->completed >= batch->size; });
+  batch_.reset();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || (generation_ != seen && batch_ != nullptr); });
+      if (shutdown_) {
+        return;
+      }
+      seen = generation_;
+      batch = batch_;
+    }
+    RunShard(*batch);
+  }
+}
+
+void ThreadPool::RunShard(Batch& batch) {
+  std::size_t done = 0;
+  for (std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed); i < batch.size;
+       i = batch.next.fetch_add(1, std::memory_order_relaxed)) {
+    (*batch.fn)(i);
+    ++done;
+  }
+  if (done == 0) {
+    return;
+  }
+  bool finished = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch.completed += done;
+    finished = batch.completed >= batch.size;
+  }
+  if (finished) {
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace tierscape

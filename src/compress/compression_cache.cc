@@ -1,0 +1,24 @@
+#include "src/compress/compression_cache.h"
+
+namespace tierscape {
+
+void CompressionCache::Insert(std::uint64_t page, std::uint32_t version, Algorithm algorithm,
+                              std::uint64_t checksum, std::span<const std::byte> compressed) {
+  Entry& entry = entries_[page];
+  if (entry.valid) {
+    if (entry.version == version && entry.algorithm == algorithm) {
+      return;  // already cached
+    }
+    ++stats_.evictions;
+    cached_bytes_ -= entry.bytes.size();
+  }
+  entry.valid = true;
+  entry.version = version;
+  entry.algorithm = algorithm;
+  entry.compressed_size = static_cast<std::uint32_t>(compressed.size());
+  entry.checksum = checksum;
+  entry.bytes.assign(compressed.begin(), compressed.end());
+  cached_bytes_ += entry.bytes.size();
+}
+
+}  // namespace tierscape

@@ -1,0 +1,85 @@
+// Content-versioned memoization of per-page compression results.
+//
+// TierScape's daemon re-compresses the same pages window after window: a
+// region repacked into the tier it came from, or swept by the cost model's
+// ratio predictor, pays a full compress pass even though its contents did not
+// change. Page contents in this simulation are a pure function of
+// (page, version) — AddressSpace::DirtyPage bumps the version on every store
+// — so one slot per page keyed by (version, algorithm) memoizes the compressed
+// bytes and is invalidated for free by the existing version bump: a stale
+// version simply misses and the slot is overwritten.
+//
+// Thread-safety contract (matches the migration pipeline's two phases):
+// concurrent Lookup calls are safe; Insert and RecordLookup must run on a
+// single thread with no concurrent Lookup (the sequential apply phase).
+// Virtual time is never derived from cache behavior — a hit skips real
+// compression work only; the modeled store cost is charged from the
+// compressed size, which is identical either way.
+#ifndef SRC_COMPRESS_COMPRESSION_CACHE_H_
+#define SRC_COMPRESS_COMPRESSION_CACHE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/compress/compressor.h"
+
+namespace tierscape {
+
+class CompressionCache {
+ public:
+  struct Entry {
+    bool valid = false;
+    std::uint32_t version = 0;
+    Algorithm algorithm = Algorithm::kLzo;
+    std::uint32_t compressed_size = 0;  // full (unclamped) output size
+    std::uint64_t checksum = 0;         // PageChecksum of the original page
+    std::vector<std::byte> bytes;       // the compressed output
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;  // valid slots overwritten by a newer key
+    double HitRate() const {
+      const std::uint64_t lookups = hits + misses;
+      return lookups == 0 ? 0.0
+                          : static_cast<double>(hits) / static_cast<double>(lookups);
+    }
+  };
+
+  explicit CompressionCache(std::uint64_t total_pages) : entries_(total_pages) {}
+
+  // Returns the entry for (page, version, algorithm), or null on miss.
+  // Read-only; safe to call from parallel workers while no Insert runs.
+  const Entry* Lookup(std::uint64_t page, std::uint32_t version, Algorithm algorithm) const {
+    const Entry& entry = entries_[page];
+    if (entry.valid && entry.version == version && entry.algorithm == algorithm) {
+      return &entry;
+    }
+    return nullptr;
+  }
+
+  // Overwrites the page's slot. Single-threaded (sequential apply phase).
+  void Insert(std::uint64_t page, std::uint32_t version, Algorithm algorithm,
+              std::uint64_t checksum, std::span<const std::byte> compressed);
+
+  // Charges one lookup to the hit/miss counters. Kept separate from Lookup so
+  // parallel probe phases stay read-only and counter order stays deterministic.
+  void RecordLookup(bool hit) { hit ? ++stats_.hits : ++stats_.misses; }
+
+  const Stats& stats() const { return stats_; }
+  std::size_t page_slots() const { return entries_.size(); }
+  // Real bytes held by cached compressed outputs.
+  std::size_t cached_bytes() const { return cached_bytes_; }
+
+ private:
+  std::vector<Entry> entries_;
+  Stats stats_;
+  std::size_t cached_bytes_ = 0;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_COMPRESS_COMPRESSION_CACHE_H_

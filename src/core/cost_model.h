@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 
+#include "src/common/thread_pool.h"
 #include "src/common/units.h"
 #include "src/tiering/address_space.h"
 #include "src/tiering/tier_table.h"
@@ -45,6 +46,14 @@ class CostModel {
   // the region's data stored in `tier`; 1.0 for byte-addressable tiers.
   double PredictRatio(std::uint64_t region, int tier) const;
 
+  // Computes every ratio-cache miss across (region profile, compressed tier)
+  // pairs on `pool` — the sample-compression sweeps are pure, so they fan out
+  // — then inserts the results in deterministic scan order. After this, a
+  // Decide() sweep reads predicted ratios as hash lookups only. Exemplar
+  // regions match the serial first-query order (lowest region per profile),
+  // so the cached values are identical to an unwarmed serial run.
+  void PrewarmRatios(std::uint64_t total_regions, ThreadPool& pool) const;
+
   // Predicted access penalty (ns over DRAM) for one access to the region if
   // placed in `tier` (Eq. 6's delta / Lat_CT).
   Nanos RegionPenalty(std::uint64_t region, int tier) const;
@@ -52,6 +61,11 @@ class CostModel {
   const TierTable& tiers() const { return tiers_; }
 
  private:
+  // The uncached ratio computation: compresses sample pages of the region's
+  // content profile. Pure (no member mutation), so PrewarmRatios may run it
+  // from parallel workers.
+  double ComputeRatio(std::uint64_t region, int tier) const;
+
   const TierTable& tiers_;
   const AddressSpace& space_;
   std::uint64_t pebs_period_;

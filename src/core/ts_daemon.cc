@@ -41,8 +41,12 @@ Status TsDaemon::OnWindowEnd() {
   }
   engine_.ResetWindowFaults();
 
-  // 2. Model: ask the policy for a recommendation.
+  // 2. Model: ask the policy for a recommendation. Ratio-prediction misses
+  // cost real sample compression, so fan them out across the push threads
+  // first; the Decide() sweep then reads every predicted ratio as a hash
+  // lookup (values identical to an unwarmed serial run).
   if (policy_ != nullptr && config_.enable_migration) {
+    cost_model_.PrewarmRatios(engine_.space().total_regions(), engine_.thread_pool());
     PlacementInput input;
     input.regions.reserve(engine_.space().total_regions());
     for (std::uint64_t region = 0; region < engine_.space().total_regions(); ++region) {
@@ -88,10 +92,11 @@ Status TsDaemon::OnWindowEnd() {
     // 4. Migrate. A region is also re-packed when enough of its pages have
     // strayed (demand faults promote individual pages to DRAM; once an eighth
     // of the region sits outside the decided tier, push it back).
+    std::vector<std::uint64_t> histogram(engine_.tiers().count());  // reused per region
     for (std::size_t i = 0; i < decision->size(); ++i) {
       const int dst = (*decision)[i];
       if (dst == input.regions[i].current_tier) {
-        const auto histogram = engine_.RegionTierHistogram(input.regions[i].region);
+        engine_.RegionTierHistogram(input.regions[i].region, histogram);
         std::uint64_t total = 0;
         for (const std::uint64_t count : histogram) {
           total += count;

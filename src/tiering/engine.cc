@@ -9,6 +9,11 @@ namespace tierscape {
 TieringEngine::TieringEngine(AddressSpace& space, TierTable& tiers, EngineConfig config)
     : space_(space), tiers_(tiers), config_(config), sampler_(config.pebs_period) {
   pages_.resize(space_.total_pages());
+  tier_pages_.assign(tiers_.count(), 0);
+  thread_pool_ = std::make_unique<ThreadPool>(config_.migrate_threads);
+  if (config_.compression_cache) {
+    compression_cache_ = std::make_unique<CompressionCache>(space_.total_pages());
+  }
 }
 
 TieringEngine::~TieringEngine() {
@@ -39,10 +44,21 @@ Status TieringEngine::PlacePageInByteTier(std::uint64_t page, int tier) {
   if (!used.ok()) {
     return used.status();
   }
-  pages_[page].tier = *used;
+  SetPageTier(page, *used);
   pages_[page].location = frame;
   pages_[page].compressed_size = 0;
   return OkStatus();
+}
+
+void TieringEngine::SetPageTier(std::uint64_t page, int tier) {
+  PageState& state = pages_[page];
+  if (state.tier >= 0) {
+    --tier_pages_[state.tier];
+  }
+  state.tier = tier;
+  if (tier >= 0) {
+    ++tier_pages_[tier];
+  }
 }
 
 Status TieringEngine::PlaceInitial() {
@@ -63,7 +79,7 @@ Status TieringEngine::EvictPage(std::uint64_t page) {
   } else {
     TS_RETURN_IF_ERROR(ref.compressed->Invalidate(state.location));
   }
-  state.tier = -1;
+  SetPageTier(page, -1);
   return OkStatus();
 }
 
@@ -86,13 +102,11 @@ Nanos TieringEngine::HandleFault(std::uint64_t page) {
   record.latency += fault_cost;
   ++total_faults_;
 
-  const int came_from = state.tier;
   const Status freed = ctier.Invalidate(state.location);
   TS_CHECK(freed.ok()) << freed.ToString();
-  state.tier = -1;
+  SetPageTier(page, -1);
   const Status placed = PlacePageInByteTier(page, 0);
   TS_CHECK(placed.ok()) << "no byte tier space on fault: " << placed.ToString();
-  (void)came_from;
   return fault_cost;
 }
 
@@ -125,39 +139,135 @@ StatusOr<std::uint64_t> TieringEngine::MigrateRegion(std::uint64_t region, int d
     return InvalidArgument("engine: bad region");
   }
   const TierRef& dref = tiers_.tier(dst);
+  const std::uint64_t end_page =
+      std::min<std::uint64_t>(first_page + kPagesPerRegion, pages_.size());
+
+  migrate_staged_.clear();
+  for (std::uint64_t page = first_page; page < end_page; ++page) {
+    if (pages_[page].tier == dst || pages_[page].tier < 0) {
+      continue;
+    }
+    migrate_staged_.push_back(StagedPage{.page = page});
+  }
+
+  // Phase 1 — compression fan-out on the push threads (PT2, §7.2): byte-tier
+  // pages bound for a compressed destination are synthesized (contents are a
+  // pure function of page + version), probed against the compression cache
+  // (read-only here), and compressed into disjoint per-index scratch slots.
+  // Nothing shared is mutated, so the staged results — and therefore every
+  // virtual-time charge derived from them — are identical for any thread
+  // count. Compressed-tier sources are skipped: their decompression feeds
+  // source-pool statistics that must advance in page order (phase 2).
+  constexpr std::size_t kSlotBytes = 2 * kPageSize;
+  const bool compressed_dst = dref.kind == TierKind::kCompressed;
+  if (compressed_dst && !migrate_staged_.empty()) {
+    const Algorithm algorithm = dref.compressed->config().algorithm;
+    const Compressor& compressor = dref.compressed->compressor();
+    migrate_scratch_.resize(migrate_staged_.size() * kSlotBytes);
+    thread_pool_->ParallelFor(migrate_staged_.size(), [&](std::size_t i) {
+      StagedPage& staged = migrate_staged_[i];
+      if (tiers_.tier(pages_[staged.page].tier).kind != TierKind::kByteAddressable) {
+        return;
+      }
+      if (compression_cache_ != nullptr) {
+        const auto* entry = compression_cache_->Lookup(
+            staged.page, space_.PageVersion(staged.page), algorithm);
+        if (entry != nullptr) {
+          staged.cache_hit = true;
+          staged.compressed_ready = true;
+          staged.checksum = entry->checksum;
+          staged.bytes = entry->bytes;
+          return;
+        }
+      }
+      std::byte contents[kPageSize];
+      space_.SynthesizePage(staged.page, contents);
+      staged.checksum = PageChecksum(contents);
+      const std::span<std::byte> slot(&migrate_scratch_[i * kSlotBytes], kSlotBytes);
+      auto compressed = compressor.Compress(contents, slot);
+      if (!compressed.ok()) {
+        staged.compress_failed = true;
+        return;
+      }
+      staged.compressed_ready = true;
+      staged.bytes = slot.first(*compressed);
+    });
+  }
+
+  // Phase 2 — sequential apply in ascending page order: source loads, pool
+  // inserts, evictions, statistics, and virtual-time charges all happen here,
+  // bit-identical to a serial migration.
   std::uint64_t moved = 0;
   Nanos cost = 0;
   std::byte buffer[kPageSize];
 
-  for (std::uint64_t page = first_page;
-       page < std::min<std::uint64_t>(first_page + kPagesPerRegion, pages_.size()); ++page) {
+  for (std::size_t i = 0; i < migrate_staged_.size(); ++i) {
+    StagedPage& staged = migrate_staged_[i];
+    const std::uint64_t page = staged.page;
     PageState& state = pages_[page];
-    if (state.tier == dst || state.tier < 0) {
-      continue;
-    }
     const TierRef& sref = tiers_.tier(state.tier);
+    const bool byte_source = sref.kind == TierKind::kByteAddressable;
 
-    // Read the page contents: synthesize for byte tiers, decompress otherwise.
-    if (sref.kind == TierKind::kByteAddressable) {
-      space_.SynthesizePage(page, buffer);
+    // Read the page contents: charged for byte tiers (contents were staged in
+    // phase 1 when needed), really decompressed for compressed tiers.
+    if (byte_source) {
       cost += kPageSize / 64 * sref.medium->load_latency_ns();
     } else {
       TS_RETURN_IF_ERROR(sref.compressed->Load(state.location, buffer));
       cost += sref.compressed->LoadCost(state.compressed_size);
     }
 
-    if (dref.kind == TierKind::kByteAddressable) {
+    if (!compressed_dst) {
       auto frame = dref.medium->AllocFrame();
       if (!frame.ok()) {
         break;  // destination full: stop early
       }
       TS_RETURN_IF_ERROR(EvictPage(page));
-      state.tier = dst;
+      SetPageTier(page, dst);
       state.location = frame.value();
       state.compressed_size = 0;
       cost += kPageSize / 64 * dref.medium->load_latency_ns();
     } else {
-      auto stored = dref.compressed->Store(buffer);
+      CompressedTier& ctier = *dref.compressed;
+      const Algorithm algorithm = ctier.config().algorithm;
+      const std::uint32_t version = space_.PageVersion(page);
+      if (!byte_source && !staged.compressed_ready && !staged.compress_failed) {
+        // Compressed source: the contents only became available with the Load
+        // above, so compress now — still through the cache.
+        if (compression_cache_ != nullptr) {
+          const auto* entry = compression_cache_->Lookup(page, version, algorithm);
+          if (entry != nullptr) {
+            staged.cache_hit = true;
+            staged.compressed_ready = true;
+            staged.checksum = entry->checksum;
+            staged.bytes = entry->bytes;
+          }
+        }
+        if (!staged.compressed_ready) {
+          staged.checksum = PageChecksum(buffer);
+          const std::span<std::byte> slot(&migrate_scratch_[i * kSlotBytes], kSlotBytes);
+          auto compressed = ctier.compressor().Compress(buffer, slot);
+          if (compressed.ok()) {
+            staged.compressed_ready = true;
+            staged.bytes = slot.first(*compressed);
+          } else {
+            staged.compress_failed = true;
+          }
+        }
+      }
+      if (compression_cache_ != nullptr) {
+        compression_cache_->RecordLookup(staged.cache_hit);
+        if (!staged.cache_hit && staged.compressed_ready) {
+          compression_cache_->Insert(page, version, algorithm, staged.checksum, staged.bytes);
+        }
+      }
+      // A compress_failed page overflowed even the full scratch slot, so it
+      // cannot fit any tier's store limit: routing the whole slot through
+      // StoreCompressed reproduces Store's reject accounting.
+      auto stored = staged.compressed_ready
+                        ? ctier.StoreCompressed(staged.bytes)
+                        : ctier.StoreCompressed(std::span<const std::byte>(
+                              &migrate_scratch_[i * kSlotBytes], kSlotBytes));
       if (!stored.ok()) {
         if (stored.status().code() == StatusCode::kRejected) {
           continue;  // incompressible page: leave in place (zswap behaviour)
@@ -165,10 +275,10 @@ StatusOr<std::uint64_t> TieringEngine::MigrateRegion(std::uint64_t region, int d
         break;  // destination medium full: stop early
       }
       TS_RETURN_IF_ERROR(EvictPage(page));
-      state.tier = dst;
+      SetPageTier(page, dst);
       state.location = stored->handle;
       state.compressed_size = stored->compressed_size;
-      state.checksum = PageChecksum(buffer);
+      state.checksum = staged.checksum;
       cost += stored->latency;
     }
     ++moved;
@@ -192,17 +302,24 @@ double TieringEngine::DramOnlyTco() const {
 }
 
 std::vector<std::uint64_t> TieringEngine::PagesPerTier() const {
-  std::vector<std::uint64_t> counts(tiers_.count(), 0);
-  for (const PageState& state : pages_) {
-    if (state.tier >= 0) {
-      ++counts[state.tier];
+  if (config_.check_tier_counts) {
+    std::vector<std::uint64_t> scanned(tiers_.count(), 0);
+    for (const PageState& state : pages_) {
+      if (state.tier >= 0) {
+        ++scanned[state.tier];
+      }
+    }
+    for (int tier = 0; tier < tiers_.count(); ++tier) {
+      TS_CHECK_EQ(scanned[tier], tier_pages_[tier]) << "tier count drift at tier " << tier;
     }
   }
-  return counts;
+  return tier_pages_;
 }
 
-std::vector<std::uint64_t> TieringEngine::RegionTierHistogram(std::uint64_t region) const {
-  std::vector<std::uint64_t> counts(tiers_.count(), 0);
+void TieringEngine::RegionTierHistogram(std::uint64_t region,
+                                        std::span<std::uint64_t> counts) const {
+  TS_CHECK_EQ(counts.size(), static_cast<std::size_t>(tiers_.count()));
+  std::fill(counts.begin(), counts.end(), 0);
   const std::uint64_t first_page = region * kPagesPerRegion;
   for (std::uint64_t page = first_page;
        page < std::min<std::uint64_t>(first_page + kPagesPerRegion, pages_.size()); ++page) {
@@ -210,11 +327,28 @@ std::vector<std::uint64_t> TieringEngine::RegionTierHistogram(std::uint64_t regi
       ++counts[pages_[page].tier];
     }
   }
+}
+
+std::vector<std::uint64_t> TieringEngine::RegionTierHistogram(std::uint64_t region) const {
+  std::vector<std::uint64_t> counts(tiers_.count());
+  RegionTierHistogram(region, counts);
   return counts;
 }
 
 int TieringEngine::RegionTier(std::uint64_t region) const {
-  const auto counts = RegionTierHistogram(region);
+  // Tier sets are small (≤ a dozen in every assembly): a stack buffer keeps
+  // the per-window placement sweep allocation-free.
+  constexpr int kInlineTiers = 32;
+  std::uint64_t inline_counts[kInlineTiers];
+  std::vector<std::uint64_t> heap_counts;
+  std::span<std::uint64_t> counts;
+  if (tiers_.count() <= kInlineTiers) {
+    counts = std::span<std::uint64_t>(inline_counts, static_cast<std::size_t>(tiers_.count()));
+  } else {
+    heap_counts.resize(tiers_.count());
+    counts = heap_counts;
+  }
+  RegionTierHistogram(region, counts);
   return static_cast<int>(std::max_element(counts.begin(), counts.end()) - counts.begin());
 }
 

@@ -17,11 +17,15 @@
 #define SRC_TIERING_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
 #include "src/common/units.h"
+#include "src/compress/compression_cache.h"
 #include "src/telemetry/sampler.h"
 #include "src/tiering/address_space.h"
 #include "src/tiering/tier_table.h"
@@ -36,6 +40,18 @@ struct EngineConfig {
   double migration_interference = 0.05;
   // Verify page contents against checksums on every decompression fault.
   bool verify_contents = true;
+  // Push threads (PT2, §7.2) running the migration pipeline's compression
+  // fan-out and the cost model's ratio sweep. Wall-clock only: virtual-time
+  // results are byte-identical for every value (including 1 = serial).
+  int migrate_threads = 1;
+  // Memoize per-page compression results keyed by content version; a repeat
+  // store of an unchanged page skips the real compress pass. Never affects
+  // virtual time — the modeled store cost is derived from the compressed
+  // size, which is identical either way.
+  bool compression_cache = true;
+  // Debug cross-check: PagesPerTier() re-derives the counts with a full
+  // O(total_pages) scan and TS_CHECKs it against the incremental counters.
+  bool check_tier_counts = false;
 };
 
 class TieringEngine {
@@ -102,8 +118,14 @@ class TieringEngine {
 
   // --- bookkeeping ----------------------------------------------------------
   const PageState& page_state(std::uint64_t page) const { return pages_[page]; }
+  // Pages currently in each tier. O(tiers): counts are maintained
+  // incrementally on every placement change (optionally cross-checked against
+  // a full scan via EngineConfig::check_tier_counts).
   std::vector<std::uint64_t> PagesPerTier() const;
-  // Pages of `region` currently in each tier.
+  // Pages of `region` currently in each tier, written into caller-provided
+  // storage (`counts.size()` must be the tier count) — the allocation-free
+  // form for per-window loops.
+  void RegionTierHistogram(std::uint64_t region, std::span<std::uint64_t> counts) const;
   std::vector<std::uint64_t> RegionTierHistogram(std::uint64_t region) const;
   // Dominant tier of a region (where most of its pages live).
   int RegionTier(std::uint64_t region) const;
@@ -119,8 +141,23 @@ class TieringEngine {
   AddressSpace& space() { return space_; }
   TierTable& tiers() { return tiers_; }
   const EngineConfig& config() const { return config_; }
+  // The push-thread pool (size EngineConfig::migrate_threads); shared with
+  // TS-Daemon for the cost model's ratio sweep.
+  ThreadPool& thread_pool() { return *thread_pool_; }
+  // Null when EngineConfig::compression_cache is off.
+  const CompressionCache* compression_cache() const { return compression_cache_.get(); }
 
  private:
+  // One page of a migration batch staged by the parallel compress phase.
+  struct StagedPage {
+    std::uint64_t page = 0;
+    bool compressed_ready = false;  // bytes/checksum below are valid
+    bool cache_hit = false;
+    bool compress_failed = false;  // output overflowed even the full scratch
+    std::uint64_t checksum = 0;
+    std::span<const std::byte> bytes;  // cache entry or per-slot scratch
+  };
+
   // Allocates a frame on the byte tier `tier` or, when full, on successive
   // byte tiers. Returns the tier actually used.
   StatusOr<int> AllocByteFrame(int preferred_tier, std::uint64_t* frame_out);
@@ -128,12 +165,22 @@ class TieringEngine {
   Status PlacePageInByteTier(std::uint64_t page, int tier);
   // Handles an access to a compressed page: decompress + promote.
   Nanos HandleFault(std::uint64_t page);
+  // Moves a page between tier count buckets; the single mutation point for
+  // PageState::tier, keeping the incremental PagesPerTier() counts exact.
+  void SetPageTier(std::uint64_t page, int tier);
 
   AddressSpace& space_;
   TierTable& tiers_;
   EngineConfig config_;
   PebsSampler sampler_;
   std::vector<PageState> pages_;
+  std::vector<std::uint64_t> tier_pages_;  // incremental per-tier page counts
+  std::unique_ptr<ThreadPool> thread_pool_;
+  std::unique_ptr<CompressionCache> compression_cache_;
+  // Reused staging buffers for MigrateRegion (one compressed-output slot per
+  // page of a region), so the per-window migration loop does not allocate.
+  std::vector<std::byte> migrate_scratch_;
+  std::vector<StagedPage> migrate_staged_;
   Nanos clock_ = 0;
   Nanos opt_clock_ = 0;
   Nanos migration_ns_ = 0;

@@ -20,27 +20,39 @@ CompressedTier::CompressedTier(int tier_id, CompressedTierConfig config, Medium&
 
 StatusOr<CompressedTier::StoreResult> CompressedTier::Store(std::span<const std::byte> page) {
   TS_CHECK_EQ(page.size(), kPageSize);
-  const auto limit = static_cast<std::size_t>(config_.max_store_ratio * kPageSize);
-  std::byte scratch[kPageSize];
-  auto compressed = compressor_->Compress(page, std::span<std::byte>(scratch, limit));
+  // Compress unclamped so the output is a pure function of (contents,
+  // algorithm) — the property the compression cache memoizes — and apply the
+  // zswap rejection threshold to the true size in StoreCompressed.
+  std::byte scratch[2 * kPageSize];
+  auto compressed = compressor_->Compress(page, scratch);
   if (!compressed.ok()) {
     ++stats_.rejects;
     return Rejected(config_.label + ": page not compressible enough");
   }
-  auto handle = pool_->Alloc(*compressed);
+  return StoreCompressed(std::span<const std::byte>(scratch, *compressed));
+}
+
+StatusOr<CompressedTier::StoreResult> CompressedTier::StoreCompressed(
+    std::span<const std::byte> compressed) {
+  const auto limit = static_cast<std::size_t>(config_.max_store_ratio * kPageSize);
+  if (compressed.size() > limit) {
+    ++stats_.rejects;
+    return Rejected(config_.label + ": page not compressible enough");
+  }
+  auto handle = pool_->Alloc(compressed.size());
   if (!handle.ok()) {
     return handle.status();
   }
   auto dst = pool_->Map(*handle);
   TS_CHECK(dst.ok());
-  std::copy(scratch, scratch + *compressed, dst->data());
+  std::copy(compressed.begin(), compressed.end(), dst->data());
   ++stats_.stores;
-  total_compressed_bytes_ += *compressed;
+  total_compressed_bytes_ += compressed.size();
   ++total_stored_;
   StoreResult result;
   result.handle = *handle;
-  result.compressed_size = static_cast<std::uint32_t>(*compressed);
-  result.latency = StoreCost(*compressed);
+  result.compressed_size = static_cast<std::uint32_t>(compressed.size());
+  result.latency = StoreCost(compressed.size());
   return result;
 }
 

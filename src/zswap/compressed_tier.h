@@ -64,6 +64,14 @@ class CompressedTier {
   // the data is not compressible enough, kOutOfMemory if the medium is full.
   StatusOr<StoreResult> Store(std::span<const std::byte> page);
 
+  // Stores a page that was already compressed with this tier's algorithm —
+  // the compression-cache fast path of the migration pipeline. `compressed`
+  // must be exactly what `compressor().Compress` produces for the page's
+  // contents; rejection, statistics, pool placement, and the charged
+  // virtual-time cost are then identical to Store, only the real compression
+  // work is skipped.
+  StatusOr<StoreResult> StoreCompressed(std::span<const std::byte> compressed);
+
   // Decompresses the entry into `out` (must be kPageSize). Does not free.
   Status Load(ZPoolHandle handle, std::span<std::byte> out);
 

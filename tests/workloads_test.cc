@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "src/core/analytical.h"
 #include "src/workloads/driver.h"
@@ -161,6 +163,40 @@ TEST(DriverTest, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.mean_tco_savings, b.mean_tco_savings);
   EXPECT_EQ(a.total_faults, b.total_faults);
   EXPECT_EQ(a.migrated_pages, b.migrated_pages);
+}
+
+TEST(DriverTest, DeterministicAcrossThreadsAndCache) {
+  // Push threads and the compression cache are wall-clock-only knobs: every
+  // virtual-time observable must be byte-identical across all combinations.
+  auto run = [](int threads, bool cache) {
+    TieredSystem system(StandardMixConfig(64 * kMiB, 256 * kMiB));
+    MasimWorkload workload(DefaultMasimConfig(32 * kMiB));
+    AnalyticalPolicy policy(0.3);
+    ExperimentConfig config;
+    config.ops = 10000;
+    config.target_windows = 5;
+    config.engine.migrate_threads = threads;
+    config.engine.compression_cache = cache;
+    config.engine.check_tier_counts = true;
+    return RunExperiment(system, workload, &policy, config);
+  };
+  const ExperimentResult base = run(1, false);
+  for (const auto& [threads, cache] :
+       {std::pair<int, bool>{1, true}, {4, false}, {4, true}}) {
+    const ExperimentResult other = run(threads, cache);
+    SCOPED_TRACE("threads=" + std::to_string(threads) + " cache=" + std::to_string(cache));
+    EXPECT_DOUBLE_EQ(base.slowdown, other.slowdown);
+    EXPECT_DOUBLE_EQ(base.mean_tco_savings, other.mean_tco_savings);
+    EXPECT_EQ(base.total_faults, other.total_faults);
+    EXPECT_EQ(base.migrated_pages, other.migrated_pages);
+    ASSERT_EQ(base.windows.size(), other.windows.size());
+    for (std::size_t w = 0; w < base.windows.size(); ++w) {
+      EXPECT_EQ(base.windows[w].actual_pages, other.windows[w].actual_pages);
+      EXPECT_EQ(base.windows[w].faults, other.windows[w].faults);
+      EXPECT_EQ(base.windows[w].migrated_pages, other.windows[w].migrated_pages);
+      EXPECT_DOUBLE_EQ(base.windows[w].tco, other.windows[w].tco);
+    }
+  }
 }
 
 }  // namespace
