@@ -3,12 +3,16 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/table.h"
+#include "src/obs/export.h"
+#include "src/obs/observability.h"
 #include "src/core/analytical.h"
 #include "src/core/baselines.h"
 #include "src/core/tier_specs.h"
@@ -22,6 +26,56 @@
 
 namespace tierscape {
 namespace bench {
+
+// Scoped observability artifact dump for one bench binary (DESIGN.md §4b,
+// EXPERIMENTS.md "Observability artifacts"). Constructed at the top of main:
+// resets the process-default registry/recorder so the artifact covers exactly
+// this run, and on destruction writes
+//   $TIERSCAPE_OBS_DIR/<name>.metrics.jsonl          (default obs_artifacts/)
+//   $TIERSCAPE_OBS_DIR/<name>.trace.json             (when TIERSCAPE_TRACE=1)
+// The trace is chrome://tracing / Perfetto-loadable. Setting TIERSCAPE_OBS_DIR
+// to the empty string disables the dump. Benches aggregate every cell into one
+// registry (all cells share Observability::Default()).
+class ObsArtifactSession {
+ public:
+  explicit ObsArtifactSession(std::string name) : name_(std::move(name)) {
+    const char* dir = std::getenv("TIERSCAPE_OBS_DIR");
+    dir_ = dir != nullptr ? dir : "obs_artifacts";
+    const char* trace = std::getenv("TIERSCAPE_TRACE");
+    trace_ = trace != nullptr && trace[0] == '1';
+    Observability& obs = Observability::Default();
+    obs.metrics.Reset();
+    obs.trace.Clear();
+    obs.trace.SetEnabled(trace_);
+  }
+
+  ObsArtifactSession(const ObsArtifactSession&) = delete;
+  ObsArtifactSession& operator=(const ObsArtifactSession&) = delete;
+
+  ~ObsArtifactSession() {
+    Observability& obs = Observability::Default();
+    obs.trace.SetEnabled(false);
+    if (dir_.empty()) {
+      return;
+    }
+    const std::string base = dir_ + "/" + name_;
+    Status status = WriteSnapshotJsonl(obs.metrics.Snapshot(), base + ".metrics.jsonl");
+    if (status.ok() && trace_) {
+      status = obs.trace.WriteChromeJson(base + ".trace.json");
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "[obs] artifact dump failed: %s\n", status.ToString().c_str());
+      return;
+    }
+    std::fprintf(stderr, "[obs] wrote %s.metrics.jsonl%s\n", base.c_str(),
+                 trace_ ? " and .trace.json" : "");
+  }
+
+ private:
+  std::string name_;
+  std::string dir_;
+  bool trace_ = false;
+};
 
 // Builds a Table-2 workload by name at simulation scale. Scale multiplies the
 // default footprint (1.0 ~ 50-100 MiB simulated RSS).

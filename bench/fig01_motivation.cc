@@ -14,6 +14,7 @@ using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
+  tierscape::bench::ObsArtifactSession obs_session("fig01_motivation");
   const std::string workload = "memcached-ycsb";
   const std::size_t footprint = WorkloadFootprint(workload);
 

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/common/table.h"
 #include "src/compress/corpus.h"
 #include "src/core/tier_specs.h"
@@ -23,6 +24,7 @@
 using namespace tierscape;
 
 int main() {
+  tierscape::bench::ObsArtifactSession obs_session("fig02_characterization");
   constexpr std::size_t kDataPages = 2560;  // 10 MiB per tier (paper: 10 GB)
 
   for (const CorpusProfile profile : {CorpusProfile::kNci, CorpusProfile::kDickens}) {

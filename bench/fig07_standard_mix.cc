@@ -15,6 +15,7 @@ using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
+  tierscape::bench::ObsArtifactSession obs_session("fig07_standard_mix");
   const char* workloads[] = {"memcached-ycsb",  "memcached-memtier-1k",
                              "memcached-memtier-4k", "redis-ycsb",
                              "bfs",             "pagerank",

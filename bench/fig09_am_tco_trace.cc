@@ -15,6 +15,7 @@ using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
+  tierscape::bench::ObsArtifactSession obs_session("fig09_am_tco_trace");
   const std::string workload = "memcached-ycsb";
   const std::size_t footprint = WorkloadFootprint(workload);
   const auto make_system = [&]() {

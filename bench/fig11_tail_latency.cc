@@ -14,6 +14,7 @@ using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
+  tierscape::bench::ObsArtifactSession obs_session("fig11_tail_latency");
   const std::string workload = "redis-ycsb";
   const std::size_t footprint = WorkloadFootprint(workload);
   const auto make_system = [&]() {

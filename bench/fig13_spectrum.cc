@@ -16,6 +16,7 @@ using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
+  tierscape::bench::ObsArtifactSession obs_session("fig13_spectrum");
   const char* workloads[] = {"memcached-ycsb", "redis-ycsb", "bfs", "pagerank"};
 
   struct Setting {

@@ -14,6 +14,7 @@ using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
+  tierscape::bench::ObsArtifactSession obs_session("fig14_daemon_tax");
   const std::string workload = "memcached-memtier-1k";
   const std::size_t footprint = WorkloadFootprint(workload);
   const auto make_system = [&]() {

@@ -93,6 +93,7 @@ RunResult RunConfig(int threads, bool cache) {
 }  // namespace
 
 int main() {
+  tierscape::bench::ObsArtifactSession obs_session("micro_migration");
   struct Config {
     int threads;
     bool cache;

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/common/table.h"
 #include "src/compress/corpus.h"
 #include "src/mem/medium.h"
@@ -14,6 +15,7 @@
 using namespace tierscape;
 
 int main() {
+  tierscape::bench::ObsArtifactSession obs_session("tab01_tier_space");
   constexpr std::size_t kDataPages = 512;  // 2 MiB probe per tier
   const MediumKind media[] = {MediumKind::kDram, MediumKind::kCxl, MediumKind::kNvmm};
 

@@ -43,7 +43,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    // Compose the whole line (newline included) first and emit it with one
+    // fwrite: concurrent loggers then never interleave partial lines, which
+    // fprintf's separate format-and-newline path does not guarantee.
+    std::string line = stream_.str();
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stderr);
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

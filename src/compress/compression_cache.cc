@@ -10,6 +10,9 @@ void CompressionCache::Insert(std::uint64_t page, std::uint32_t version, Algorit
       return;  // already cached
     }
     ++stats_.evictions;
+    if (m_evictions_ != nullptr) {
+      m_evictions_->Add();
+    }
     cached_bytes_ -= entry.bytes.size();
   }
   entry.valid = true;
@@ -19,6 +22,9 @@ void CompressionCache::Insert(std::uint64_t page, std::uint32_t version, Algorit
   entry.checksum = checksum;
   entry.bytes.assign(compressed.begin(), compressed.end());
   cached_bytes_ += entry.bytes.size();
+  if (m_bytes_ != nullptr) {
+    m_bytes_->Set(static_cast<double>(cached_bytes_));
+  }
 }
 
 }  // namespace tierscape

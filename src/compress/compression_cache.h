@@ -24,6 +24,7 @@
 
 #include "src/common/units.h"
 #include "src/compress/compressor.h"
+#include "src/obs/metrics.h"
 
 namespace tierscape {
 
@@ -49,7 +50,20 @@ class CompressionCache {
     }
   };
 
-  explicit CompressionCache(std::uint64_t total_pages) : entries_(total_pages) {}
+  // `metrics` (may be null) receives the cache counters and cached-bytes
+  // gauge alongside the local Stats. The cache is a wall-clock-only knob —
+  // whether it exists (and what it hits) must never influence virtual-time
+  // results — so its metrics live under the "wall/" quarantine prefix and are
+  // excluded from determinism comparisons (metrics.h).
+  explicit CompressionCache(std::uint64_t total_pages, MetricsRegistry* metrics = nullptr)
+      : entries_(total_pages) {
+    if (metrics != nullptr) {
+      m_hits_ = &metrics->GetCounter("wall/compress_cache/hits");
+      m_misses_ = &metrics->GetCounter("wall/compress_cache/misses");
+      m_evictions_ = &metrics->GetCounter("wall/compress_cache/evictions");
+      m_bytes_ = &metrics->GetGauge("wall/compress_cache/bytes");
+    }
+  }
 
   // Returns the entry for (page, version, algorithm), or null on miss.
   // Read-only; safe to call from parallel workers while no Insert runs.
@@ -67,7 +81,12 @@ class CompressionCache {
 
   // Charges one lookup to the hit/miss counters. Kept separate from Lookup so
   // parallel probe phases stay read-only and counter order stays deterministic.
-  void RecordLookup(bool hit) { hit ? ++stats_.hits : ++stats_.misses; }
+  void RecordLookup(bool hit) {
+    hit ? ++stats_.hits : ++stats_.misses;
+    if (m_hits_ != nullptr) {
+      hit ? m_hits_->Add() : m_misses_->Add();
+    }
+  }
 
   const Stats& stats() const { return stats_; }
   std::size_t page_slots() const { return entries_.size(); }
@@ -78,6 +97,11 @@ class CompressionCache {
   std::vector<Entry> entries_;
   Stats stats_;
   std::size_t cached_bytes_ = 0;
+  // Optional metric handles (all set or all null).
+  Counter* m_hits_ = nullptr;
+  Counter* m_misses_ = nullptr;
+  Counter* m_evictions_ = nullptr;
+  Gauge* m_bytes_ = nullptr;
 };
 
 }  // namespace tierscape

@@ -122,6 +122,18 @@ FilterStats MigrationFilter::Apply(const PlacementInput& input, PlacementDecisio
     }
     ++stats.kept;
   }
+
+  // Filters run once per window — registry lookups here are off the hot path.
+  MetricsRegistry& metrics = engine.obs().metrics;
+  metrics.GetCounter("filter/kept").Add(stats.kept);
+  metrics.GetCounter("filter/dropped_capacity").Add(stats.dropped_capacity);
+  metrics.GetCounter("filter/dropped_pressure").Add(stats.dropped_pressure);
+  metrics.GetCounter("filter/dropped_benefit").Add(stats.dropped_benefit);
+  metrics.GetCounter("filter/dropped_hysteresis").Add(stats.dropped_hysteresis);
+  TS_TRACE_INSTANT(&engine.obs().trace, "filter/apply",
+                   "\"kept\":" + std::to_string(stats.kept) + ",\"dropped\":" +
+                       std::to_string(stats.dropped_capacity + stats.dropped_pressure +
+                                      stats.dropped_benefit + stats.dropped_hysteresis));
   return stats;
 }
 

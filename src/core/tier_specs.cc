@@ -74,6 +74,9 @@ SystemConfig SpectrumConfig(std::size_t dram_bytes, std::size_t nvmm_bytes) {
 }
 
 TieredSystem::TieredSystem(const SystemConfig& config) {
+  obs_ = &ResolveObs(config.obs);
+  zswap_.set_obs(obs_);
+  tiers_.set_obs(obs_);
   dram_ = std::make_unique<Medium>(DramSpec(config.dram_bytes));
   if (config.nvmm_bytes > 0) {
     nvmm_ = std::make_unique<Medium>(NvmmSpec(config.nvmm_bytes));

@@ -43,6 +43,10 @@ struct SystemConfig {
   std::size_t cxl_bytes = 0;           // 0 = no CXL medium
   bool nvmm_byte_tier = true;          // expose NVMM as a byte-addressable tier
   std::vector<CompressedTierSpec> compressed_tiers;
+  // Observability scope for the whole assembly (zswap tiers, pools, engine,
+  // daemon). Null means the process-wide Observability::Default(). Pass a
+  // per-run instance to compare runs metric-for-metric (determinism tests).
+  Observability* obs = nullptr;
 };
 
 // Convenience assemblies.
@@ -61,6 +65,7 @@ class TieredSystem {
   Medium* cxl() { return cxl_.get(); }
   TierTable& tiers() { return tiers_; }
   ZswapBackend& zswap() { return zswap_; }
+  Observability& obs() { return *obs_; }
 
  private:
   Medium& MediumFor(MediumKind kind);
@@ -68,6 +73,7 @@ class TieredSystem {
   std::unique_ptr<Medium> dram_;
   std::unique_ptr<Medium> nvmm_;
   std::unique_ptr<Medium> cxl_;
+  Observability* obs_ = nullptr;  // resolved: never null after construction
   ZswapBackend zswap_;
   TierTable tiers_;
 };

@@ -17,9 +17,29 @@ TsDaemon::TsDaemon(TieringEngine& engine, PlacementPolicy* policy, DaemonConfig 
   for (std::uint64_t region = 0; region < engine.space().total_regions(); ++region) {
     hotness_.Track(region);
   }
+  MetricsRegistry& metrics = engine.obs().metrics;
+  m_windows_ = &metrics.GetCounter("daemon/windows");
+  m_samples_ = &metrics.GetCounter("daemon/samples");
+  m_telemetry_ns_ = &metrics.GetCounter("daemon/telemetry_ns");
+  m_solve_ns_ = &metrics.GetCounter("daemon/solve_ns");
+  m_migrated_pages_ = &metrics.GetCounter("daemon/migrated_pages");
+  m_solver_solves_ = &metrics.GetCounter("solver/solves");
+  m_solver_cells_ = &metrics.GetCounter("solver/cells");
+  m_last_tco_ = &metrics.GetGauge("daemon/last/tco");
+  m_last_tco_savings_ = &metrics.GetGauge("daemon/last/tco_savings");
+  m_last_threshold_ = &metrics.GetGauge("daemon/last/hotness_threshold");
+  m_wall_last_solve_ms_ = &metrics.GetGauge("wall/solver/last_solve_ms");
+  m_wall_total_solve_ms_ = &metrics.GetGauge("wall/solver/total_solve_ms");
+  // Window-shape distributions: pages repacked and samples drained per window.
+  static constexpr std::uint64_t kMigratedBounds[] = {0,    64,    512,   4096,
+                                                      8192, 16384, 65536, 262144};
+  static constexpr std::uint64_t kSampleBounds[] = {0, 16, 64, 256, 1024, 4096, 16384};
+  m_window_migrated_ = &metrics.GetHistogram("daemon/window_migrated_pages", kMigratedBounds);
+  m_window_samples_ = &metrics.GetHistogram("daemon/window_samples", kSampleBounds);
 }
 
 Status TsDaemon::OnWindowEnd() {
+  TS_TRACE_SPAN(&engine_.obs().trace, "daemon/window");
   WindowRecord record;
   record.window = history_.size();
 
@@ -33,6 +53,9 @@ Status TsDaemon::OnWindowEnd() {
   const Nanos telemetry_cost = n_samples * config_.per_sample_cost;
   engine_.Compute(telemetry_cost);
   charged_overhead_ns_ += telemetry_cost;
+  m_samples_->Add(n_samples);
+  m_telemetry_ns_->Add(telemetry_cost);
+  m_window_samples_->Record(n_samples);
 
   // Per-tier faults observed during the closing window.
   record.faults.assign(engine_.tiers().count(), 0);
@@ -80,6 +103,11 @@ Status TsDaemon::OnWindowEnd() {
       }
       engine_.Compute(solve_cost);
       charged_overhead_ns_ += solve_cost;
+      m_solver_solves_->Add();
+      m_solver_cells_->Add(input.regions.size() * engine_.tiers().count());
+      m_solve_ns_->Add(solve_cost);
+      m_wall_last_solve_ms_->Set(analytical->stats().last_solve_ms);
+      m_wall_total_solve_ms_->Set(analytical->stats().total_solve_ms);
     }
 
     // 3. Filter (§6.7), then record the post-filter recommendation.
@@ -119,6 +147,12 @@ Status TsDaemon::OnWindowEnd() {
   record.tco = engine_.CurrentTco();
   record.tco_savings = engine_.TcoSavings();
   record.at = engine_.now();
+  m_windows_->Add();
+  m_migrated_pages_->Add(record.migrated_pages);
+  m_window_migrated_->Record(record.migrated_pages);
+  m_last_tco_->Set(record.tco);
+  m_last_tco_savings_->Set(record.tco_savings);
+  m_last_threshold_->Set(record.hotness_threshold);
   history_.push_back(std::move(record));
   next_window_at_ = engine_.now() + config_.profile_window;
   return OkStatus();

@@ -114,6 +114,22 @@ class TsDaemon {
   std::uint64_t ops_since_window_ = 0;
   Nanos charged_overhead_ns_ = 0;
   std::vector<WindowRecord> history_;
+  // Cached "daemon/..." and "solver/..." handles (engine's observability
+  // scope), resolved once in the constructor.
+  Counter* m_windows_ = nullptr;
+  Counter* m_samples_ = nullptr;
+  Counter* m_telemetry_ns_ = nullptr;
+  Counter* m_solve_ns_ = nullptr;
+  Counter* m_migrated_pages_ = nullptr;
+  Counter* m_solver_solves_ = nullptr;
+  Counter* m_solver_cells_ = nullptr;
+  Gauge* m_last_tco_ = nullptr;
+  Gauge* m_last_tco_savings_ = nullptr;
+  Gauge* m_last_threshold_ = nullptr;
+  Gauge* m_wall_last_solve_ms_ = nullptr;   // wall/: excluded from determinism
+  Gauge* m_wall_total_solve_ms_ = nullptr;  // comparisons (metrics.h)
+  FixedHistogram* m_window_migrated_ = nullptr;
+  FixedHistogram* m_window_samples_ = nullptr;
 };
 
 }  // namespace tierscape

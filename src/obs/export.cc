@@ -1,0 +1,138 @@
+#include "src/obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+namespace tierscape {
+namespace {
+
+void AppendU64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out += buf;
+}
+
+void AppendU64Array(std::string& out, const std::vector<std::uint64_t>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    AppendU64(out, values[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string FormatMetricNumber(double value) {
+  char buf[48];
+  if (std::isfinite(value) && value == std::floor(value) && std::fabs(value) < 9e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+  }
+  return buf;
+}
+
+std::string MetricToJson(const MetricSnapshot& metric) {
+  std::string out;
+  out.reserve(96);
+  out += "{\"name\":\"";
+  out += metric.name;  // names are repo-chosen identifiers, never need escaping
+  out += "\",\"kind\":\"";
+  out += MetricKindName(metric.kind);
+  out += '"';
+  switch (metric.kind) {
+    case MetricKind::kCounter:
+      out += ",\"value\":";
+      AppendU64(out, metric.count);
+      break;
+    case MetricKind::kGauge:
+      out += ",\"value\":";
+      out += FormatMetricNumber(metric.value);
+      break;
+    case MetricKind::kHistogram:
+      out += ",\"count\":";
+      AppendU64(out, metric.count);
+      out += ",\"sum\":";
+      AppendU64(out, metric.sum);
+      out += ",\"min\":";
+      AppendU64(out, metric.min);
+      out += ",\"max\":";
+      AppendU64(out, metric.max);
+      out += ",\"bounds\":";
+      AppendU64Array(out, metric.bounds);
+      out += ",\"buckets\":";
+      AppendU64Array(out, metric.buckets);
+      break;
+  }
+  out += '}';
+  return out;
+}
+
+std::string SnapshotToJsonl(const RegistrySnapshot& snapshot, WallMetrics wall) {
+  std::string out;
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    if (wall == WallMetrics::kExclude && IsWallMetric(metric.name)) {
+      continue;
+    }
+    out += MetricToJson(metric);
+    out += '\n';
+  }
+  return out;
+}
+
+TablePrinter SnapshotToTable(const RegistrySnapshot& snapshot, WallMetrics wall) {
+  TablePrinter table({"metric", "kind", "value"});
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    if (wall == WallMetrics::kExclude && IsWallMetric(metric.name)) {
+      continue;
+    }
+    std::string value;
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        value = std::to_string(metric.count);
+        break;
+      case MetricKind::kGauge:
+        value = FormatMetricNumber(metric.value);
+        break;
+      case MetricKind::kHistogram:
+        value = "count=" + std::to_string(metric.count) + " sum=" + std::to_string(metric.sum) +
+                " max=" + std::to_string(metric.max);
+        break;
+    }
+    table.AddRow({metric.name, std::string(MetricKindName(metric.kind)), std::move(value)});
+  }
+  return table;
+}
+
+Status WriteTextFile(const std::string& path, std::string_view contents) {
+  std::error_code ec;
+  const std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+    if (ec) {
+      return Internal("obs: cannot create directory for " + path + ": " + ec.message());
+    }
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Internal("obs: cannot open " + path + " for writing");
+  }
+  const std::size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  const int closed = std::fclose(file);
+  if (written != contents.size() || closed != 0) {
+    return Internal("obs: short write to " + path);
+  }
+  return OkStatus();
+}
+
+Status WriteSnapshotJsonl(const RegistrySnapshot& snapshot, const std::string& path,
+                          WallMetrics wall) {
+  return WriteTextFile(path, SnapshotToJsonl(snapshot, wall));
+}
+
+}  // namespace tierscape

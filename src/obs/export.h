@@ -1,0 +1,53 @@
+// Deterministic serialization of metric snapshots: JSONL (one metric per
+// line, sorted by name) for machine consumption and TablePrinter rendering
+// for the bench harnesses' stdout reports.
+//
+// All formatting is locale-independent and value-deterministic: the same
+// snapshot always serializes to the same bytes, which is what lets the
+// determinism tests compare exports directly.
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/common/table.h"
+#include "src/obs/metrics.h"
+
+namespace tierscape {
+
+// Governs whether "wall/"-prefixed metrics (wall-clock-derived values,
+// excluded from determinism comparison) appear in an export.
+enum class WallMetrics { kInclude, kExclude };
+
+// One JSON object for a single metric, e.g.
+//   {"name":"engine/faults","kind":"counter","value":123}
+//   {"name":"zpool/CT-1/frag_pct","kind":"gauge","value":12.5}
+//   {"name":"daemon/window_migrated_pages","kind":"histogram","count":4,
+//    "sum":2048,"min":0,"max":1024,"bounds":[64,512],"buckets":[1,2,1]}
+std::string MetricToJson(const MetricSnapshot& metric);
+
+// One metric per line, trailing newline after each, sorted-name order
+// inherited from the snapshot.
+std::string SnapshotToJsonl(const RegistrySnapshot& snapshot,
+                            WallMetrics wall = WallMetrics::kInclude);
+
+// Renders `metric | kind | value` rows for stdout reports.
+TablePrinter SnapshotToTable(const RegistrySnapshot& snapshot,
+                             WallMetrics wall = WallMetrics::kInclude);
+
+// Writes SnapshotToJsonl to `path`, creating parent directories.
+Status WriteSnapshotJsonl(const RegistrySnapshot& snapshot, const std::string& path,
+                          WallMetrics wall = WallMetrics::kInclude);
+
+// Shared helper: deterministic number rendering ("12" for integral values,
+// shortest-ish fixed form otherwise — never locale-dependent).
+std::string FormatMetricNumber(double value);
+
+// Writes `contents` to `path`, creating parent directories as needed.
+Status WriteTextFile(const std::string& path, std::string_view contents);
+
+}  // namespace tierscape
+
+#endif  // SRC_OBS_EXPORT_H_

@@ -1,0 +1,178 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace tierscape {
+
+std::string_view MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+FixedHistogram::FixedHistogram(std::span<const std::uint64_t> bounds)
+    : bounds_(bounds.begin(), bounds.end()), buckets_(bounds.size() + 1, 0) {
+  TS_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  TS_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+}
+
+void FixedHistogram::Record(std::uint64_t value, std::uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())] += n;
+  count_ += n;
+  sum_ += value * n;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void FixedHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+const MetricSnapshot* RegistrySnapshot::Find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      metrics.begin(), metrics.end(), name,
+      [](const MetricSnapshot& m, std::string_view n) { return m.name < n; });
+  if (it == metrics.end() || it->name != name) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  auto it = instruments_.find(name);
+  if (it == instruments_.end()) {
+    Instrument instrument;
+    instrument.kind = MetricKind::kCounter;
+    instrument.counter = std::make_unique<Counter>();
+    it = instruments_.emplace(std::string(name), std::move(instrument)).first;
+  }
+  TS_CHECK(it->second.kind == MetricKind::kCounter)
+      << "metric '" << it->first << "' already registered as "
+      << MetricKindName(it->second.kind);
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  auto it = instruments_.find(name);
+  if (it == instruments_.end()) {
+    Instrument instrument;
+    instrument.kind = MetricKind::kGauge;
+    instrument.gauge = std::make_unique<Gauge>();
+    it = instruments_.emplace(std::string(name), std::move(instrument)).first;
+  }
+  TS_CHECK(it->second.kind == MetricKind::kGauge)
+      << "metric '" << it->first << "' already registered as "
+      << MetricKindName(it->second.kind);
+  return *it->second.gauge;
+}
+
+FixedHistogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                              std::span<const std::uint64_t> bounds) {
+  auto it = instruments_.find(name);
+  if (it == instruments_.end()) {
+    Instrument instrument;
+    instrument.kind = MetricKind::kHistogram;
+    instrument.histogram.reset(new FixedHistogram(bounds));
+    it = instruments_.emplace(std::string(name), std::move(instrument)).first;
+  }
+  TS_CHECK(it->second.kind == MetricKind::kHistogram)
+      << "metric '" << it->first << "' already registered as "
+      << MetricKindName(it->second.kind);
+  return *it->second.histogram;
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snapshot;
+  snapshot.metrics.reserve(instruments_.size());
+  for (const auto& [name, instrument] : instruments_) {
+    MetricSnapshot metric;
+    metric.name = name;
+    metric.kind = instrument.kind;
+    switch (instrument.kind) {
+      case MetricKind::kCounter:
+        metric.count = instrument.counter->value();
+        break;
+      case MetricKind::kGauge:
+        metric.value = instrument.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const FixedHistogram& histogram = *instrument.histogram;
+        metric.count = histogram.count();
+        metric.sum = histogram.sum();
+        metric.min = histogram.min();
+        metric.max = histogram.max();
+        metric.bounds = histogram.bounds();
+        metric.buckets = histogram.buckets();
+        break;
+      }
+    }
+    snapshot.metrics.push_back(std::move(metric));
+  }
+  return snapshot;
+}
+
+RegistrySnapshot MetricsRegistry::Delta(const RegistrySnapshot& before,
+                                        const RegistrySnapshot& after) {
+  RegistrySnapshot delta;
+  delta.metrics.reserve(after.metrics.size());
+  for (const MetricSnapshot& current : after.metrics) {
+    const MetricSnapshot* prior = before.Find(current.name);
+    MetricSnapshot metric = current;
+    if (prior != nullptr && prior->kind == current.kind) {
+      switch (current.kind) {
+        case MetricKind::kCounter:
+          metric.count = current.count - prior->count;
+          break;
+        case MetricKind::kGauge:
+          break;  // gauges report the after level
+        case MetricKind::kHistogram:
+          metric.count = current.count - prior->count;
+          metric.sum = current.sum - prior->sum;
+          // min/max cannot be recovered for the interval; report the
+          // cumulative extremes, which is the conventional histogram delta.
+          for (std::size_t i = 0;
+               i < metric.buckets.size() && i < prior->buckets.size(); ++i) {
+            metric.buckets[i] = current.buckets[i] - prior->buckets[i];
+          }
+          break;
+      }
+    }
+    delta.metrics.push_back(std::move(metric));
+  }
+  return delta;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, instrument] : instruments_) {
+    switch (instrument.kind) {
+      case MetricKind::kCounter:
+        instrument.counter->value_ = 0;
+        break;
+      case MetricKind::kGauge:
+        instrument.gauge->value_ = 0.0;
+        break;
+      case MetricKind::kHistogram:
+        instrument.histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace tierscape

@@ -1,0 +1,162 @@
+// Deterministic metrics registry: named counters, gauges, and fixed-bucket
+// histograms for every layer of the daemon stack (zswap, zpool, compression
+// cache, engine, filter, solver/daemon).
+//
+// Design rules (DESIGN.md §4b):
+//  * Handles are cheap and stable: GetCounter/GetGauge/GetHistogram return a
+//    reference that lives as long as the registry. Instrumented components
+//    resolve their handles once at construction; the hot path is a single
+//    integer add with no map lookup.
+//  * Exports are deterministic: snapshots list instruments in sorted-name
+//    order, so registration order (which may differ across assemblies) never
+//    leaks into output.
+//  * Determinism quarantine: every value that is not a pure function of the
+//    virtual execution — wall-clock measurements (solve ms) and observables of
+//    wall-clock-only knobs (compression-cache hits, fan-out composition) —
+//    must live under the "wall/" name prefix. Exports can exclude that prefix,
+//    which is what the determinism tests compare byte-for-byte across thread
+//    counts and cache settings.
+//  * Thread-compatibility matches the pipeline invariant (thread_pool.h):
+//    instruments are plain non-atomic state and may only be mutated from the
+//    orchestrator thread (submission order); parallel workers never touch
+//    them.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tierscape {
+
+// Metric names under this prefix carry values that may vary with wall-clock
+// measurement or wall-clock-only knobs; they are excluded from determinism
+// comparisons.
+inline constexpr std::string_view kWallMetricPrefix = "wall/";
+
+inline bool IsWallMetric(std::string_view name) {
+  return name.substr(0, kWallMetricPrefix.size()) == kWallMetricPrefix;
+}
+
+// Monotonic event/amount count.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::uint64_t value_ = 0;
+};
+
+// Last-observed level (occupancy, ratio, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  double value_ = 0.0;
+};
+
+// Fixed-bucket histogram: counts per inclusive upper bound plus one overflow
+// bucket. Bounds are fixed at registration, so bucket layout — and therefore
+// every export — is independent of the recorded values.
+class FixedHistogram {
+ public:
+  void Record(std::uint64_t value, std::uint64_t n = 1);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+  // bounds().size() + 1 entries; the last one counts values above every bound.
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit FixedHistogram(std::span<const std::uint64_t> bounds);
+  void Reset();
+
+  std::vector<std::uint64_t> bounds_;   // ascending inclusive upper bounds
+  std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1 (last = overflow)
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
+};
+
+enum class MetricKind { kCounter = 0, kGauge, kHistogram };
+
+std::string_view MetricKindName(MetricKind kind);
+
+// Point-in-time value of one instrument (see MetricsRegistry::Snapshot).
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;  // counter value, or histogram sample count
+  double value = 0.0;       // gauge value
+  std::uint64_t sum = 0;    // histogram value sum
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> buckets;
+};
+
+struct RegistrySnapshot {
+  std::vector<MetricSnapshot> metrics;  // sorted by name
+
+  // Null when the name is absent.
+  const MetricSnapshot* Find(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Returns the instrument registered under `name`, creating it on first use.
+  // Re-requesting a name returns the same object; requesting an existing name
+  // as a different kind is a fatal error (TS_CHECK).
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  // `bounds` must be ascending and non-empty; it is fixed by the first call.
+  FixedHistogram& GetHistogram(std::string_view name, std::span<const std::uint64_t> bounds);
+
+  // Current value of every instrument, sorted by name.
+  RegistrySnapshot Snapshot() const;
+
+  // after - before: counters and histogram buckets subtract (an instrument
+  // absent from `before` contributes its full `after` value); gauges keep the
+  // `after` level. Instruments only present in `before` are dropped.
+  static RegistrySnapshot Delta(const RegistrySnapshot& before, const RegistrySnapshot& after);
+
+  // Zeroes every instrument without invalidating handles.
+  void Reset();
+
+  std::size_t size() const { return instruments_.size(); }
+
+ private:
+  struct Instrument {
+    MetricKind kind = MetricKind::kCounter;
+    // Own storage per instrument so handles stay stable across registrations.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<FixedHistogram> histogram;
+  };
+
+  // Sorted map doubles as the deterministic export order.
+  std::map<std::string, Instrument, std::less<>> instruments_;
+};
+
+}  // namespace tierscape
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,10 @@
+#include "src/obs/observability.h"
+
+namespace tierscape {
+
+Observability& Observability::Default() {
+  static Observability* instance = new Observability();  // intentionally leaked
+  return *instance;
+}
+
+}  // namespace tierscape

@@ -1,0 +1,34 @@
+// Bundle of the two observability facilities threaded through the stack.
+//
+// Ownership model: a TieredSystem owns (or is handed) one Observability and
+// publishes it through its TierTable, so the engine, daemon, filter, zswap
+// tiers, and zpools of one assembly all record into the same registry/
+// recorder. Components constructed without an explicit instance fall back to
+// the process-wide Default() — that is what the bench harnesses dump per run,
+// aggregated across every cell of the bench. Tests that compare exports
+// byte-for-byte pass their own instance per run (SystemConfig::obs).
+#ifndef SRC_OBS_OBSERVABILITY_H_
+#define SRC_OBS_OBSERVABILITY_H_
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace tierscape {
+
+struct Observability {
+  MetricsRegistry metrics;
+  TraceRecorder trace;
+
+  // Process-wide fallback instance (function-local static, never destroyed
+  // before instrumented components).
+  static Observability& Default();
+};
+
+// Null-object resolution used by every instrumented constructor.
+inline Observability& ResolveObs(Observability* obs) {
+  return obs != nullptr ? *obs : Observability::Default();
+}
+
+}  // namespace tierscape
+
+#endif  // SRC_OBS_OBSERVABILITY_H_

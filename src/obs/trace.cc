@@ -1,0 +1,98 @@
+#include "src/obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/obs/export.h"
+
+namespace tierscape {
+namespace {
+
+void AppendNanos(std::string& out, Nanos ns) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, ns);
+  out += buf;
+}
+
+// Microseconds with fixed 3-decimal sub-microsecond remainder ("12.345").
+void AppendMicros(std::string& out, Nanos ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000, ns % 1000);
+  out += buf;
+}
+
+void AppendEventBody(std::string& out, const TraceRecorder::Event& event, bool chrome) {
+  out += "{\"name\":\"";
+  out += event.name;
+  out += "\",\"ph\":\"";
+  out += event.phase;
+  out += "\",\"ts\":";
+  chrome ? AppendMicros(out, event.ts) : AppendNanos(out, event.ts);
+  if (event.phase == 'X') {
+    out += ",\"dur\":";
+    chrome ? AppendMicros(out, event.dur) : AppendNanos(out, event.dur);
+  }
+  if (chrome) {
+    // One virtual clock == one logical track.
+    out += ",\"pid\":0,\"tid\":0";
+  }
+  if (!event.args.empty()) {
+    out += ",\"args\":{";
+    out += event.args;
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+void TraceRecorder::Instant(std::string_view name, std::string args) {
+  if (!enabled_) {
+    return;
+  }
+  events_.push_back(Event{.name = std::string(name),
+                          .phase = 'i',
+                          .ts = now(),
+                          .dur = 0,
+                          .args = std::move(args)});
+}
+
+void TraceRecorder::Span(std::string_view name, Nanos begin, std::string args) {
+  if (!enabled_) {
+    return;
+  }
+  const Nanos end = now();
+  events_.push_back(Event{.name = std::string(name),
+                          .phase = 'X',
+                          .ts = begin,
+                          .dur = end >= begin ? end - begin : 0,
+                          .args = std::move(args)});
+}
+
+std::string TraceRecorder::ToJsonl() const {
+  std::string out;
+  for (const Event& event : events_) {
+    AppendEventBody(out, event, /*chrome=*/false);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::string out = "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += '\n';
+    AppendEventBody(out, events_[i], /*chrome=*/true);
+  }
+  out += "\n],\"displayTimeUnit\":\"ns\"}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  return WriteTextFile(path, ToChromeJson());
+}
+
+}  // namespace tierscape

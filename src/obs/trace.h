@@ -1,0 +1,136 @@
+// Virtual-time structured tracing for the daemon stack.
+//
+// The recorder collects span ("X") and instant ("i") events whose timestamps
+// are read from the engine's *virtual* clock — never from wall clocks — so a
+// trace is a deterministic function of the simulated execution and doubles as
+// a regression detector for the pipeline invariant (byte-identical across
+// thread counts and cache settings). Exports target chrome://tracing /
+// Perfetto ("trace event format" JSON) plus a line-oriented JSONL form.
+//
+// Cost model: tracing is compiled in by default but runtime-disabled; the
+// TS_TRACE_* macros reduce to one null/flag check per site when disabled.
+// Building with -DTIERSCAPE_TRACING_DISABLED (cmake option
+// TIERSCAPE_DISABLE_TRACING) removes the sites entirely.
+//
+// Thread-compatibility matches metrics.h: events may only be emitted from the
+// orchestrator thread. Parallel workers never trace — their work is pure and
+// its cost is charged (and traced) in submission order by the apply phase.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace tierscape {
+
+class TraceRecorder {
+ public:
+  struct Event {
+    std::string name;
+    char phase = 'i';  // 'X' = complete span, 'i' = instant
+    Nanos ts = 0;      // virtual time at emission (span: at open)
+    Nanos dur = 0;     // virtual duration (spans only)
+    std::string args;  // pre-serialized JSON object body ("" = no args)
+  };
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Runtime switch. Disabled recorders drop events at the emission site.
+  void SetEnabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Points the recorder at a virtual clock (the engine's). The clock must
+  // outlive the recorder or be cleared (ClearClockIf) before it dies.
+  void SetClock(const Nanos* clock) { clock_ = clock; }
+  // Unsets the clock only if it still points at `clock` — lets an engine
+  // detach on destruction without clobbering a newer engine's registration.
+  void ClearClockIf(const Nanos* clock) {
+    if (clock_ == clock) {
+      clock_ = nullptr;
+    }
+  }
+  Nanos now() const { return clock_ != nullptr ? *clock_ : 0; }
+
+  // `args` must be the inside of a JSON object, e.g. "\"region\":3,\"dst\":1",
+  // composed only from deterministic values.
+  void Instant(std::string_view name, std::string args = {});
+  // Emits a complete span [begin, now()].
+  void Span(std::string_view name, Nanos begin, std::string args = {});
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t event_count() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  // One JSON object per line: {"name":...,"ph":"X","ts":...,"dur":...}, ts and
+  // dur in virtual nanoseconds.
+  std::string ToJsonl() const;
+  // chrome://tracing / Perfetto "trace event format"; ts/dur in microseconds
+  // with the sub-microsecond remainder kept as fixed 3-decimal fractions.
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  bool enabled_ = false;
+  const Nanos* clock_ = nullptr;
+  std::vector<Event> events_;
+};
+
+// RAII helper emitting a complete span over its lexical scope; virtual
+// duration is whatever the engine clock advanced in between. Near-zero cost
+// when the recorder is null or disabled (one pointer test per end).
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, const char* name)
+      : recorder_(recorder != nullptr && recorder->enabled() ? recorder : nullptr),
+        name_(name),
+        begin_(recorder_ != nullptr ? recorder_->now() : 0) {}
+  ~TraceSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->Span(name_, begin_, std::move(args_));
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool armed() const { return recorder_ != nullptr; }
+  // Attaches args to the close event (same JSON-body format as Instant).
+  void set_args(std::string args) { args_ = std::move(args); }
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  Nanos begin_;
+  std::string args_;
+};
+
+#if defined(TIERSCAPE_TRACING_DISABLED)
+#define TS_TRACE_SPAN(recorder, name) \
+  ::tierscape::TraceSpan ts_trace_span_disabled_((nullptr), (name))
+#define TS_TRACE_INSTANT(recorder, name, ...) \
+  do {                                        \
+  } while (false)
+#else
+#define TS_TRACE_SPAN_CONCAT_(a, b) a##b
+#define TS_TRACE_SPAN_NAME_(line) TS_TRACE_SPAN_CONCAT_(ts_trace_span_, line)
+#define TS_TRACE_SPAN(recorder, name) \
+  ::tierscape::TraceSpan TS_TRACE_SPAN_NAME_(__LINE__)((recorder), (name))
+// The args expression is only evaluated when the recorder is live.
+#define TS_TRACE_INSTANT(recorder, name, ...)                 \
+  do {                                                        \
+    ::tierscape::TraceRecorder* ts_trace_rec_ = (recorder);   \
+    if (ts_trace_rec_ != nullptr && ts_trace_rec_->enabled()) \
+      ts_trace_rec_->Instant((name), ##__VA_ARGS__);          \
+  } while (false)
+#endif
+
+}  // namespace tierscape
+
+#endif  // SRC_OBS_TRACE_H_

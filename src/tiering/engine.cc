@@ -7,13 +7,38 @@
 namespace tierscape {
 
 TieringEngine::TieringEngine(AddressSpace& space, TierTable& tiers, EngineConfig config)
-    : space_(space), tiers_(tiers), config_(config), sampler_(config.pebs_period) {
+    : space_(space),
+      tiers_(tiers),
+      config_(config),
+      obs_(&ResolveObs(tiers.obs())),
+      sampler_(config.pebs_period) {
   pages_.resize(space_.total_pages());
   tier_pages_.assign(tiers_.count(), 0);
   thread_pool_ = std::make_unique<ThreadPool>(config_.migrate_threads);
   if (config_.compression_cache) {
-    compression_cache_ = std::make_unique<CompressionCache>(space_.total_pages());
+    compression_cache_ = std::make_unique<CompressionCache>(space_.total_pages(), &obs_->metrics);
   }
+  MetricsRegistry& metrics = obs_->metrics;
+  m_access_ops_ = &metrics.GetCounter("engine/access/ops");
+  m_access_stores_ = &metrics.GetCounter("engine/access/store_ops");
+  m_faults_ = &metrics.GetCounter("engine/faults");
+  m_fault_ns_ = &metrics.GetCounter("engine/fault_ns");
+  m_migrate_regions_ = &metrics.GetCounter("engine/migrate/regions");
+  m_migrate_pages_ = &metrics.GetCounter("engine/migrate/pages");
+  m_migrate_rejected_ = &metrics.GetCounter("engine/migrate/rejected");
+  // Fan-out composition (really compressed vs. served from the cache) depends
+  // on the cache knob, which must never show in deterministic exports: wall/.
+  m_migrate_fanout_compressed_ = &metrics.GetCounter("wall/engine/migrate/fanout_compressed");
+  m_migrate_fanout_cache_hits_ = &metrics.GetCounter("wall/engine/migrate/fanout_cache_hits");
+  m_migrate_load_ns_ = &metrics.GetCounter("engine/migrate/load_ns");
+  m_migrate_store_ns_ = &metrics.GetCounter("engine/migrate/store_ns");
+  m_migrate_virtual_ns_ = &metrics.GetCounter("engine/migrate/virtual_ns");
+  m_tier_pages_.reserve(tiers_.count());
+  for (int tier = 0; tier < tiers_.count(); ++tier) {
+    m_tier_pages_.push_back(&metrics.GetGauge("engine/pages/" + tiers_.tier(tier).label));
+  }
+  // Trace timestamps follow this engine's virtual clock from here on.
+  obs_->trace.SetClock(&clock_);
 }
 
 TieringEngine::~TieringEngine() {
@@ -21,6 +46,7 @@ TieringEngine::~TieringEngine() {
   for (std::uint64_t page = 0; page < pages_.size(); ++page) {
     (void)EvictPage(page);
   }
+  obs_->trace.ClearClockIf(&clock_);
 }
 
 StatusOr<int> TieringEngine::AllocByteFrame(int preferred_tier, std::uint64_t* frame_out) {
@@ -54,10 +80,12 @@ void TieringEngine::SetPageTier(std::uint64_t page, int tier) {
   PageState& state = pages_[page];
   if (state.tier >= 0) {
     --tier_pages_[state.tier];
+    m_tier_pages_[state.tier]->Set(static_cast<double>(tier_pages_[state.tier]));
   }
   state.tier = tier;
   if (tier >= 0) {
     ++tier_pages_[tier];
+    m_tier_pages_[tier]->Set(static_cast<double>(tier_pages_[tier]));
   }
 }
 
@@ -101,6 +129,8 @@ Nanos TieringEngine::HandleFault(std::uint64_t page) {
   ++record.faults;
   record.latency += fault_cost;
   ++total_faults_;
+  m_faults_->Add();
+  m_fault_ns_->Add(fault_cost);
 
   const Status freed = ctier.Invalidate(state.location);
   TS_CHECK(freed.ok()) << freed.ToString();
@@ -114,6 +144,10 @@ Nanos TieringEngine::AccessBulk(std::uint64_t vaddr, std::uint32_t lines, bool i
   const std::uint64_t page = AddressSpace::PageOf(vaddr);
   TS_CHECK_LT(page, pages_.size());
   sampler_.OnAccessN(vaddr, lines, is_store);
+  m_access_ops_->Add();
+  if (is_store) {
+    m_access_stores_->Add();
+  }
 
   PageState& state = pages_[page];
   Nanos latency = 0;
@@ -141,6 +175,10 @@ StatusOr<std::uint64_t> TieringEngine::MigrateRegion(std::uint64_t region, int d
   const TierRef& dref = tiers_.tier(dst);
   const std::uint64_t end_page =
       std::min<std::uint64_t>(first_page + kPagesPerRegion, pages_.size());
+
+  // Virtual-time span over the whole migration (fan-out + apply); args carry
+  // the fan-out breakdown so a trace alone shows the pipeline's shape.
+  TraceSpan migrate_span(&obs_->trace, "engine/migrate_region");
 
   migrate_staged_.clear();
   for (std::uint64_t page = first_page; page < end_page; ++page) {
@@ -194,11 +232,27 @@ StatusOr<std::uint64_t> TieringEngine::MigrateRegion(std::uint64_t region, int d
     });
   }
 
+  // Fan-out outcome of phase 1 (before phase 2 reuses the same flags for
+  // compressed-source pages): pages really compressed on the push threads vs.
+  // served from the cache.
+  std::uint64_t fanout_compressed = 0;
+  std::uint64_t fanout_cache_hits = 0;
+  for (const StagedPage& staged : migrate_staged_) {
+    if (staged.cache_hit) {
+      ++fanout_cache_hits;
+    } else if (staged.compressed_ready || staged.compress_failed) {
+      ++fanout_compressed;
+    }
+  }
+
   // Phase 2 — sequential apply in ascending page order: source loads, pool
   // inserts, evictions, statistics, and virtual-time charges all happen here,
   // bit-identical to a serial migration.
   std::uint64_t moved = 0;
+  std::uint64_t rejected = 0;
   Nanos cost = 0;
+  Nanos load_ns = 0;   // reading sources (byte loads + decompressions)
+  Nanos store_ns = 0;  // writing destinations (byte stores + pool inserts)
   std::byte buffer[kPageSize];
 
   for (std::size_t i = 0; i < migrate_staged_.size(); ++i) {
@@ -211,10 +265,10 @@ StatusOr<std::uint64_t> TieringEngine::MigrateRegion(std::uint64_t region, int d
     // Read the page contents: charged for byte tiers (contents were staged in
     // phase 1 when needed), really decompressed for compressed tiers.
     if (byte_source) {
-      cost += kPageSize / 64 * sref.medium->load_latency_ns();
+      load_ns += kPageSize / 64 * sref.medium->load_latency_ns();
     } else {
       TS_RETURN_IF_ERROR(sref.compressed->Load(state.location, buffer));
-      cost += sref.compressed->LoadCost(state.compressed_size);
+      load_ns += sref.compressed->LoadCost(state.compressed_size);
     }
 
     if (!compressed_dst) {
@@ -226,7 +280,7 @@ StatusOr<std::uint64_t> TieringEngine::MigrateRegion(std::uint64_t region, int d
       SetPageTier(page, dst);
       state.location = frame.value();
       state.compressed_size = 0;
-      cost += kPageSize / 64 * dref.medium->load_latency_ns();
+      store_ns += kPageSize / 64 * dref.medium->load_latency_ns();
     } else {
       CompressedTier& ctier = *dref.compressed;
       const Algorithm algorithm = ctier.config().algorithm;
@@ -270,6 +324,7 @@ StatusOr<std::uint64_t> TieringEngine::MigrateRegion(std::uint64_t region, int d
                               &migrate_scratch_[i * kSlotBytes], kSlotBytes));
       if (!stored.ok()) {
         if (stored.status().code() == StatusCode::kRejected) {
+          ++rejected;
           continue;  // incompressible page: leave in place (zswap behaviour)
         }
         break;  // destination medium full: stop early
@@ -279,13 +334,31 @@ StatusOr<std::uint64_t> TieringEngine::MigrateRegion(std::uint64_t region, int d
       state.location = stored->handle;
       state.compressed_size = stored->compressed_size;
       state.checksum = staged.checksum;
-      cost += stored->latency;
+      store_ns += stored->latency;
     }
     ++moved;
   }
+  cost = load_ns + store_ns;
   migrated_pages_ += moved;
   migration_ns_ += cost;
   clock_ += static_cast<Nanos>(static_cast<double>(cost) * config_.migration_interference);
+
+  m_migrate_regions_->Add();
+  m_migrate_pages_->Add(moved);
+  m_migrate_rejected_->Add(rejected);
+  m_migrate_fanout_compressed_->Add(fanout_compressed);
+  m_migrate_fanout_cache_hits_->Add(fanout_cache_hits);
+  m_migrate_load_ns_->Add(load_ns);
+  m_migrate_store_ns_->Add(store_ns);
+  m_migrate_virtual_ns_->Add(cost);
+  if (migrate_span.armed()) {
+    // Args stay cache-/thread-independent so traces compare byte-for-byte;
+    // the fan-out split is visible through the wall/ counters instead.
+    migrate_span.set_args("\"region\":" + std::to_string(region) + ",\"dst\":" +
+                          std::to_string(dst) + ",\"moved\":" + std::to_string(moved) +
+                          ",\"rejected\":" + std::to_string(rejected) + ",\"load_ns\":" +
+                          std::to_string(load_ns) + ",\"store_ns\":" + std::to_string(store_ns));
+  }
   return moved;
 }
 

@@ -26,6 +26,7 @@
 #include "src/common/thread_pool.h"
 #include "src/common/units.h"
 #include "src/compress/compression_cache.h"
+#include "src/obs/observability.h"
 #include "src/telemetry/sampler.h"
 #include "src/tiering/address_space.h"
 #include "src/tiering/tier_table.h"
@@ -146,6 +147,10 @@ class TieringEngine {
   ThreadPool& thread_pool() { return *thread_pool_; }
   // Null when EngineConfig::compression_cache is off.
   const CompressionCache* compression_cache() const { return compression_cache_.get(); }
+  // The assembly's observability scope (TierTable's, falling back to the
+  // process default). The engine registers its virtual clock with the trace
+  // recorder for its lifetime; the daemon and filter record through this too.
+  Observability& obs() { return *obs_; }
 
  private:
   // One page of a migration batch staged by the parallel compress phase.
@@ -172,9 +177,25 @@ class TieringEngine {
   AddressSpace& space_;
   TierTable& tiers_;
   EngineConfig config_;
+  Observability* obs_ = nullptr;  // resolved in the constructor, never null
   PebsSampler sampler_;
   std::vector<PageState> pages_;
   std::vector<std::uint64_t> tier_pages_;  // incremental per-tier page counts
+  // Cached instrument handles ("engine/..."): resolved once at construction
+  // so the access hot path never touches the registry map.
+  Counter* m_access_ops_ = nullptr;
+  Counter* m_access_stores_ = nullptr;
+  Counter* m_faults_ = nullptr;
+  Counter* m_fault_ns_ = nullptr;
+  Counter* m_migrate_regions_ = nullptr;
+  Counter* m_migrate_pages_ = nullptr;
+  Counter* m_migrate_rejected_ = nullptr;
+  Counter* m_migrate_fanout_compressed_ = nullptr;
+  Counter* m_migrate_fanout_cache_hits_ = nullptr;
+  Counter* m_migrate_load_ns_ = nullptr;
+  Counter* m_migrate_store_ns_ = nullptr;
+  Counter* m_migrate_virtual_ns_ = nullptr;
+  std::vector<Gauge*> m_tier_pages_;  // "engine/pages/<label>", by tier index
   std::unique_ptr<ThreadPool> thread_pool_;
   std::unique_ptr<CompressionCache> compression_cache_;
   // Reused staging buffers for MigrateRegion (one compressed-output slot per

@@ -14,6 +14,7 @@
 #include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/mem/medium.h"
+#include "src/obs/observability.h"
 #include "src/zswap/compressed_tier.h"
 
 namespace tierscape {
@@ -60,6 +61,12 @@ class TierTable {
 
   Medium& dram() const { return *tiers_.at(0).medium; }
 
+  // The observability scope of the assembly this table belongs to (set by
+  // TieredSystem). The engine and everything above it record through this;
+  // null means the process default.
+  void set_obs(Observability* obs) { obs_ = obs; }
+  Observability* obs() const { return obs_; }
+
   // Distinct backing media across all tiers (for Eq. 8-style TCO accounting:
   // compressed pools are counted through their backing medium usage).
   const std::vector<Medium*>& media() const { return media_; }
@@ -67,6 +74,7 @@ class TierTable {
  private:
   std::vector<TierRef> tiers_;
   std::vector<Medium*> media_;
+  Observability* obs_ = nullptr;
 
   void NoteMedium(Medium& medium);
 };

@@ -22,6 +22,7 @@
 #include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/mem/medium.h"
+#include "src/obs/metrics.h"
 
 namespace tierscape {
 
@@ -62,10 +63,22 @@ class ZPool {
   // Virtual-time management overhead added to every map (lookup) operation.
   // zsmalloc's dense packing costs the most (§2).
   virtual Nanos map_overhead_ns() const = 0;
+
+  // Re-publishes occupancy gauges on instrumented pools; no-op otherwise.
+  // Alloc/Free deliberately do not refresh gauges themselves — the owning
+  // CompressedTier calls this once per store/invalidate, keeping the per-page
+  // hot path free of redundant gauge updates (every pool mutation in the
+  // system flows through a CompressedTier operation).
+  virtual void RefreshMetrics() {}
 };
 
 // Creates a pool drawing pages from `medium`. The medium must outlive the pool.
-std::unique_ptr<ZPool> CreateZPool(PoolManager manager, Medium& medium);
+// When `metrics` is non-null the pool is wrapped in an instrumented decorator
+// exporting "zpool/<scope>/..." counters (allocs, frees, maps, failed allocs)
+// and occupancy/fragmentation gauges; `scope` is the owning tier's label.
+std::unique_ptr<ZPool> CreateZPool(PoolManager manager, Medium& medium,
+                                   MetricsRegistry* metrics = nullptr,
+                                   std::string_view scope = {});
 
 }  // namespace tierscape
 

@@ -11,12 +11,30 @@ constexpr std::size_t kCachelineSize = 64;
 
 }  // namespace
 
-CompressedTier::CompressedTier(int tier_id, CompressedTierConfig config, Medium& medium)
+CompressedTier::CompressedTier(int tier_id, CompressedTierConfig config, Medium& medium,
+                               Observability* obs)
     : tier_id_(tier_id),
       config_(std::move(config)),
       medium_(medium),
-      compressor_(&GetCompressor(config_.algorithm)),
-      pool_(CreateZPool(config_.pool_manager, medium)) {}
+      compressor_(&GetCompressor(config_.algorithm)) {
+  MetricsRegistry& metrics = ResolveObs(obs).metrics;
+  pool_ = CreateZPool(config_.pool_manager, medium, &metrics, config_.label);
+  const std::string prefix = "zswap/" + config_.label + "/";
+  m_stores_ = &metrics.GetCounter(prefix + "stores");
+  m_rejects_ = &metrics.GetCounter(prefix + "rejects");
+  m_loads_ = &metrics.GetCounter(prefix + "loads");
+  m_faults_ = &metrics.GetCounter(prefix + "faults");
+  m_invalidates_ = &metrics.GetCounter(prefix + "invalidates");
+  m_compressed_bytes_ = &metrics.GetCounter(prefix + "compressed_bytes");
+  m_pool_bytes_ = &metrics.GetGauge(prefix + "pool_bytes");
+  m_stored_pages_ = &metrics.GetGauge(prefix + "stored_pages");
+}
+
+void CompressedTier::UpdateOccupancyGauges() {
+  pool_->RefreshMetrics();
+  m_pool_bytes_->Set(static_cast<double>(pool_bytes()));
+  m_stored_pages_->Set(static_cast<double>(stored_pages()));
+}
 
 StatusOr<CompressedTier::StoreResult> CompressedTier::Store(std::span<const std::byte> page) {
   TS_CHECK_EQ(page.size(), kPageSize);
@@ -27,6 +45,7 @@ StatusOr<CompressedTier::StoreResult> CompressedTier::Store(std::span<const std:
   auto compressed = compressor_->Compress(page, scratch);
   if (!compressed.ok()) {
     ++stats_.rejects;
+    m_rejects_->Add();
     return Rejected(config_.label + ": page not compressible enough");
   }
   return StoreCompressed(std::span<const std::byte>(scratch, *compressed));
@@ -37,6 +56,7 @@ StatusOr<CompressedTier::StoreResult> CompressedTier::StoreCompressed(
   const auto limit = static_cast<std::size_t>(config_.max_store_ratio * kPageSize);
   if (compressed.size() > limit) {
     ++stats_.rejects;
+    m_rejects_->Add();
     return Rejected(config_.label + ": page not compressible enough");
   }
   auto handle = pool_->Alloc(compressed.size());
@@ -47,8 +67,11 @@ StatusOr<CompressedTier::StoreResult> CompressedTier::StoreCompressed(
   TS_CHECK(dst.ok());
   std::copy(compressed.begin(), compressed.end(), dst->data());
   ++stats_.stores;
+  m_stores_->Add();
+  m_compressed_bytes_->Add(compressed.size());
   total_compressed_bytes_ += compressed.size();
   ++total_stored_;
+  UpdateOccupancyGauges();
   StoreResult result;
   result.handle = *handle;
   result.compressed_size = static_cast<std::uint32_t>(compressed.size());
@@ -67,12 +90,16 @@ Status CompressedTier::Load(ZPoolHandle handle, std::span<std::byte> out) {
     return size.status();
   }
   ++stats_.loads;
+  m_loads_->Add();
   return OkStatus();
 }
 
 Status CompressedTier::Invalidate(ZPoolHandle handle) {
   ++stats_.invalidates;
-  return pool_->Free(handle);
+  m_invalidates_->Add();
+  const Status freed = pool_->Free(handle);
+  UpdateOccupancyGauges();
+  return freed;
 }
 
 Nanos CompressedTier::LoadCost(std::size_t compressed_size) const {

@@ -20,6 +20,7 @@
 #include "src/common/units.h"
 #include "src/compress/compressor.h"
 #include "src/mem/medium.h"
+#include "src/obs/observability.h"
 #include "src/zpool/zpool.h"
 
 namespace tierscape {
@@ -49,7 +50,10 @@ class CompressedTier {
     std::uint64_t invalidates = 0;
   };
 
-  CompressedTier(int tier_id, CompressedTierConfig config, Medium& medium);
+  // `obs` scopes the tier's "zswap/<label>/..." metrics and its pool's
+  // "zpool/<label>/..." metrics; null falls back to Observability::Default().
+  CompressedTier(int tier_id, CompressedTierConfig config, Medium& medium,
+                 Observability* obs = nullptr);
 
   int tier_id() const { return tier_id_; }
   const std::string& label() const { return config_.label; }
@@ -93,12 +97,17 @@ class CompressedTier {
   double EffectiveRatio() const;
 
   const Stats& stats() const { return stats_; }
-  void RecordFault() { ++stats_.faults; }
+  void RecordFault() {
+    ++stats_.faults;
+    m_faults_->Add();
+  }
 
   // Normalized dollars for the pool's current footprint.
   double UsedCost() const { return BytesToGiB(pool_bytes()) * medium_.cost_per_gib(); }
 
  private:
+  void UpdateOccupancyGauges();
+
   int tier_id_;
   CompressedTierConfig config_;
   Medium& medium_;
@@ -108,6 +117,15 @@ class CompressedTier {
   // Running average of compressed sizes, for NominalLoadCost.
   std::uint64_t total_compressed_bytes_ = 0;
   std::uint64_t total_stored_ = 0;
+  // Metric handles resolved once at construction (obs/metrics.h contract).
+  Counter* m_stores_;
+  Counter* m_rejects_;
+  Counter* m_loads_;
+  Counter* m_faults_;
+  Counter* m_invalidates_;
+  Counter* m_compressed_bytes_;
+  Gauge* m_pool_bytes_;
+  Gauge* m_stored_pages_;
 };
 
 }  // namespace tierscape

@@ -6,7 +6,7 @@ namespace tierscape {
 
 int ZswapBackend::AddTier(CompressedTierConfig config, Medium& medium) {
   const int tier_id = static_cast<int>(tiers_.size());
-  tiers_.push_back(std::make_unique<CompressedTier>(tier_id, std::move(config), medium));
+  tiers_.push_back(std::make_unique<CompressedTier>(tier_id, std::move(config), medium, obs_));
   return tier_id;
 }
 

@@ -22,6 +22,10 @@ class ZswapBackend {
   ZswapBackend(const ZswapBackend&) = delete;
   ZswapBackend& operator=(const ZswapBackend&) = delete;
 
+  // Scopes metrics of subsequently added tiers (and their pools). Call before
+  // AddTier; null (the default) means Observability::Default().
+  void set_obs(Observability* obs) { obs_ = obs; }
+
   // Registers a new active tier backed by `medium` (must outlive the backend).
   // Returns the tier id.
   int AddTier(CompressedTierConfig config, Medium& medium);
@@ -49,6 +53,7 @@ class ZswapBackend {
   std::size_t total_stored_pages() const;
 
  private:
+  Observability* obs_ = nullptr;
   std::vector<std::unique_ptr<CompressedTier>> tiers_;
 };
 

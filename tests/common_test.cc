@@ -178,6 +178,78 @@ TEST(HistogramTest, MergeAddsCounts) {
   EXPECT_EQ(a.max(), 20u);
 }
 
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.Percentile(1.0), 0u);
+}
+
+TEST(HistogramTest, SingleSampleDominatesEveryQuantile) {
+  Histogram h;
+  h.Record(7);  // below sub_bucket_count: exact bucketing
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 7u);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_EQ(h.Percentile(0.0), 7u);
+  EXPECT_EQ(h.Percentile(0.5), 7u);
+  EXPECT_EQ(h.Percentile(1.0), 7u);
+  // Out-of-range quantiles clamp instead of reading out of bounds.
+  EXPECT_EQ(h.Percentile(-1.0), 7u);
+  EXPECT_EQ(h.Percentile(2.0), 7u);
+}
+
+TEST(HistogramTest, ExtremeValueLandsInTopBucket) {
+  Histogram h;
+  const std::uint64_t value = ~std::uint64_t{0};
+  h.Record(value);
+  EXPECT_EQ(h.max(), value);
+  // The reported percentile is a bucket midpoint within the log-linear
+  // relative error, capped at the recorded max — never beyond it.
+  const std::uint64_t p = h.Percentile(1.0);
+  EXPECT_LE(p, value);
+  EXPECT_GE(static_cast<double>(p), static_cast<double>(value) * (1.0 - 1.0 / 16.0));
+}
+
+TEST(HistogramTest, RecordZeroCountIsNoOp) {
+  Histogram h;
+  h.RecordN(42, 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, MergeWithEmptyPreservesStats) {
+  Histogram a;
+  Histogram empty;
+  a.Record(10);
+  a.Record(30);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 30u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.min(), 10u);
+  EXPECT_EQ(empty.max(), 30u);
+}
+
+TEST(HistogramTest, ResetRestoresEmptyState) {
+  Histogram h;
+  h.Record(123'456);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(0.99), 0u);
+  h.Record(5);
+  EXPECT_EQ(h.Percentile(1.0), 5u);
+}
+
 TEST(ExactPercentileTest, Interpolates) {
   EXPECT_DOUBLE_EQ(ExactPercentile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
   EXPECT_DOUBLE_EQ(ExactPercentile({5.0}, 0.99), 5.0);

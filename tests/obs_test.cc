@@ -1,0 +1,232 @@
+// Unit tests for the observability subsystem: registry semantics (handles,
+// snapshot/delta/reset, wall/ quarantine), export determinism, and the
+// virtual-time trace recorder.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/observability.h"
+#include "src/obs/trace.h"
+
+namespace tierscape {
+namespace {
+
+TEST(MetricsRegistryTest, HandlesAreStableAndShared) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x/count");
+  Counter& b = registry.GetCounter("x/count");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  // Registering many other names must not invalidate the first handle.
+  for (int i = 0; i < 256; ++i) {
+    registry.GetCounter("filler/" + std::to_string(i));
+  }
+  EXPECT_EQ(&registry.GetCounter("x/count"), &a);
+  EXPECT_EQ(a.value(), 3u);
+  EXPECT_EQ(registry.size(), 257u);
+}
+
+TEST(MetricsRegistryTest, CounterGaugeHistogramRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Add(5);
+  registry.GetGauge("g").Set(2.5);
+  registry.GetGauge("g").Add(-1.0);
+  const std::uint64_t bounds[] = {10, 100};
+  FixedHistogram& h = registry.GetHistogram("h", bounds);
+  h.Record(1);
+  h.Record(50);
+  h.Record(1000, 2);
+
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.metrics.size(), 3u);
+  EXPECT_EQ(snapshot.Find("c")->count, 5u);
+  EXPECT_DOUBLE_EQ(snapshot.Find("g")->value, 1.5);
+  const MetricSnapshot* hist = snapshot.Find("h");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 4u);
+  EXPECT_EQ(hist->sum, 2051u);
+  EXPECT_EQ(hist->min, 1u);
+  EXPECT_EQ(hist->max, 1000u);
+  EXPECT_EQ(hist->buckets, (std::vector<std::uint64_t>{1, 1, 2}));
+  EXPECT_EQ(snapshot.Find("absent"), nullptr);
+}
+
+TEST(MetricsRegistryTest, FixedHistogramEdgeCases) {
+  MetricsRegistry registry;
+  const std::uint64_t bounds[] = {4, 16};
+  FixedHistogram& h = registry.GetHistogram("edge", bounds);
+  // Empty histogram: min is reported as 0, all buckets zero.
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  // Bounds are inclusive upper bounds; values above every bound overflow.
+  h.Record(4);
+  h.Record(5);
+  h.Record(17);
+  h.Record(~std::uint64_t{0});
+  EXPECT_EQ(h.buckets(), (std::vector<std::uint64_t>{1, 1, 2}));
+  EXPECT_EQ(h.min(), 4u);
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+}
+
+TEST(MetricsRegistryTest, SnapshotSortedByNameRegardlessOfRegistrationOrder) {
+  MetricsRegistry registry;
+  registry.GetCounter("z/last");
+  registry.GetCounter("a/first");
+  registry.GetCounter("m/middle");
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.metrics.size(), 3u);
+  EXPECT_EQ(snapshot.metrics[0].name, "a/first");
+  EXPECT_EQ(snapshot.metrics[1].name, "m/middle");
+  EXPECT_EQ(snapshot.metrics[2].name, "z/last");
+}
+
+TEST(MetricsRegistryTest, DeltaSubtractsCountersKeepsGaugeLevels) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("c");
+  Gauge& g = registry.GetGauge("g");
+  const std::uint64_t bounds[] = {10};
+  FixedHistogram& h = registry.GetHistogram("h", bounds);
+  c.Add(10);
+  g.Set(5.0);
+  h.Record(3);
+  const RegistrySnapshot before = registry.Snapshot();
+
+  c.Add(7);
+  g.Set(2.0);
+  h.Record(50);
+  registry.GetCounter("new").Add(4);  // registered after `before`
+  const RegistrySnapshot after = registry.Snapshot();
+
+  const RegistrySnapshot delta = MetricsRegistry::Delta(before, after);
+  EXPECT_EQ(delta.Find("c")->count, 7u);
+  EXPECT_DOUBLE_EQ(delta.Find("g")->value, 2.0);  // gauges keep the after level
+  EXPECT_EQ(delta.Find("new")->count, 4u);        // absent before: full value
+  const MetricSnapshot* hd = delta.Find("h");
+  ASSERT_NE(hd, nullptr);
+  EXPECT_EQ(hd->count, 1u);
+  EXPECT_EQ(hd->buckets, (std::vector<std::uint64_t>{0, 1}));
+}
+
+TEST(MetricsRegistryTest, ResetZeroesWithoutInvalidatingHandles) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("c");
+  Gauge& g = registry.GetGauge("g");
+  const std::uint64_t bounds[] = {10};
+  FixedHistogram& h = registry.GetHistogram("h", bounds);
+  c.Add(5);
+  g.Set(1.0);
+  h.Record(3);
+  registry.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.buckets(), (std::vector<std::uint64_t>{0, 0}));
+  // The same handles keep working after the reset.
+  c.Add(2);
+  EXPECT_EQ(registry.Snapshot().Find("c")->count, 2u);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsExportTest, WallPrefixQuarantine) {
+  EXPECT_TRUE(IsWallMetric("wall/solver/last_solve_ms"));
+  EXPECT_FALSE(IsWallMetric("engine/faults"));
+  EXPECT_FALSE(IsWallMetric("wallpaper"));  // prefix must include the slash
+
+  MetricsRegistry registry;
+  registry.GetCounter("engine/faults").Add(2);
+  registry.GetGauge("wall/solver/last_solve_ms").Set(1.25);
+  const RegistrySnapshot snapshot = registry.Snapshot();
+
+  const std::string all = SnapshotToJsonl(snapshot, WallMetrics::kInclude);
+  const std::string deterministic = SnapshotToJsonl(snapshot, WallMetrics::kExclude);
+  EXPECT_NE(all.find("wall/solver/last_solve_ms"), std::string::npos);
+  EXPECT_EQ(deterministic.find("wall/"), std::string::npos);
+  EXPECT_NE(deterministic.find("engine/faults"), std::string::npos);
+}
+
+TEST(MetricsExportTest, JsonlShapeIsStable) {
+  MetricsRegistry registry;
+  registry.GetCounter("engine/faults").Add(123);
+  registry.GetGauge("zpool/CT-1/frag_pct").Set(12.5);
+  const std::string jsonl = SnapshotToJsonl(registry.Snapshot());
+  EXPECT_EQ(jsonl,
+            "{\"name\":\"engine/faults\",\"kind\":\"counter\",\"value\":123}\n"
+            "{\"name\":\"zpool/CT-1/frag_pct\",\"kind\":\"gauge\",\"value\":12.5}\n");
+}
+
+TEST(TraceRecorderTest, DisabledRecorderDropsEverything) {
+  TraceRecorder trace;
+  TS_TRACE_INSTANT(&trace, "never");
+  { TS_TRACE_SPAN(&trace, "never_span"); }
+  trace.Instant("also_never");
+  EXPECT_EQ(trace.event_count(), 0u);
+}
+
+TEST(TraceRecorderTest, VirtualClockStampsAndSpans) {
+  TraceRecorder trace;
+  trace.SetEnabled(true);
+  Nanos clock = 100;
+  trace.SetClock(&clock);
+
+  trace.Instant("tick", "\"k\":1");
+  {
+    TraceSpan span(&trace, "window");
+    clock += 50;
+    span.set_args("\"moved\":3");
+  }
+  ASSERT_EQ(trace.event_count(), 2u);
+  const TraceRecorder::Event& instant = trace.events()[0];
+  EXPECT_EQ(instant.phase, 'i');
+  EXPECT_EQ(instant.ts, 100u);
+  const TraceRecorder::Event& span = trace.events()[1];
+  EXPECT_EQ(span.phase, 'X');
+  EXPECT_EQ(span.ts, 100u);
+  EXPECT_EQ(span.dur, 50u);
+  EXPECT_EQ(span.args, "\"moved\":3");
+
+  // Detach: ClearClockIf only clears a matching registration.
+  Nanos other = 0;
+  trace.ClearClockIf(&other);
+  EXPECT_EQ(trace.now(), 150u);
+  trace.ClearClockIf(&clock);
+  EXPECT_EQ(trace.now(), 0u);
+}
+
+TEST(TraceRecorderTest, ExportsJsonlAndChromeJson) {
+  TraceRecorder trace;
+  trace.SetEnabled(true);
+  Nanos clock = 1500;  // 1.5 us
+  trace.SetClock(&clock);
+  trace.Instant("fault", "\"tier\":2");
+  {
+    TraceSpan span(&trace, "migrate");
+    clock += 2500;
+  }
+  const std::string jsonl = trace.ToJsonl();
+  EXPECT_NE(jsonl.find("\"name\":\"fault\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"ph\":\"X\""), std::string::npos);
+
+  const std::string chrome = trace.ToChromeJson();
+  // Microsecond timestamps with fixed 3-decimal ns remainder.
+  EXPECT_NE(chrome.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(chrome.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(chrome.find("\"dur\":2.500"), std::string::npos);
+  EXPECT_NE(chrome.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+}
+
+TEST(ObservabilityTest, ResolveFallsBackToProcessDefault) {
+  Observability local;
+  EXPECT_EQ(&ResolveObs(&local), &local);
+  EXPECT_EQ(&ResolveObs(nullptr), &Observability::Default());
+  // The default is a stable singleton.
+  EXPECT_EQ(&Observability::Default(), &Observability::Default());
+}
+
+}  // namespace
+}  // namespace tierscape

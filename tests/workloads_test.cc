@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/core/analytical.h"
+#include "src/obs/export.h"
 #include "src/workloads/driver.h"
 #include "src/workloads/graph.h"
 #include "src/workloads/graphsage.h"
@@ -168,8 +169,20 @@ TEST(DriverTest, DeterministicAcrossRuns) {
 TEST(DriverTest, DeterministicAcrossThreadsAndCache) {
   // Push threads and the compression cache are wall-clock-only knobs: every
   // virtual-time observable must be byte-identical across all combinations.
+  // Each run records into its own Observability; the non-wall metrics export
+  // and the virtual-time trace stream are compared byte-for-byte too — the
+  // observability stack must not leak thread count or cache behavior.
+  struct RunOutput {
+    ExperimentResult result;
+    std::string metrics_jsonl;  // wall/ metrics excluded
+    std::string trace_jsonl;
+  };
   auto run = [](int threads, bool cache) {
-    TieredSystem system(StandardMixConfig(64 * kMiB, 256 * kMiB));
+    Observability obs;
+    obs.trace.SetEnabled(true);
+    SystemConfig system_config = StandardMixConfig(64 * kMiB, 256 * kMiB);
+    system_config.obs = &obs;
+    TieredSystem system(system_config);
     MasimWorkload workload(DefaultMasimConfig(32 * kMiB));
     AnalyticalPolicy policy(0.3);
     ExperimentConfig config;
@@ -178,24 +191,32 @@ TEST(DriverTest, DeterministicAcrossThreadsAndCache) {
     config.engine.migrate_threads = threads;
     config.engine.compression_cache = cache;
     config.engine.check_tier_counts = true;
-    return RunExperiment(system, workload, &policy, config);
+    RunOutput output;
+    output.result = RunExperiment(system, workload, &policy, config);
+    output.metrics_jsonl = SnapshotToJsonl(obs.metrics.Snapshot(), WallMetrics::kExclude);
+    output.trace_jsonl = obs.trace.ToJsonl();
+    return output;
   };
-  const ExperimentResult base = run(1, false);
+  const RunOutput base = run(1, false);
+  EXPECT_GT(base.metrics_jsonl.size(), 0u);
+  EXPECT_GT(base.trace_jsonl.size(), 0u);
   for (const auto& [threads, cache] :
-       {std::pair<int, bool>{1, true}, {4, false}, {4, true}}) {
-    const ExperimentResult other = run(threads, cache);
+       {std::pair<int, bool>{1, true}, {4, false}, {4, true}, {8, false}, {8, true}}) {
+    const RunOutput other = run(threads, cache);
     SCOPED_TRACE("threads=" + std::to_string(threads) + " cache=" + std::to_string(cache));
-    EXPECT_DOUBLE_EQ(base.slowdown, other.slowdown);
-    EXPECT_DOUBLE_EQ(base.mean_tco_savings, other.mean_tco_savings);
-    EXPECT_EQ(base.total_faults, other.total_faults);
-    EXPECT_EQ(base.migrated_pages, other.migrated_pages);
-    ASSERT_EQ(base.windows.size(), other.windows.size());
-    for (std::size_t w = 0; w < base.windows.size(); ++w) {
-      EXPECT_EQ(base.windows[w].actual_pages, other.windows[w].actual_pages);
-      EXPECT_EQ(base.windows[w].faults, other.windows[w].faults);
-      EXPECT_EQ(base.windows[w].migrated_pages, other.windows[w].migrated_pages);
-      EXPECT_DOUBLE_EQ(base.windows[w].tco, other.windows[w].tco);
+    EXPECT_DOUBLE_EQ(base.result.slowdown, other.result.slowdown);
+    EXPECT_DOUBLE_EQ(base.result.mean_tco_savings, other.result.mean_tco_savings);
+    EXPECT_EQ(base.result.total_faults, other.result.total_faults);
+    EXPECT_EQ(base.result.migrated_pages, other.result.migrated_pages);
+    ASSERT_EQ(base.result.windows.size(), other.result.windows.size());
+    for (std::size_t w = 0; w < base.result.windows.size(); ++w) {
+      EXPECT_EQ(base.result.windows[w].actual_pages, other.result.windows[w].actual_pages);
+      EXPECT_EQ(base.result.windows[w].faults, other.result.windows[w].faults);
+      EXPECT_EQ(base.result.windows[w].migrated_pages, other.result.windows[w].migrated_pages);
+      EXPECT_DOUBLE_EQ(base.result.windows[w].tco, other.result.windows[w].tco);
     }
+    EXPECT_EQ(base.metrics_jsonl, other.metrics_jsonl);
+    EXPECT_EQ(base.trace_jsonl, other.trace_jsonl);
   }
 }
 
