@@ -19,6 +19,8 @@ std::string_view MediumKindName(MediumKind kind) {
 }
 
 MediumSpec DramSpec(std::size_t capacity_bytes) {
+  // DDR4 random read ~33ns; DRAM is the $/GiB baseline every tier's TCO is
+  // normalized against (§8.1, Eq. 8).
   return MediumSpec{.name = "DRAM",
                     .kind = MediumKind::kDram,
                     .load_latency_ns = 33,
@@ -31,17 +33,20 @@ MediumSpec NvmmSpec(std::size_t capacity_bytes) {
   // $/GiB is ~1/3 of DRAM (paper §8.1 / [45]).
   return MediumSpec{.name = "NVMM",
                     .kind = MediumKind::kNvmm,
-                    .load_latency_ns = 170,
-                    .cost_per_gib = 1.0 / 3.0,
+                    .load_latency_ns = 170,       // ~3x DRAM (§8.1)
+                    .cost_per_gib = 1.0 / 3.0,    // [45], §8.1
                     .capacity_bytes = capacity_bytes};
 }
 
 MediumSpec CxlSpec(std::size_t capacity_bytes) {
   // CXL-attached DRAM: one extra hop (~NUMA remote latency), ~1/2 DRAM cost.
+  // Not characterized by the paper — an extension tier normalized the same
+  // way as the §8.1 media (see DESIGN.md §6, ablation_cxl_backing).
   return MediumSpec{.name = "CXL",
                     .kind = MediumKind::kCxl,
                     .load_latency_ns = 120,
-                    .cost_per_gib = 0.5,
+                    .cost_per_gib = 0.5,  // ~1/2 DRAM, §8.1-style normalization
+
                     .capacity_bytes = capacity_bytes};
 }
 

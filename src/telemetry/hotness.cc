@@ -12,7 +12,7 @@ void HotnessTable::EndWindow(
     const std::unordered_map<std::uint64_t, std::uint32_t>& window_samples) {
   ++windows_seen_;
   for (auto& [region, value] : hotness_) {
-    value *= 0.5;
+    value *= 0.5;  // EWMA cooling: halve per window (§3.1 gradual cooling; DESIGN.md §2)
   }
   for (const auto& [region, count] : window_samples) {
     hotness_[region] += static_cast<double>(count);

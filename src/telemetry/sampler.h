@@ -21,6 +21,8 @@ constexpr std::uint64_t RegionOf(std::uint64_t vaddr) { return vaddr / kRegionSi
 
 class PebsSampler {
  public:
+  // 1-in-5000 sampling mirrors the paper's PEBS rate for
+  // MEM_INST_RETIRED.ALL_LOADS/STORES (§7.1; DESIGN.md §2).
   explicit PebsSampler(std::uint64_t period = 5000) : period_(period) {}
 
   // Feeds one retired load/store. Deterministic 1-in-period sampling.

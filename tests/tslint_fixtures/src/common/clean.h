@@ -1,0 +1,24 @@
+// tslint-fixture: none
+// Decoy file: every banned construct below sits in a comment or a string
+// literal, so a correct tokenizer reports nothing.
+//
+// steady_clock::now() in a comment must not trip determinism-quarantine,
+// and neither must `throw` or `catch` here trip no-exceptions.
+#ifndef SRC_COMMON_CLEAN_H_
+#define SRC_COMMON_CLEAN_H_
+
+inline const char* kDecoyString = "std::chrono::steady_clock::now(); throw; rand();";
+inline const char* kDecoyRaw = R"(try { getenv("HOME"); } catch (...) { srand(1); })";
+inline const char* kDecoyDelim = R"x(random_device; time(nullptr); )x";
+inline char kDecoyChar = '"';
+inline const char* kAfterCharLiteral = "throw";  // still a string, not code
+
+// A member access named like a banned call is fine: obj.time() / obj->rand()
+// are not the libc functions. (DecoyStats is never compiled; only the token
+// stream matters here.)
+inline double UseDecoy(DecoyStats& s, DecoyStats* p) { return s.time() + p->rand(); }
+
+// `try_emplace` shares a prefix with `try` but is a single identifier.
+inline int try_emplace_like_name = 1'000'000;
+
+#endif  // SRC_COMMON_CLEAN_H_

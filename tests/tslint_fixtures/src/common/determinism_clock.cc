@@ -1,0 +1,16 @@
+// tslint-fixture: determinism-quarantine
+// Wall-clock reads and unseeded randomness outside the quarantine.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+double WallSeconds() {
+  const auto now = std::chrono::steady_clock::now();  // banned
+  (void)now;
+  const char* home = std::getenv("HOME");  // banned
+  (void)home;
+  return static_cast<double>(rand()) / 2.0;  // banned
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// tslint-fixture: no-exceptions
+// Exceptions are banned repo-wide: fallible paths return Status/StatusOr.
+namespace fixture {
+
+int Parse(int raw) {
+  try {
+    if (raw < 0) {
+      throw raw;
+    }
+  } catch (...) {
+    return -1;
+  }
+  return raw;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// tslint-fixture: none
+// Exists only as the upward-include target for src/mem/layering_upward.cc;
+// clean on its own.
+#ifndef SRC_CORE_LAYERED_API_H_
+#define SRC_CORE_LAYERED_API_H_
+
+namespace fixture {
+
+inline int LayeredApi() { return 7; }
+
+}  // namespace fixture
+
+#endif  // SRC_CORE_LAYERED_API_H_

@@ -1,0 +1,17 @@
+// tslint-fixture: wall-prefix
+// This TU is allowlisted for determinism-quarantine (it reads the wall
+// clock, see tools/tslint_allow.txt), which arms the wall-prefix rule: every
+// metric it registers must live under wall/. The second registration below
+// violates that.
+#include <chrono>
+
+namespace fixture {
+
+void RecordSolveTime(MetricsRegistry& metrics) {
+  const auto start = std::chrono::steady_clock::now();  // allowlisted
+  (void)start;
+  metrics.GetGauge("wall/solver/fixture_ms").Set(1.5);  // correct: wall/
+  metrics.GetCounter("solver/fixture_solves").Add(1);   // WRONG: bare name
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// tslint-fixture: layering
+// Two layering violations: an upward edge (mem → core) and a quoted include
+// that is not repo-relative.
+#include "src/core/layered_api.h"
+#include "common/relative.h"
+
+namespace fixture {
+
+int UseUpperLayer() { return 42; }
+
+}  // namespace fixture

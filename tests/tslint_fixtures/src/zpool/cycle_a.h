@@ -1,0 +1,13 @@
+// tslint-fixture: layering
+// Half of an include cycle with cycle_b.h (same layer, so no upward edge —
+// only the cycle check can catch it).
+#ifndef SRC_ZPOOL_CYCLE_A_H_
+#define SRC_ZPOOL_CYCLE_A_H_
+
+#include "src/zpool/cycle_b.h"
+
+namespace fixture {
+inline int CycleA() { return 1; }
+}  // namespace fixture
+
+#endif  // SRC_ZPOOL_CYCLE_A_H_

@@ -1,0 +1,12 @@
+// tslint-fixture: layering
+// Other half of the cycle_a.h include cycle.
+#ifndef SRC_ZPOOL_CYCLE_B_H_
+#define SRC_ZPOOL_CYCLE_B_H_
+
+#include "src/zpool/cycle_a.h"
+
+namespace fixture {
+inline int CycleB() { return 2; }
+}  // namespace fixture
+
+#endif  // SRC_ZPOOL_CYCLE_B_H_

@@ -1,0 +1,333 @@
+// Unit tests for the tslint internals (tools/tslint.h): tokenizer edge cases
+// — banned identifiers hidden in strings, comments, raw strings, multi-line
+// preprocessor continuations — plus every rule against small in-memory
+// trees. The end-to-end fixture check (`tests/tslint_fixtures/`) runs
+// separately as the `tslint_selftest` ctest target.
+#include "tools/tslint.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tierscape {
+namespace tslint {
+namespace {
+
+std::vector<Diagnostic> LintOne(const std::string& path, const std::string& content,
+                                const std::vector<AllowEntry>& allow = {}) {
+  std::map<std::string, std::string> sources;
+  sources[path] = content;
+  return LintTree(sources, allow, "tools/tslint_allow.txt");
+}
+
+std::set<std::string> Rules(const std::vector<Diagnostic>& diags) {
+  std::set<std::string> out;
+  for (const Diagnostic& d : diags) out.insert(d.rule);
+  return out;
+}
+
+// --- Tokenizer ------------------------------------------------------------
+
+TEST(Lexer, StringLiteralContainingThrowIsNotCode) {
+  const auto diags = LintOne("src/common/a.cc", R"(const char* s = "throw try catch";)");
+  EXPECT_TRUE(diags.empty()) << diags.front().message;
+}
+
+TEST(Lexer, BannedIdentifierInCommentIgnored) {
+  const auto diags = LintOne("src/common/a.cc",
+                             "// steady_clock::now() would be banned here\n"
+                             "/* rand(); getenv(\"X\"); throw; */\n"
+                             "int x = 1;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Lexer, RawStringsAreOpaque) {
+  const auto diags = LintOne("src/common/a.cc",
+                             "const char* a = R\"(throw steady_clock rand();)\";\n"
+                             "const char* b = R\"xy(catch (random_device) {})xy\";\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Lexer, EscapedQuotesStayInString) {
+  const auto diags =
+      LintOne("src/common/a.cc", R"(const char* s = "say \"throw\" loudly"; int y = 2;)");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Lexer, CharLiteralDoesNotOpenString) {
+  // A quote char literal must not swallow the rest of the file as a string —
+  // the `throw` after it is real code and must trip.
+  const auto diags = LintOne("src/common/a.cc", "char q = '\"'; void f() { throw 1; }\n");
+  EXPECT_EQ(Rules(diags), std::set<std::string>{kRuleNoExceptions});
+}
+
+TEST(Lexer, DigitSeparatorsLexAsOneNumber) {
+  const auto diags = LintOne("src/common/a.cc", "int big = 1'000'000; int t = big;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Lexer, MultiLinePreprocessorContinuationIsStillCode) {
+  // The banned call hides on the continuation line of a #define: the lexer
+  // must keep the logical line open and still see `rand` as a call.
+  const auto diags = LintOne("src/common/a.cc",
+                             "#define JITTER(x) \\\n"
+                             "  ((x) + rand())\n");
+  EXPECT_EQ(Rules(diags), std::set<std::string>{kRuleDeterminism});
+}
+
+TEST(Lexer, SystemIncludeHeaderNameNeverTrips) {
+  // <random> / <ctime> etc. are fine to *include*; only uses are banned. The
+  // angled path must not leak identifiers into the rules.
+  const auto diags = LintOne("src/common/a.cc", "#include <random>\n#include <ctime>\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Lexer, QuotedIncludeExtraction) {
+  const LexedFile file = Lex("src/mem/a.cc",
+                             "#include \"src/common/status.h\"\n"
+                             "#include <vector>\n");
+  ASSERT_EQ(file.includes.size(), 2u);
+  EXPECT_EQ(file.includes[1].path, "src/common/status.h");  // angled recorded first? order
+  EXPECT_TRUE(file.includes[0].angled || file.includes[1].angled);
+}
+
+// --- determinism-quarantine ----------------------------------------------
+
+TEST(Determinism, BansClocksRandomnessAndGetenv) {
+  const auto diags = LintOne("src/core/a.cc",
+                             "void f() {\n"
+                             "  auto t = std::chrono::steady_clock::now();\n"
+                             "  std::random_device rd;\n"
+                             "  const char* e = std::getenv(\"X\");\n"
+                             "}\n");
+  EXPECT_EQ(diags.size(), 3u);
+  EXPECT_EQ(Rules(diags), std::set<std::string>{kRuleDeterminism});
+}
+
+TEST(Determinism, MemberCallNamedTimeIsFine) {
+  const auto diags = LintOne("src/core/a.cc",
+                             "double f(Stats& s, Stats* p) { return s.time() + p->rand(); }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Determinism, RandWithoutCallParensIsFine) {
+  // e.g. a variable or member named `rand` that is never called like libc.
+  const auto diags = LintOne("src/core/a.cc", "int rand = 3; int y = rand + 1;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Determinism, AllowlistSuppressesWithJustification) {
+  std::vector<Diagnostic> parse_diags;
+  const auto allow = ParseAllowlist(
+      "tools/tslint_allow.txt",
+      "determinism-quarantine src/core/a.cc wall ms charged via wall/ only\n", parse_diags);
+  ASSERT_TRUE(parse_diags.empty());
+  const auto diags =
+      LintOne("src/core/a.cc", "auto t = std::chrono::steady_clock::now();\n", allow);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Determinism, StaleAllowlistEntryReported) {
+  std::vector<Diagnostic> parse_diags;
+  const auto allow = ParseAllowlist("tools/tslint_allow.txt",
+                                    "determinism-quarantine src/core/gone.cc was removed\n",
+                                    parse_diags);
+  const auto diags = LintOne("src/core/a.cc", "int x = 2;\n", allow);
+  EXPECT_EQ(Rules(diags), std::set<std::string>{kRuleAllowlist});
+}
+
+TEST(Determinism, MalformedAllowlistEntryReported) {
+  std::vector<Diagnostic> diags;
+  ParseAllowlist("tools/tslint_allow.txt", "determinism-quarantine src/core/a.cc\n", diags);
+  ASSERT_EQ(diags.size(), 1u);  // missing rationale
+  EXPECT_EQ(diags[0].rule, kRuleAllowlist);
+}
+
+// --- layering -------------------------------------------------------------
+
+TEST(Layering, LayerOrder) {
+  EXPECT_EQ(LayerOf("src/common/status.h"), 0);
+  EXPECT_LT(LayerOf("src/obs/metrics.h"), LayerOf("src/mem/medium.h"));
+  EXPECT_EQ(LayerOf("src/compress/lz4.h"), LayerOf("src/zpool/zbud.h"));
+  EXPECT_LT(LayerOf("src/zswap/zswap.h"), LayerOf("src/telemetry/hotness.h"));
+  EXPECT_EQ(LayerOf("src/telemetry/hotness.h"), LayerOf("src/solver/mckp.h"));
+  EXPECT_LT(LayerOf("src/solver/mckp.h"), LayerOf("src/tiering/engine.h"));
+  EXPECT_LT(LayerOf("src/tiering/engine.h"), LayerOf("src/core/ts_daemon.h"));
+  EXPECT_LT(LayerOf("src/core/ts_daemon.h"), LayerOf("src/workloads/driver.h"));
+  EXPECT_LT(LayerOf("src/workloads/driver.h"), LayerOf("tests/core_test.cc"));
+  EXPECT_EQ(LayerOf("bench/bench_common.h"), LayerOf("examples/quickstart.cpp"));
+  EXPECT_EQ(LayerOf("not/in/repo.h"), -1);
+}
+
+TEST(Layering, UpwardIncludeRejected) {
+  std::map<std::string, std::string> sources;
+  sources["src/mem/medium.h"] = "#include \"src/core/api.h\"\n";
+  sources["src/core/api.h"] = "int x;\n";
+  const auto diags = LintTree(sources, {}, "tools/tslint_allow.txt");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleLayering);
+  EXPECT_EQ(diags[0].file, "src/mem/medium.h");
+}
+
+TEST(Layering, DownwardAndSameLayerIncludesFine) {
+  std::map<std::string, std::string> sources;
+  sources["src/core/api.h"] = "#include \"src/common/status.h\"\n#include \"src/core/other.h\"\n";
+  sources["src/common/status.h"] = "int s;\n";
+  sources["src/core/other.h"] = "int o;\n";
+  EXPECT_TRUE(LintTree(sources, {}, "tools/tslint_allow.txt").empty());
+}
+
+TEST(Layering, NonRepoRelativeIncludeRejected) {
+  const auto diags = LintOne("src/core/a.cc", "#include \"common/status.h\"\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleLayering);
+}
+
+TEST(Layering, CycleReportedOnEveryMember) {
+  std::map<std::string, std::string> sources;
+  sources["src/zpool/a.h"] = "#include \"src/zpool/b.h\"\n";
+  sources["src/zpool/b.h"] = "#include \"src/zpool/a.h\"\n";
+  const auto diags = LintTree(sources, {}, "tools/tslint_allow.txt");
+  std::set<std::string> files;
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, kRuleLayering);
+    files.insert(d.file);
+  }
+  EXPECT_EQ(files, (std::set<std::string>{"src/zpool/a.h", "src/zpool/b.h"}));
+}
+
+// --- wall-prefix ----------------------------------------------------------
+
+TEST(WallPrefix, ArmedOnlyByDeterminismAllowlistEntry) {
+  const std::string body = "void f(MetricsRegistry& m) { m.GetCounter(\"engine/ops\").Add(1); }\n";
+  // Unarmed: registering a bare-name metric is fine.
+  EXPECT_TRUE(LintOne("src/tiering/a.cc", body).empty());
+  // Armed via a determinism entry: the bare name now trips wall-prefix.
+  std::vector<Diagnostic> parse_diags;
+  const auto allow = ParseAllowlist("tools/tslint_allow.txt",
+                                    "determinism-quarantine src/tiering/a.cc measures wall ms\n",
+                                    parse_diags);
+  const auto diags = LintOne("src/tiering/a.cc", body, allow);
+  EXPECT_EQ(Rules(diags), std::set<std::string>{kRuleWallPrefix});
+}
+
+TEST(WallPrefix, WallPrefixedRegistrationsPass) {
+  std::vector<Diagnostic> parse_diags;
+  const auto allow = ParseAllowlist("tools/tslint_allow.txt",
+                                    "determinism-quarantine src/tiering/a.cc measures wall ms\n",
+                                    parse_diags);
+  const auto diags = LintOne(
+      "src/tiering/a.cc",
+      "void f(MetricsRegistry& m) { m.GetGauge(\"wall/engine/solve_ms\").Set(2.0); }\n", allow);
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- cite-constants -------------------------------------------------------
+
+TEST(CiteConstants, UncitedLatencyConstantFlagged) {
+  const auto diags =
+      LintOne("src/mem/medium.cc", "MediumSpec s{.load_latency_ns = 170};\n");
+  EXPECT_EQ(Rules(diags), std::set<std::string>{kRuleCiteConstants});
+}
+
+TEST(CiteConstants, CitationWithinThreeLinesPasses) {
+  const auto diags = LintOne("src/mem/medium.cc",
+                             "// Optane read latency (§8.1).\n"
+                             "MediumSpec s{.load_latency_ns = 170};\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(CiteConstants, ZeroAndOneAreDefinitional) {
+  const auto diags = LintOne("src/mem/medium.cc",
+                             "double cost_per_gib = 1.0;\n"
+                             "double penalty_ns = 0;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(CiteConstants, OnlyDesignatedFilesChecked) {
+  // Same line in a non-designated file: not checked.
+  const auto diags = LintOne("src/zswap/zswap.cc", "int load_latency_ns = 170;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(CiteConstants, SizeUnitsAreNotCostConstants) {
+  // kGiB/kMiB capacity defaults carry no § requirement ("gib" inside a size
+  // unit identifier is not a cost flavor).
+  const auto diags = LintOne("src/core/tier_specs.h",
+                             "std::size_t dram_bytes = 512 * kMiB;\n"
+                             "std::size_t nvmm_bytes = 2 * kGiB;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- pool-purity ----------------------------------------------------------
+
+TEST(PoolPurity, LoggingAndMetricMutationInWorkerFlagged) {
+  const auto diags = LintOne("src/core/a.cc",
+                             "void f(ThreadPool& pool, R* r) {\n"
+                             "  pool.ParallelFor(8, [&](std::size_t i) {\n"
+                             "    TS_LOG(Info) << i;\n"
+                             "    m_ops_->Add(1);\n"
+                             "    r[i].value = Work(i);\n"
+                             "  });\n"
+                             "}\n");
+  EXPECT_EQ(diags.size(), 2u);
+  EXPECT_EQ(Rules(diags), std::set<std::string>{kRulePoolPurity});
+}
+
+TEST(PoolPurity, PureWorkerAndPostBarrierChargesPass) {
+  const auto diags = LintOne("src/core/a.cc",
+                             "void f(ThreadPool& pool, R* r, std::size_t n) {\n"
+                             "  pool.ParallelFor(n, [&](std::size_t i) {\n"
+                             "    r[i].value = Work(i);\n"
+                             "  });\n"
+                             "  TS_LOG(Info) << \"done\";\n"
+                             "  for (std::size_t i = 0; i < n; ++i) m_ops_->Add(1);\n"
+                             "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(PoolPurity, TraceSpanInWorkerFlagged) {
+  const auto diags = LintOne("src/core/a.cc",
+                             "void f(ThreadPool& pool) {\n"
+                             "  pool.ParallelFor(4, [&](std::size_t i) {\n"
+                             "    TS_TRACE_SPAN(trace, \"compress\");\n"
+                             "    Work(i);\n"
+                             "  });\n"
+                             "}\n");
+  EXPECT_EQ(Rules(diags), std::set<std::string>{kRulePoolPurity});
+}
+
+// --- no-exceptions --------------------------------------------------------
+
+TEST(NoExceptions, TryEmplaceIsOneIdentifier) {
+  const auto diags = LintOne("src/telemetry/hotness_aux.cc",
+                             "void f(M& m) { m.try_emplace(1, 0.0); }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- driver helpers -------------------------------------------------------
+
+TEST(Glob, StarPatterns) {
+  EXPECT_TRUE(GlobMatch("build*", "build"));
+  EXPECT_TRUE(GlobMatch("build*", "build-tsan"));
+  EXPECT_TRUE(GlobMatch("build*", "build2"));
+  EXPECT_FALSE(GlobMatch("build*", "rebuild"));
+  EXPECT_TRUE(GlobMatch("cmake-build*", "cmake-build-debug"));
+  EXPECT_TRUE(GlobMatch(".git", ".git"));
+  EXPECT_FALSE(GlobMatch(".git", ".github"));
+  EXPECT_TRUE(GlobMatch("*.jsonl", "tslint.jsonl"));
+}
+
+TEST(Jsonl, EscapesAndShapes) {
+  Diagnostic d{"layering", "src/a \"b\".cc", 3, 7, "line1\nline2"};
+  EXPECT_EQ(ToJsonl(d),
+            "{\"rule\":\"layering\",\"file\":\"src/a \\\"b\\\".cc\",\"line\":3,\"col\":7,"
+            "\"message\":\"line1\\nline2\"}");
+}
+
+}  // namespace
+}  // namespace tslint
+}  // namespace tierscape

@@ -1,0 +1,882 @@
+#include "tools/tslint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace tierscape {
+namespace tslint {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+
+LexedFile Lex(const std::string& path, const std::string& content) {
+  LexedFile out;
+  out.path = path;
+
+  // Raw lines for ±N-line context searches (cite-constants, fixture markers).
+  {
+    std::string line;
+    for (char c : content) {
+      if (c == '\n') {
+        out.lines.push_back(line);
+        line.clear();
+      } else if (c != '\r') {
+        line += c;
+      }
+    }
+    out.lines.push_back(line);
+  }
+
+  std::size_t i = 0;
+  const std::size_t n = content.size();
+  int line = 1;
+  int col = 1;
+  bool line_has_token = false;   // only whitespace seen so far on this line?
+  bool in_preproc = false;       // inside a preprocessor logical line
+  std::string directive;         // current directive name ("include", ...)
+  bool directive_pending = false;  // saw '#', first identifier names it
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (content[i] == '\n') {
+        ++line;
+        col = 1;
+        line_has_token = false;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  auto push = [&](TokenKind kind, std::string text, int tok_line, int tok_col) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = tok_line;
+    t.col = tok_col;
+    t.in_preprocessor = in_preproc;
+    t.directive = in_preproc ? directive : std::string();
+    out.tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = content[i];
+
+    if (c == '\n') {
+      if (in_preproc) {
+        // A preprocessor logical line ends at a newline not escaped by '\'.
+        std::size_t back = i;
+        bool continued = false;
+        while (back > 0) {
+          const char prev = content[back - 1];
+          if (prev == '\\') {
+            continued = true;
+            break;
+          }
+          if (prev == ' ' || prev == '\t' || prev == '\r') {
+            --back;
+            continue;
+          }
+          break;
+        }
+        if (!continued) {
+          in_preproc = false;
+          directive.clear();
+          directive_pending = false;
+        }
+      }
+      advance(1);
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f' || c == '\\') {
+      advance(1);
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      while (i < n && content[i] != '\n') advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      advance(2);
+      while (i < n && !(content[i] == '*' && i + 1 < n && content[i + 1] == '/')) advance(1);
+      advance(2);
+      continue;
+    }
+
+    // Preprocessor line start: '#' as the first non-whitespace on the line.
+    if (c == '#' && !line_has_token && !in_preproc) {
+      in_preproc = true;
+      directive_pending = true;
+      line_has_token = true;
+      advance(1);
+      continue;
+    }
+
+    line_has_token = true;
+    const int tok_line = line;
+    const int tok_col = col;
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      std::size_t d = i + 2;
+      std::string delim;
+      while (d < n && content[d] != '(' && content[d] != '\n' && delim.size() <= 16) {
+        delim += content[d];
+        ++d;
+      }
+      if (d < n && content[d] == '(') {
+        const std::string closer = ")" + delim + "\"";
+        advance(d + 1 - i);  // past R"delim(
+        std::string body;
+        while (i < n && content.compare(i, closer.size(), closer) != 0) {
+          body += content[i];
+          advance(1);
+        }
+        advance(closer.size());
+        push(TokenKind::kString, std::move(body), tok_line, tok_col);
+        continue;
+      }
+      // 'R' not starting a raw string: fall through as identifier below.
+    }
+
+    // String / char literals (also consumes C++14 digit separators' quotes
+    // only when they genuinely open a char literal — number lexing below
+    // claims separators inside numeric tokens first).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      advance(1);
+      std::string body;
+      while (i < n && content[i] != quote) {
+        if (content[i] == '\\' && i + 1 < n) {
+          body += content[i];
+          body += content[i + 1];
+          advance(2);
+          continue;
+        }
+        if (content[i] == '\n') break;  // unterminated: close at line end
+        body += content[i];
+        advance(1);
+      }
+      if (i < n && content[i] == quote) advance(1);
+      push(TokenKind::kString, std::move(body), tok_line, tok_col);
+      continue;
+    }
+
+    // Numbers (including 0x..., separators, exponents, suffixes).
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(content[i + 1]))) {
+      std::string text;
+      bool prev_exp = false;
+      while (i < n) {
+        const char d = content[i];
+        if (IsIdentChar(d) || d == '.' || d == '\'' || (prev_exp && (d == '+' || d == '-'))) {
+          prev_exp = (d == 'e' || d == 'E' || d == 'p' || d == 'P');
+          text += d;
+          advance(1);
+          continue;
+        }
+        break;
+      }
+      push(TokenKind::kNumber, std::move(text), tok_line, tok_col);
+      continue;
+    }
+
+    // Identifiers / keywords.
+    if (IsIdentStart(c)) {
+      std::string text;
+      while (i < n && IsIdentChar(content[i])) {
+        text += content[i];
+        advance(1);
+      }
+      if (directive_pending) {
+        directive = text;
+        directive_pending = false;
+        // The token itself still records the directive it names.
+      }
+      push(TokenKind::kIdentifier, std::move(text), tok_line, tok_col);
+      // #include <system/header>: consume the angled path as one unit so the
+      // header name's identifiers never reach the rules.
+      if (in_preproc && directive == "include" && out.tokens.back().text == "include") {
+        std::size_t j = i;
+        while (j < n && (content[j] == ' ' || content[j] == '\t')) ++j;
+        if (j < n && content[j] == '<') {
+          std::string sys;
+          std::size_t k = j + 1;
+          while (k < n && content[k] != '>' && content[k] != '\n') {
+            sys += content[k];
+            ++k;
+          }
+          if (k < n && content[k] == '>') {
+            advance(k + 1 - i);
+            out.includes.push_back({sys, tok_line, /*angled=*/true});
+          }
+        }
+      }
+      continue;
+    }
+
+    // Punctuation ("::" and "->" fused; everything else single-char).
+    if (c == ':' && i + 1 < n && content[i + 1] == ':') {
+      push(TokenKind::kPunct, "::", tok_line, tok_col);
+      advance(2);
+      continue;
+    }
+    if (c == '-' && i + 1 < n && content[i + 1] == '>') {
+      push(TokenKind::kPunct, "->", tok_line, tok_col);
+      advance(2);
+      continue;
+    }
+    push(TokenKind::kPunct, std::string(1, c), tok_line, tok_col);
+    advance(1);
+  }
+
+  // Quoted includes: a string token on an include directive line.
+  for (const Token& t : out.tokens) {
+    if (t.in_preprocessor && t.directive == "include" && t.kind == TokenKind::kString) {
+      out.includes.push_back({t.text, t.line, /*angled=*/false});
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist
+
+std::vector<AllowEntry> ParseAllowlist(const std::string& allow_path,
+                                       const std::string& content,
+                                       std::vector<Diagnostic>& diags) {
+  std::vector<AllowEntry> entries;
+  std::istringstream in(content);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string trimmed = raw;
+    trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream fields(trimmed);
+    AllowEntry entry;
+    entry.line = line_no;
+    fields >> entry.rule >> entry.path;
+    std::getline(fields, entry.rationale);
+    entry.rationale.erase(0, entry.rationale.find_first_not_of(" \t"));
+    if (entry.rule.empty() || entry.path.empty() || entry.rationale.empty()) {
+      diags.push_back({kRuleAllowlist, allow_path, line_no, 1,
+                       "malformed allowlist entry: need `<rule> <path> <rationale>`"});
+      continue;
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+// ---------------------------------------------------------------------------
+// Layering
+
+int LayerOf(const std::string& path) {
+  auto starts = [&](const char* prefix) { return path.rfind(prefix, 0) == 0; };
+  if (starts("src/common/")) return 0;
+  if (starts("src/obs/")) return 1;
+  if (starts("src/mem/")) return 2;
+  if (starts("src/compress/") || starts("src/zpool/")) return 3;
+  if (starts("src/zswap/")) return 4;
+  if (starts("src/telemetry/") || starts("src/solver/")) return 5;
+  if (starts("src/tiering/")) return 6;
+  if (starts("src/core/")) return 7;
+  if (starts("src/workloads/")) return 8;
+  if (starts("tests/") || starts("bench/") || starts("examples/") || starts("tools/")) return 100;
+  return -1;
+}
+
+bool IsCiteDesignated(const std::string& path) {
+  // Only production headers/TUs hold paper constants; tests and benches use
+  // synthetic values (e.g. cost_model_property_test.cc) that cite nothing.
+  if (path.rfind("src/", 0) != 0) return false;
+  if (path.rfind("src/telemetry/", 0) == 0) return true;
+  return path.find("tier_specs") != std::string::npos ||
+         path.find("cost_model") != std::string::npos ||
+         path.find("medium") != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file rules
+
+namespace {
+
+bool Allowed(const std::string& rule, const std::string& file,
+             const std::vector<AllowEntry>& allow, std::vector<bool>& used_allow) {
+  for (std::size_t k = 0; k < allow.size(); ++k) {
+    if (allow[k].rule == rule && allow[k].path == file) {
+      used_allow[k] = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HasAllowEntry(const std::string& rule, const std::string& file,
+                   const std::vector<AllowEntry>& allow) {
+  for (const AllowEntry& e : allow) {
+    if (e.rule == rule && e.path == file) return true;
+  }
+  return false;
+}
+
+// Previous token is a member-access operator ('.' or '->').
+bool PrevIsMemberAccess(const std::vector<Token>& toks, std::size_t idx) {
+  if (idx == 0) return false;
+  const Token& p = toks[idx - 1];
+  return p.kind == TokenKind::kPunct && (p.text == "." || p.text == "->");
+}
+
+// Numeric literal value, ignoring separators and suffixes; NaN on failure.
+double NumericValue(const std::string& text) {
+  std::string cleaned;
+  for (char c : text) {
+    if (c != '\'') cleaned += c;
+  }
+  const char* begin = cleaned.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) return std::nan("");
+  return v;
+}
+
+// `keyword` occurs in `line` at a word-ish boundary: the preceding char is
+// not alphanumeric (`cost_per_gib` matches "cost") or the keyword starts a
+// camelCase hump (`kDecompressCostNs` matches "cost"). Interior matches like
+// the "ns" in "constants" never count.
+bool KeywordOnLine(const std::string& line, const std::string& keyword) {
+  const std::string lower = Lower(line);
+  std::size_t pos = 0;
+  while ((pos = lower.find(keyword, pos)) != std::string::npos) {
+    if (pos == 0 || !std::isalnum(static_cast<unsigned char>(lower[pos - 1])) ||
+        std::isupper(static_cast<unsigned char>(line[pos]))) {
+      return true;
+    }
+    ++pos;
+  }
+  return false;
+}
+
+void CheckDeterminism(const LexedFile& file, const std::vector<AllowEntry>& allow,
+                      std::vector<bool>& used_allow, std::vector<Diagnostic>& diags) {
+  // Identifiers whose mere appearance in code is banned (wall clocks and
+  // nondeterministic entropy sources), and identifiers banned only as direct
+  // calls (common words like `time` would otherwise false-positive).
+  static const std::set<std::string> kBannedAlways = {
+      "steady_clock",     "system_clock", "high_resolution_clock",
+      "clock_gettime",    "gettimeofday", "timespec_get",
+      "random_device",    "getenv",       "secure_getenv",
+  };
+  static const std::set<std::string> kBannedCalls = {
+      "time", "rand", "srand", "rand_r", "drand48", "clock",
+  };
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t k = 0; k < toks.size(); ++k) {
+    const Token& t = toks[k];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    bool hit = false;
+    if (kBannedAlways.count(t.text) != 0) {
+      hit = true;
+    } else if (kBannedCalls.count(t.text) != 0 && !PrevIsMemberAccess(toks, k) &&
+               k + 1 < toks.size() && toks[k + 1].kind == TokenKind::kPunct &&
+               toks[k + 1].text == "(") {
+      hit = true;
+    }
+    if (!hit) continue;
+    if (Allowed(kRuleDeterminism, file.path, allow, used_allow)) continue;
+    diags.push_back({kRuleDeterminism, file.path, t.line, t.col,
+                     "wall-clock / nondeterminism source `" + t.text +
+                         "` outside the wall/ quarantine; justify in tools/tslint_allow.txt "
+                         "if the value never reaches virtual-time results (DESIGN.md §4b)"});
+  }
+}
+
+void CheckNoExceptions(const LexedFile& file, const std::vector<AllowEntry>& allow,
+                       std::vector<bool>& used_allow, std::vector<Diagnostic>& diags) {
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text != "throw" && t.text != "try" && t.text != "catch") continue;
+    if (Allowed(kRuleNoExceptions, file.path, allow, used_allow)) continue;
+    diags.push_back({kRuleNoExceptions, file.path, t.line, t.col,
+                     "`" + t.text + "` is banned: use Status/StatusOr for fallible paths and "
+                         "TS_CHECK for invariants (CLAUDE.md)"});
+  }
+}
+
+void CheckWallPrefix(const LexedFile& file, const std::vector<AllowEntry>& allow,
+                     std::vector<bool>& used_allow, std::vector<Diagnostic>& diags) {
+  // Only translation units declared wall-clock-touching (they hold a
+  // determinism-quarantine allowlist entry) are constrained: every metric
+  // they register must live under wall/ so wall-clock-derived values can
+  // never leak into deterministic exports.
+  if (!HasAllowEntry(kRuleDeterminism, file.path, allow)) return;
+  static const std::set<std::string> kRegistrars = {"GetCounter", "GetGauge", "GetHistogram"};
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t k = 0; k + 2 < toks.size(); ++k) {
+    if (toks[k].kind != TokenKind::kIdentifier || kRegistrars.count(toks[k].text) == 0) continue;
+    if (toks[k + 1].kind != TokenKind::kPunct || toks[k + 1].text != "(") continue;
+    if (toks[k + 2].kind != TokenKind::kString) continue;
+    const std::string& name = toks[k + 2].text;
+    if (name.rfind("wall/", 0) == 0) continue;
+    if (Allowed(kRuleWallPrefix, file.path, allow, used_allow)) continue;
+    diags.push_back({kRuleWallPrefix, file.path, toks[k + 2].line, toks[k + 2].col,
+                     "metric `" + name + "` registered in a wall-clock-touching TU must carry "
+                         "the wall/ prefix (DESIGN.md §4b)"});
+  }
+}
+
+void CheckCiteConstants(const LexedFile& file, const std::vector<AllowEntry>& allow,
+                        std::vector<bool>& used_allow, std::vector<Diagnostic>& diags) {
+  if (!IsCiteDesignated(file.path)) return;
+  // Heuristic: a non-{0,1} numeric literal assigned on a line mentioning a
+  // latency/cost-flavored identifier is presumed paper-derived and must have
+  // a § citation within ±3 lines.
+  static const char* kFlavors[] = {"latency", "_ns", "cost", "usd", "period", "penalty", "decay"};
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokenKind::kNumber || t.in_preprocessor) continue;
+    const double v = NumericValue(t.text);
+    if (std::isnan(v) || v == 0.0 || v == 1.0) continue;
+    if (t.line < 1 || t.line > static_cast<int>(file.lines.size())) continue;
+    const std::string& line_text = file.lines[t.line - 1];
+    if (line_text.find('=') == std::string::npos) continue;
+    bool flavored = false;
+    for (const char* f : kFlavors) {
+      if (KeywordOnLine(line_text, f)) {
+        flavored = true;
+        break;
+      }
+    }
+    if (!flavored) continue;
+    bool cited = false;
+    const int lo = std::max(1, t.line - 3);
+    const int hi = std::min(static_cast<int>(file.lines.size()), t.line + 3);
+    for (int ln = lo; ln <= hi && !cited; ++ln) {
+      cited = file.lines[ln - 1].find("§") != std::string::npos;
+    }
+    if (cited) continue;
+    if (Allowed(kRuleCiteConstants, file.path, allow, used_allow)) continue;
+    diags.push_back({kRuleCiteConstants, file.path, t.line, t.col,
+                     "latency/cost constant `" + t.text +
+                         "` needs a § paper citation within 3 lines (CLAUDE.md)"});
+  }
+}
+
+void CheckPoolPurity(const LexedFile& file, const std::vector<AllowEntry>& allow,
+                     std::vector<bool>& used_allow, std::vector<Diagnostic>& diags) {
+  // Workers inside ThreadPool::ParallelFor bodies may only compute pure
+  // results into disjoint slots (thread_pool.h); logging, metric mutation,
+  // and trace spans there would make output depend on wall-clock scheduling.
+  static const std::set<std::string> kBannedInWorker = {
+      "TS_LOG", "TS_TRACE_SPAN", "TS_TRACE_INSTANT",
+      "GetCounter", "GetGauge", "GetHistogram",
+  };
+  static const std::set<std::string> kMutators = {"Add", "Set", "Record"};
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t k = 0; k + 1 < toks.size(); ++k) {
+    if (toks[k].kind != TokenKind::kIdentifier ||
+        (toks[k].text != "ParallelFor" && toks[k].text != "Submit")) {
+      continue;
+    }
+    if (!PrevIsMemberAccess(toks, k)) continue;
+    if (toks[k + 1].kind != TokenKind::kPunct || toks[k + 1].text != "(") continue;
+    // Span of the call: match parens at token level (strings/comments are
+    // already out of the stream, so this cannot be fooled by literals).
+    int depth = 0;
+    std::size_t end = k + 1;
+    for (; end < toks.size(); ++end) {
+      if (toks[end].kind != TokenKind::kPunct) continue;
+      if (toks[end].text == "(") ++depth;
+      if (toks[end].text == ")" && --depth == 0) break;
+    }
+    for (std::size_t j = k + 2; j < end && j < toks.size(); ++j) {
+      const Token& t = toks[j];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      bool hit = kBannedInWorker.count(t.text) != 0;
+      // Handle-mutation idiom: m_foo_->Add(...), m_foo_.Set(...).
+      if (!hit && t.text.rfind("m_", 0) == 0 && j + 2 < toks.size() &&
+          toks[j + 1].kind == TokenKind::kPunct &&
+          (toks[j + 1].text == "->" || toks[j + 1].text == ".") &&
+          kMutators.count(toks[j + 2].text) != 0) {
+        hit = true;
+      }
+      if (!hit) continue;
+      if (Allowed(kRulePoolPurity, file.path, allow, used_allow)) continue;
+      diags.push_back({kRulePoolPurity, file.path, t.line, t.col,
+                       "`" + t.text + "` inside a ThreadPool worker lambda: workers must be "
+                           "pure; log/record on the submitting thread in submission order "
+                           "(thread_pool.h)"});
+    }
+    k = end;
+  }
+}
+
+}  // namespace
+
+void CheckFile(const LexedFile& file, const std::vector<AllowEntry>& allow,
+               std::vector<bool>& used_allow, std::vector<Diagnostic>& diags) {
+  CheckDeterminism(file, allow, used_allow, diags);
+  CheckNoExceptions(file, allow, used_allow, diags);
+  CheckWallPrefix(file, allow, used_allow, diags);
+  CheckCiteConstants(file, allow, used_allow, diags);
+  CheckPoolPurity(file, allow, used_allow, diags);
+}
+
+// ---------------------------------------------------------------------------
+// Include graph
+
+void CheckIncludeGraph(const std::map<std::string, LexedFile>& files,
+                       std::vector<Diagnostic>& diags) {
+  for (const auto& [path, file] : files) {
+    const int from_layer = LayerOf(path);
+    for (const LexedFile::Include& inc : file.includes) {
+      if (inc.angled) continue;  // system/third-party headers are exempt
+      const int to_layer = LayerOf(inc.path);
+      if (to_layer < 0) {
+        diags.push_back({kRuleLayering, path, inc.line, 1,
+                         "include \"" + inc.path + "\" is not repo-relative: use the full "
+                             "path from the repo root (CLAUDE.md)"});
+        continue;
+      }
+      // tools/ is outside the scanned DAG (the linter itself); style checked,
+      // existence and direction left to its own build.
+      if (inc.path.rfind("tools/", 0) == 0) continue;
+      if (files.find(inc.path) == files.end()) {
+        diags.push_back({kRuleLayering, path, inc.line, 1,
+                         "include \"" + inc.path + "\" does not resolve to a scanned file"});
+        continue;
+      }
+      if (to_layer > from_layer) {
+        diags.push_back({kRuleLayering, path, inc.line, 1,
+                         "upward layer edge: " + path + " may not include \"" + inc.path +
+                             "\" (layering DAG, CLAUDE.md)"});
+      }
+    }
+  }
+
+  // Cycle detection over resolvable quoted-include edges. Each distinct cycle
+  // is reported once on every participating file, so per-file accounting
+  // (fixtures, allowlists) sees all members.
+  enum Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  std::vector<std::string> stack;
+  std::set<std::vector<std::string>> reported;
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    color[node] = kGray;
+    stack.push_back(node);
+    auto it = files.find(node);
+    if (it != files.end()) {
+      for (const LexedFile::Include& inc : it->second.includes) {
+        if (inc.angled || files.find(inc.path) == files.end()) continue;
+        const Color c = color.count(inc.path) ? color[inc.path] : kWhite;
+        if (c == kWhite) {
+          dfs(inc.path);
+        } else if (c == kGray) {
+          auto begin = std::find(stack.begin(), stack.end(), inc.path);
+          std::vector<std::string> cycle(begin, stack.end());
+          std::vector<std::string> key = cycle;
+          std::sort(key.begin(), key.end());
+          if (reported.insert(key).second) {
+            std::string desc;
+            for (const std::string& member : cycle) desc += member + " -> ";
+            desc += inc.path;
+            for (const std::string& member : cycle) {
+              diags.push_back({kRuleLayering, member, inc.line, 1,
+                               "include cycle: " + desc});
+            }
+          }
+        }
+      }
+    }
+    stack.pop_back();
+    color[node] = kBlack;
+  };
+  for (const auto& [path, file] : files) {
+    if (!color.count(path) || color[path] == kWhite) dfs(path);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-tree lint
+
+std::vector<Diagnostic> LintTree(const std::map<std::string, std::string>& sources,
+                                 const std::vector<AllowEntry>& allow,
+                                 const std::string& allow_path) {
+  std::vector<Diagnostic> diags;
+  std::map<std::string, LexedFile> files;
+  for (const auto& [path, content] : sources) {
+    files.emplace(path, Lex(path, content));
+  }
+  std::vector<bool> used_allow(allow.size(), false);
+  for (const auto& [path, file] : files) {
+    CheckFile(file, allow, used_allow, diags);
+  }
+  CheckIncludeGraph(files, diags);
+  for (std::size_t k = 0; k < allow.size(); ++k) {
+    if (sources.find(allow[k].path) == sources.end()) {
+      diags.push_back({kRuleAllowlist, allow_path, allow[k].line, 1,
+                       "stale allowlist entry: `" + allow[k].path + "` was not scanned"});
+    }
+  }
+  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    return std::tie(a.file, a.line, a.col, a.rule) < std::tie(b.file, b.line, b.col, b.rule);
+  });
+  return diags;
+}
+
+// ---------------------------------------------------------------------------
+// Driver helpers
+
+bool GlobMatch(const std::string& pattern, const std::string& name) {
+  // '*'-only glob, recursive two-pointer with backtracking.
+  std::size_t p = 0, s = 0, star = std::string::npos, match = 0;
+  while (s < name.size()) {
+    if (p < pattern.size() && (pattern[p] == name[s])) {
+      ++p;
+      ++s;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      match = s;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      s = ++match;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::vector<std::string> IgnoredDirPatterns(const std::string& root) {
+  // tslint_fixtures is intentionally full of violations; scanning it from the
+  // real tree would drown the report (self-test scans it as its own root).
+  std::vector<std::string> patterns = {"build*", "cmake-build*", ".git",   ".cache",
+                                       "out",    "obs_artifacts", ".claude", "tslint_fixtures"};
+  std::ifstream in(root + "/.gitignore");
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+    if (line.empty() || line[0] == '#' || line[0] == '!') continue;
+    if (!line.empty() && line.back() == '/') line.pop_back();
+    // Only simple directory-name patterns (no interior slashes).
+    if (line.empty() || line.find('/') != std::string::npos) continue;
+    if (std::find(patterns.begin(), patterns.end(), line) == patterns.end()) {
+      patterns.push_back(line);
+    }
+  }
+  return patterns;
+}
+
+namespace {
+
+void WalkDir(const std::filesystem::path& dir, const std::filesystem::path& root,
+             const std::vector<std::string>& ignored, TreeScan& out) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<fs::directory_entry> entries;
+  for (fs::directory_iterator it(dir, ec); !ec && it != fs::directory_iterator();
+       it.increment(ec)) {
+    entries.push_back(*it);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.path() < b.path(); });
+  for (const fs::directory_entry& entry : entries) {
+    const std::string name = entry.path().filename().generic_string();
+    if (entry.is_directory()) {
+      bool skip = false;
+      for (const std::string& pattern : ignored) {
+        if (GlobMatch(pattern, name)) {
+          skip = true;
+          break;
+        }
+      }
+      if (!skip) WalkDir(entry.path(), root, ignored, out);
+      continue;
+    }
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().generic_string();
+    if (ext != ".h" && ext != ".cc" && ext != ".cpp" && ext != ".hpp") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    if (!in) {
+      out.errors.push_back("unreadable: " + entry.path().generic_string());
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string rel =
+        fs::relative(entry.path(), root, ec).generic_string();
+    out.sources[ec ? entry.path().generic_string() : rel] = buf.str();
+  }
+}
+
+}  // namespace
+
+TreeScan ScanTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  TreeScan out;
+  std::error_code ec;
+  const fs::path root_path = fs::weakly_canonical(fs::path(root), ec);
+  if (ec || !fs::is_directory(root_path)) {
+    out.errors.push_back("root is not a directory: " + root);
+    return out;
+  }
+  // Refuse to scan inside an ignored (build) tree: linting stale generated
+  // copies of the sources produces nonsense reports. The fixture tree is the
+  // one intentionally-scannable ignored directory (`--self-test` roots it).
+  const std::vector<std::string> ignored = IgnoredDirPatterns(root_path.generic_string());
+  std::vector<std::string> refuse = ignored;
+  refuse.erase(std::remove(refuse.begin(), refuse.end(), "tslint_fixtures"), refuse.end());
+  for (const fs::path& part : root_path) {
+    for (const std::string& pattern : refuse) {
+      if (GlobMatch(pattern, part.generic_string())) {
+        out.errors.push_back("refusing to scan ignored directory `" + part.generic_string() +
+                             "` (gitignored build tree); point --root at the repo checkout");
+        return out;
+      }
+    }
+  }
+  for (const char* top : {"src", "bench", "tests", "examples"}) {
+    const fs::path dir = root_path / top;
+    if (fs::is_directory(dir)) WalkDir(dir, root_path, ignored, out);
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToJsonl(const Diagnostic& d) {
+  std::ostringstream out;
+  out << "{\"rule\":\"" << JsonEscape(d.rule) << "\",\"file\":\"" << JsonEscape(d.file)
+      << "\",\"line\":" << d.line << ",\"col\":" << d.col << ",\"message\":\""
+      << JsonEscape(d.message) << "\"}";
+  return out.str();
+}
+
+std::string ToText(const Diagnostic& d) {
+  std::ostringstream out;
+  out << d.file << ":" << d.line << ":" << d.col << ": [" << d.rule << "] " << d.message;
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Self-test
+
+int SelfTest(const std::string& fixture_root, std::vector<std::string>& failures) {
+  TreeScan scan = ScanTree(fixture_root);
+  for (const std::string& err : scan.errors) failures.push_back(err);
+  if (scan.sources.empty()) {
+    failures.push_back("no fixture sources under " + fixture_root);
+    return 1;
+  }
+
+  std::vector<Diagnostic> diags;
+  std::vector<AllowEntry> allow;
+  const std::string allow_rel = "tools/tslint_allow.txt";
+  std::ifstream allow_in(fixture_root + "/" + allow_rel);
+  if (allow_in) {
+    std::ostringstream buf;
+    buf << allow_in.rdbuf();
+    allow = ParseAllowlist(allow_rel, buf.str(), diags);
+  }
+  std::vector<Diagnostic> lint = LintTree(scan.sources, allow, allow_rel);
+  diags.insert(diags.end(), lint.begin(), lint.end());
+
+  // Expected rule per file from its `// tslint-fixture: <rule>|none` marker.
+  std::map<std::string, std::string> expected;
+  for (const auto& [path, content] : scan.sources) {
+    std::istringstream in(content);
+    std::string line;
+    std::string marker;
+    for (int k = 0; k < 5 && std::getline(in, line); ++k) {
+      const std::size_t pos = line.find("tslint-fixture:");
+      if (pos == std::string::npos) continue;
+      marker = line.substr(pos + std::string("tslint-fixture:").size());
+      marker.erase(0, marker.find_first_not_of(" \t"));
+      marker.erase(marker.find_last_not_of(" \t\r") + 1);
+      break;
+    }
+    if (marker.empty()) {
+      failures.push_back(path + ": fixture missing `// tslint-fixture: <rule>|none` marker");
+      continue;
+    }
+    expected[path] = marker;
+  }
+
+  std::map<std::string, std::set<std::string>> tripped;
+  for (const Diagnostic& d : diags) {
+    tripped[d.file].insert(d.rule);
+  }
+  for (const auto& [path, want] : expected) {
+    const std::set<std::string>& got = tripped[path];
+    if (want == "none") {
+      if (!got.empty()) {
+        std::string rules;
+        for (const std::string& r : got) rules += r + " ";
+        failures.push_back(path + ": expected clean, tripped: " + rules);
+      }
+      continue;
+    }
+    if (got != std::set<std::string>{want}) {
+      std::string rules;
+      for (const std::string& r : got) rules += r + " ";
+      failures.push_back(path + ": expected exactly [" + want + "], tripped: [" +
+                         (rules.empty() ? "nothing" : rules) + "]");
+    }
+  }
+  // Diagnostics against unscanned paths (e.g. stale fixture allowlist
+  // entries) are failures too: the fixture tree must stay self-consistent.
+  for (const auto& [path, rules] : tripped) {
+    if (expected.find(path) == expected.end() && !rules.empty()) {
+      failures.push_back(path + ": diagnostics against a non-fixture path");
+    }
+  }
+  return failures.empty() ? 0 : 1;
+}
+
+}  // namespace tslint
+}  // namespace tierscape
