@@ -7,21 +7,20 @@
 // from compression); NVMM backing is cheapest but slowest; CXL lands between
 // on both axes — a genuinely new operating point multiple backing media buy.
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/experiment_grid.h"
 
 using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
-  tierscape::bench::ObsArtifactSession obs_session("ablation_cxl_backing");
+  ExperimentGrid grid("ablation_cxl_backing");
   const std::string workload = "memcached-ycsb";
   const std::size_t footprint = WorkloadFootprint(workload);
 
-  std::printf("Ablation: CT-2 backing medium (AM, alpha=0.15, Memcached/YCSB)\n\n");
-  TablePrinter table({"CT-2 backing", "slowdown %", "TCO savings %", "faults",
-                      "CT-2 load cost (us)"});
   for (const MediumKind backing :
        {MediumKind::kDram, MediumKind::kCxl, MediumKind::kNvmm}) {
     SystemConfig config;
@@ -34,20 +33,33 @@ int main() {
                                                   .algorithm = Algorithm::kZstd,
                                                   .pool_manager = PoolManager::kZsmalloc,
                                                   .backing = backing}};
-    auto system = std::make_unique<TieredSystem>(config);
-    auto wl = MakeWorkload(workload);
-    AnalyticalPolicy policy(0.15);
-    ExperimentConfig experiment;
-    experiment.ops = 120'000;
-    const ExperimentResult r = RunExperiment(*system, *wl, &policy, experiment);
-    const int ct2 = system->tiers().FindByLabel("CT-2");
-    const double load_us =
-        static_cast<double>(system->tiers().tier(ct2).compressed->NominalLoadCost()) /
-        1000.0;
-    table.AddRow({std::string(MediumKindName(backing)),
-                  TablePrinter::Fmt(r.perf_overhead_pct),
+    CellSpec cell;
+    cell.label = std::string(MediumKindName(backing));
+    cell.make_system = SystemFactory(config);
+    cell.workload = workload;
+    cell.policy = AmSpec(cell.label, 0.15);
+    cell.config.ops = 120'000;
+    // Fold CT-2's modeled load cost into the result while the cell's system
+    // is still alive (grid inspect hook; pure read of system state).
+    cell.inspect = [](TieredSystem& system, ExperimentResult& result) {
+      const int ct2 = system.tiers().FindByLabel("CT-2");
+      result.extras.emplace_back(
+          "ct2_load_us",
+          static_cast<double>(system.tiers().tier(ct2).compressed->NominalLoadCost()) /
+              1000.0);
+    };
+    grid.Add(std::move(cell));
+  }
+  const std::vector<ExperimentResult> results = grid.Run();
+
+  std::printf("Ablation: CT-2 backing medium (AM, alpha=0.15, Memcached/YCSB)\n\n");
+  TablePrinter table({"CT-2 backing", "slowdown %", "TCO savings %", "faults",
+                      "CT-2 load cost (us)"});
+  for (const ExperimentResult& r : results) {
+    table.AddRow({r.policy, TablePrinter::Fmt(r.perf_overhead_pct),
                   TablePrinter::Fmt(r.mean_tco_savings * 100.0),
-                  std::to_string(r.total_faults), TablePrinter::Fmt(load_us)});
+                  std::to_string(r.total_faults),
+                  TablePrinter::Fmt(r.Extra("ct2_load_us"))});
   }
   table.Print();
   std::printf("\nCXL-backed pools trade a modest latency increase over DRAM backing\n");

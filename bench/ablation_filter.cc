@@ -7,17 +7,21 @@
 // churn (and usually slowdown) for roughly the same TCO; disabling the
 // capacity bound risks rejected migrations under pressure.
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/experiment_grid.h"
 
 using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
-  tierscape::bench::ObsArtifactSession obs_session("ablation_filter");
+  ExperimentGrid grid("ablation_filter");
   const std::string workload = "memcached-ycsb";
   const std::size_t footprint = WorkloadFootprint(workload);
+  const auto make_system = SystemFactory(
+      StandardMixConfig(footprint + footprint / 2, footprint + footprint / 2));
 
   struct Variant {
     const char* name;
@@ -33,21 +37,25 @@ int main() {
       {"no filter at all", false, 1e18, 1e9},
   };
 
+  for (const Variant& variant : variants) {
+    CellSpec cell;
+    cell.label = variant.name;
+    cell.make_system = make_system;
+    cell.workload = workload;
+    cell.policy = AmSpec(variant.name, 0.15);
+    cell.config.ops = 150'000;
+    cell.config.daemon.filter.enable_hysteresis = variant.hysteresis;
+    cell.config.daemon.filter.demotion_benefit_factor = variant.benefit_factor;
+    cell.config.daemon.filter.capacity_headroom = variant.headroom;
+    grid.Add(std::move(cell));
+  }
+  const std::vector<ExperimentResult> results = grid.Run();
+
   std::printf("Ablation: migration filter rules (AM-TCO, Memcached/YCSB)\n\n");
   TablePrinter table({"variant", "slowdown %", "TCO savings %", "migrated pages",
                       "faults"});
-  for (const Variant& variant : variants) {
-    auto system = std::make_unique<TieredSystem>(
-        StandardMixConfig(footprint + footprint / 2, footprint + footprint / 2));
-    auto wl = MakeWorkload(workload);
-    AnalyticalPolicy policy(0.15);
-    ExperimentConfig config;
-    config.ops = 150'000;
-    config.daemon.filter.enable_hysteresis = variant.hysteresis;
-    config.daemon.filter.demotion_benefit_factor = variant.benefit_factor;
-    config.daemon.filter.capacity_headroom = variant.headroom;
-    const ExperimentResult r = RunExperiment(*system, *wl, &policy, config);
-    table.AddRow({variant.name, TablePrinter::Fmt(r.perf_overhead_pct),
+  for (const ExperimentResult& r : results) {
+    table.AddRow({r.policy, TablePrinter::Fmt(r.perf_overhead_pct),
                   TablePrinter::Fmt(r.mean_tco_savings * 100.0),
                   std::to_string(r.migrated_pages), std::to_string(r.total_faults)});
   }

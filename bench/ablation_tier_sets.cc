@@ -7,16 +7,17 @@
 // savings-per-slowdown; going from 2 to 5 tiers raises achievable savings
 // (the §8.3.2 observation).
 #include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/experiment_grid.h"
 
 using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
-  tierscape::bench::ObsArtifactSession obs_session("ablation_tier_sets");
+  ExperimentGrid grid("ablation_tier_sets");
   const std::string workload = "memcached-ycsb";
   const std::size_t footprint = WorkloadFootprint(workload);
 
@@ -33,8 +34,6 @@ int main() {
        {"C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9", "C10", "C11", "C12"}},
   };
 
-  std::printf("Ablation: compressed tier-set selection (AM-TCO, alpha=0.3)\n\n");
-  TablePrinter table({"tier set", "tiers", "slowdown %", "TCO savings %", "faults"});
   for (const TierSet& set : sets) {
     SystemConfig config;
     config.dram_bytes = 2 * footprint;
@@ -43,13 +42,21 @@ int main() {
     for (const char* label : set.labels) {
       config.compressed_tiers.push_back(*TierSpecByLabel(label));
     }
-    auto system = std::make_unique<TieredSystem>(config);
-    auto wl = MakeWorkload(workload);
-    AnalyticalPolicy policy(0.3);
-    ExperimentConfig experiment;
-    experiment.ops = 120'000;
-    const ExperimentResult r = RunExperiment(*system, *wl, &policy, experiment);
-    table.AddRow({set.name, std::to_string(set.labels.size()),
+    CellSpec cell;
+    cell.label = set.name;
+    cell.make_system = SystemFactory(config);
+    cell.workload = workload;
+    cell.policy = AmSpec(set.name, 0.3);
+    cell.config.ops = 120'000;
+    grid.Add(std::move(cell));
+  }
+  const std::vector<ExperimentResult> results = grid.Run();
+
+  std::printf("Ablation: compressed tier-set selection (AM-TCO, alpha=0.3)\n\n");
+  TablePrinter table({"tier set", "tiers", "slowdown %", "TCO savings %", "faults"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    table.AddRow({sets[i].name, std::to_string(sets[i].labels.size()),
                   TablePrinter::Fmt(r.perf_overhead_pct),
                   TablePrinter::Fmt(r.mean_tco_savings * 100.0),
                   std::to_string(r.total_faults)});

@@ -3,16 +3,12 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
-#include <cstdio>
-#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/table.h"
-#include "src/obs/export.h"
-#include "src/obs/observability.h"
 #include "src/core/analytical.h"
 #include "src/core/baselines.h"
 #include "src/core/tier_specs.h"
@@ -26,56 +22,6 @@
 
 namespace tierscape {
 namespace bench {
-
-// Scoped observability artifact dump for one bench binary (DESIGN.md §4b,
-// EXPERIMENTS.md "Observability artifacts"). Constructed at the top of main:
-// resets the process-default registry/recorder so the artifact covers exactly
-// this run, and on destruction writes
-//   $TIERSCAPE_OBS_DIR/<name>.metrics.jsonl          (default obs_artifacts/)
-//   $TIERSCAPE_OBS_DIR/<name>.trace.json             (when TIERSCAPE_TRACE=1)
-// The trace is chrome://tracing / Perfetto-loadable. Setting TIERSCAPE_OBS_DIR
-// to the empty string disables the dump. Benches aggregate every cell into one
-// registry (all cells share Observability::Default()).
-class ObsArtifactSession {
- public:
-  explicit ObsArtifactSession(std::string name) : name_(std::move(name)) {
-    const char* dir = std::getenv("TIERSCAPE_OBS_DIR");
-    dir_ = dir != nullptr ? dir : "obs_artifacts";
-    const char* trace = std::getenv("TIERSCAPE_TRACE");
-    trace_ = trace != nullptr && trace[0] == '1';
-    Observability& obs = Observability::Default();
-    obs.metrics.Reset();
-    obs.trace.Clear();
-    obs.trace.SetEnabled(trace_);
-  }
-
-  ObsArtifactSession(const ObsArtifactSession&) = delete;
-  ObsArtifactSession& operator=(const ObsArtifactSession&) = delete;
-
-  ~ObsArtifactSession() {
-    Observability& obs = Observability::Default();
-    obs.trace.SetEnabled(false);
-    if (dir_.empty()) {
-      return;
-    }
-    const std::string base = dir_ + "/" + name_;
-    Status status = WriteSnapshotJsonl(obs.metrics.Snapshot(), base + ".metrics.jsonl");
-    if (status.ok() && trace_) {
-      status = obs.trace.WriteChromeJson(base + ".trace.json");
-    }
-    if (!status.ok()) {
-      std::fprintf(stderr, "[obs] artifact dump failed: %s\n", status.ToString().c_str());
-      return;
-    }
-    std::fprintf(stderr, "[obs] wrote %s.metrics.jsonl%s\n", base.c_str(),
-                 trace_ ? " and .trace.json" : "");
-  }
-
- private:
-  std::string name_;
-  std::string dir_;
-  bool trace_ = false;
-};
 
 // Builds a Table-2 workload by name at simulation scale. Scale multiplies the
 // default footprint (1.0 ~ 50-100 MiB simulated RSS).
@@ -142,6 +88,9 @@ struct PolicySpec {
   // alpha for the analytical model; <0 for non-AM policies.
   double alpha = -1.0;
   bool waterfall = false;
+  // All-DRAM reference column: the cell runs with a null policy (static
+  // placement, everything in DRAM) for normalization rows.
+  bool dram_only = false;
 };
 
 inline PolicySpec HememSpec() { return {.label = "HeMem*", .slow_tier_label = "NVMM"}; }
@@ -150,6 +99,11 @@ inline PolicySpec TmoSpec() { return {.label = "TMO*", .slow_tier_label = "CT-2"
 inline PolicySpec WaterfallSpec() { return {.label = "Waterfall", .waterfall = true}; }
 inline PolicySpec AmSpec(const std::string& label, double alpha) {
   return {.label = label, .alpha = alpha};
+}
+// All-DRAM reference column (null policy); "DramOnly" avoids colliding with
+// the DramSpec(bytes) medium factory in src/mem/medium.h.
+inline PolicySpec DramOnlySpec(const std::string& label = "DRAM") {
+  return {.label = label, .dram_only = true};
 }
 
 // Instantiates the policy against a concrete system (tier indices differ per
@@ -167,27 +121,6 @@ inline std::unique_ptr<PlacementPolicy> MakePolicy(const PolicySpec& spec,
     return nullptr;
   }
   return std::make_unique<TwoTierPolicy>(spec.label, slow);
-}
-
-// Runs one (workload, policy) cell against a fresh system built by
-// `make_system`.
-inline ExperimentResult RunCell(const std::function<std::unique_ptr<TieredSystem>()>& make_system,
-                                const std::string& workload_name, double scale,
-                                const PolicySpec& policy_spec, ExperimentConfig config) {
-  auto system = make_system();
-  auto workload = MakeWorkload(workload_name, scale);
-  auto policy = MakePolicy(policy_spec, *system);
-  if (policy_spec.alpha < 0.0) {
-    // The §6.7 migration filter belongs to TierScape's analytical model; the
-    // two-tier baselines and Waterfall migrate exactly what their threshold
-    // rule says (capacity limits still apply).
-    config.daemon.filter.enable_hysteresis = false;
-    config.daemon.filter.demotion_benefit_factor = 1e18;
-    config.daemon.filter.pressure_fault_limit = ~std::uint64_t{0};
-  }
-  ExperimentResult result = RunExperiment(*system, *workload, policy.get(), config);
-  result.policy = policy_spec.label;
-  return result;
 }
 
 }  // namespace bench

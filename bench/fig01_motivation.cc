@@ -7,29 +7,28 @@
 // multi-tier design resolves.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/experiment_grid.h"
 
 using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
-  tierscape::bench::ObsArtifactSession obs_session("fig01_motivation");
+  ExperimentGrid grid("fig01_motivation");
   const std::string workload = "memcached-ycsb";
   const std::size_t footprint = WorkloadFootprint(workload);
 
   // DRAM + one zstd/zsmalloc compressed tier on DRAM (a TMO-style setup).
-  const auto make_system = [&]() {
-    SystemConfig config;
-    config.dram_bytes = footprint + footprint / 2;
-    config.nvmm_bytes = 0;
-    config.nvmm_byte_tier = false;
-    config.compressed_tiers = {CompressedTierSpec{.label = "CT",
-                                                  .algorithm = Algorithm::kZstd,
-                                                  .pool_manager = PoolManager::kZsmalloc,
-                                                  .backing = MediumKind::kDram}};
-    return std::make_unique<TieredSystem>(config);
-  };
+  SystemConfig system_config;
+  system_config.dram_bytes = footprint + footprint / 2;
+  system_config.nvmm_bytes = 0;
+  system_config.nvmm_byte_tier = false;
+  system_config.compressed_tiers = {CompressedTierSpec{.label = "CT",
+                                                       .algorithm = Algorithm::kZstd,
+                                                       .pool_manager = PoolManager::kZsmalloc,
+                                                       .backing = MediumKind::kDram}};
 
   struct Setting {
     const char* name;
@@ -41,16 +40,23 @@ int main() {
       {"aggressive (80% cold+most warm)", 80.0},
   };
 
+  for (const Setting& setting : settings) {
+    CellSpec cell;
+    cell.label = setting.name;
+    cell.make_system = SystemFactory(system_config);
+    cell.workload = workload;
+    cell.policy = PolicySpec{.label = setting.name, .slow_tier_label = "CT"};
+    cell.config.ops = 150'000;
+    cell.config.daemon.threshold_percentile = setting.percentile;
+    grid.Add(std::move(cell));
+  }
+  const std::vector<ExperimentResult> results = grid.Run();
+
   std::printf("Figure 1: single compressed tier, increasingly aggressive placement\n");
   std::printf("(Memcached; throughput slowdown vs memory TCO savings)\n\n");
   TablePrinter table({"placement", "slowdown %", "TCO savings %", "faults"});
-  for (const Setting& setting : settings) {
-    ExperimentConfig config;
-    config.ops = 150'000;
-    config.daemon.threshold_percentile = setting.percentile;
-    PolicySpec spec{.label = setting.name, .slow_tier_label = "CT"};
-    const ExperimentResult r = RunCell(make_system, workload, 1.0, spec, config);
-    table.AddRow({setting.name, TablePrinter::Fmt(r.perf_overhead_pct),
+  for (const ExperimentResult& r : results) {
+    table.AddRow({r.policy, TablePrinter::Fmt(r.perf_overhead_pct),
                   TablePrinter::Fmt(r.mean_tco_savings * 100.0),
                   std::to_string(r.total_faults)});
   }

@@ -5,7 +5,8 @@
 // real pool on the real backing medium; we report the measured effective
 // compression ratio (including pool fragmentation), the modeled per-page
 // access latency, and the normalized memory TCO relative to uncompressed
-// DRAM.
+// DRAM. Each (corpus, tier) pair is one grid cell with a custom body — there
+// is no workload/policy run here, just the tier probe.
 //
 // Expected shape (Fig. 2a/2b): lz4 tiers fastest, then lzo, then deflate;
 // zbud faster than zsmalloc; DRAM-backed faster than Optane-backed; and the
@@ -13,59 +14,83 @@
 // cheapest and C1 the fastest.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/experiment_grid.h"
 #include "src/common/table.h"
 #include "src/compress/corpus.h"
 #include "src/core/tier_specs.h"
 #include "src/zswap/zswap.h"
 
 using namespace tierscape;
+using namespace tierscape::bench;
 
 int main() {
-  tierscape::bench::ObsArtifactSession obs_session("fig02_characterization");
+  ExperimentGrid grid("fig02_characterization");
   constexpr std::size_t kDataPages = 2560;  // 10 MiB per tier (paper: 10 GB)
 
-  for (const CorpusProfile profile : {CorpusProfile::kNci, CorpusProfile::kDickens}) {
+  const CorpusProfile profiles[] = {CorpusProfile::kNci, CorpusProfile::kDickens};
+  for (const CorpusProfile profile : profiles) {
+    for (const CompressedTierSpec& spec : CharacterizedTierSpecs()) {
+      CellSpec cell;
+      cell.label = std::string(CorpusProfileName(profile)) + "/" + spec.label;
+      cell.run = [profile, spec](Observability& obs, const CellContext& ctx) {
+        Medium medium(spec.backing == MediumKind::kDram ? DramSpec(64 * kMiB)
+                                                        : NvmmSpec(64 * kMiB));
+        CompressedTierConfig config;
+        config.label = spec.label;
+        config.algorithm = spec.algorithm;
+        config.pool_manager = spec.pool_manager;
+        CompressedTier tier(0, config, medium, &obs);
+
+        const std::size_t pages = ctx.smoke ? kDataPages / 10 : kDataPages;
+        std::vector<std::byte> page(kPageSize);
+        std::uint64_t stored = 0;
+        std::uint64_t rejected = 0;
+        for (std::size_t i = 0; i < pages; ++i) {
+          FillPage(profile, 7000 + i, page);
+          auto result = tier.Store(page);
+          if (result.ok()) {
+            ++stored;
+          } else {
+            ++rejected;
+          }
+        }
+        const double ratio = tier.EffectiveRatio();
+        // Normalized TCO of holding this data in the tier vs raw DRAM
+        // (stored bytes at ratio x medium $ + rejected pages at DRAM $).
+        const double total = static_cast<double>(stored + rejected);
+        const double tco = (static_cast<double>(stored) * ratio * medium.cost_per_gib() +
+                            static_cast<double>(rejected) * 1.0) /
+                           (total > 0 ? total : 1.0);
+        ExperimentResult result;
+        result.policy = spec.label;
+        result.extras = {{"ratio", ratio},
+                         {"latency_us", static_cast<double>(tier.NominalLoadCost()) / 1000.0},
+                         {"tco", tco}};
+        return result;
+      };
+      grid.Add(std::move(cell));
+    }
+  }
+  const std::vector<ExperimentResult> results = grid.Run();
+
+  std::size_t index = 0;
+  for (const CorpusProfile profile : profiles) {
     std::printf("== data set: %s ==\n", std::string(CorpusProfileName(profile)).c_str());
     TablePrinter table({"tier", "config", "ratio", "access latency (us)",
                         "TCO vs DRAM", "TCO savings %"});
     for (const CompressedTierSpec& spec : CharacterizedTierSpecs()) {
-      Medium medium(spec.backing == MediumKind::kDram ? DramSpec(64 * kMiB)
-                                                      : NvmmSpec(64 * kMiB));
-      CompressedTierConfig config;
-      config.label = spec.label;
-      config.algorithm = spec.algorithm;
-      config.pool_manager = spec.pool_manager;
-      CompressedTier tier(0, config, medium);
-
-      std::vector<std::byte> page(kPageSize);
-      std::uint64_t stored = 0;
-      std::uint64_t rejected = 0;
-      for (std::size_t i = 0; i < kDataPages; ++i) {
-        FillPage(profile, 7000 + i, page);
-        auto result = tier.Store(page);
-        if (result.ok()) {
-          ++stored;
-        } else {
-          ++rejected;
-        }
-      }
-      const double ratio = tier.EffectiveRatio();
-      const double latency_us = static_cast<double>(tier.NominalLoadCost()) / 1000.0;
-      // Normalized TCO of holding this data in the tier vs raw DRAM
-      // (stored bytes at ratio x medium $ + rejected pages at DRAM $).
-      const double total = static_cast<double>(stored + rejected);
-      const double tco = (static_cast<double>(stored) * ratio * medium.cost_per_gib() +
-                          static_cast<double>(rejected) * 1.0) /
-                         (total > 0 ? total : 1.0);
+      const ExperimentResult& r = results[index++];
       std::string cfg = std::string(PoolManagerName(spec.pool_manager)) + "/" +
                         std::string(AlgorithmName(spec.algorithm)) + "/" +
                         std::string(MediumKindName(spec.backing));
-      table.AddRow({spec.label, cfg, TablePrinter::Fmt(ratio, 3),
-                    TablePrinter::Fmt(latency_us, 2), TablePrinter::Fmt(tco, 3),
-                    TablePrinter::Pct(1.0 - tco, 1)});
+      table.AddRow({spec.label, cfg, TablePrinter::Fmt(r.Extra("ratio"), 3),
+                    TablePrinter::Fmt(r.Extra("latency_us"), 2),
+                    TablePrinter::Fmt(r.Extra("tco"), 3),
+                    TablePrinter::Pct(1.0 - r.Extra("tco"), 1)});
     }
     table.Print();
     std::printf("\n");

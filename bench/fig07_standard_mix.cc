@@ -7,15 +7,17 @@
 // AM-perf trades most of the savings for near-DRAM performance. Waterfall
 // lands between the two-tier baselines and the analytical model.
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/experiment_grid.h"
 
 using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
-  tierscape::bench::ObsArtifactSession obs_session("fig07_standard_mix");
+  ExperimentGrid grid("fig07_standard_mix");
   const char* workloads[] = {"memcached-ycsb",  "memcached-memtier-1k",
                              "memcached-memtier-4k", "redis-ycsb",
                              "bfs",             "pagerank",
@@ -24,21 +26,30 @@ int main() {
                                  TmoSpec(),       WaterfallSpec(),
                                  AmSpec("AM-TCO", 0.3), AmSpec("AM-perf", 0.9)};
 
+  for (const char* workload : workloads) {
+    const std::size_t footprint = WorkloadFootprint(workload);
+    for (const PolicySpec& policy : policies) {
+      CellSpec cell;
+      cell.label = std::string(workload) + "/" + policy.label;
+      cell.make_system =
+          SystemFactory(StandardMixConfig(footprint + footprint / 2, 3 * footprint));
+      cell.workload = workload;
+      cell.policy = policy;
+      cell.config.ops = 150'000;
+      grid.Add(std::move(cell));
+    }
+  }
+  const std::vector<ExperimentResult> results = grid.Run();
+
   std::printf("Figure 7: standard mix of tiers (DRAM + NVMM + CT-1 + CT-2)\n");
   std::printf("Metric: performance slowdown (%%, lower better) and memory TCO savings\n");
   std::printf("(%%, higher better) w.r.t. everything-in-DRAM.\n\n");
 
+  std::size_t index = 0;
   for (const char* workload : workloads) {
-    const std::size_t footprint = WorkloadFootprint(workload);
-    const auto make_system = [&]() {
-      return std::make_unique<TieredSystem>(
-          StandardMixConfig(footprint + footprint / 2, 3 * footprint));
-    };
     TablePrinter table({"policy", "slowdown %", "TCO savings %", "faults", "migrated pages"});
-    for (const PolicySpec& policy : policies) {
-      ExperimentConfig config;
-      config.ops = 150'000;
-      const ExperimentResult r = RunCell(make_system, workload, 1.0, policy, config);
+    for (std::size_t p = 0; p < std::size(policies); ++p) {
+      const ExperimentResult& r = results[index++];
       table.AddRow({r.policy, TablePrinter::Fmt(r.perf_overhead_pct),
                     TablePrinter::Fmt(r.mean_tco_savings * 100.0),
                     std::to_string(r.total_faults), std::to_string(r.migrated_pages)});

@@ -5,24 +5,28 @@
 // into CT-1 / CT-2, so later windows show rising compressed-tier population
 // and monotonically improving TCO savings.
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/experiment_grid.h"
 
 using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
-  tierscape::bench::ObsArtifactSession obs_session("fig08_waterfall_trace");
+  ExperimentGrid grid("fig08_waterfall_trace");
   const std::string workload = "memcached-ycsb";
   const std::size_t footprint = WorkloadFootprint(workload);
-  const auto make_system = [&]() {
-    return std::make_unique<TieredSystem>(
-        StandardMixConfig(footprint + footprint / 2, 3 * footprint));
-  };
-  ExperimentConfig config;
-  config.ops = 150'000;
-  const ExperimentResult r = RunCell(make_system, workload, 1.0, WaterfallSpec(), config);
+
+  CellSpec cell;
+  cell.label = "waterfall";
+  cell.make_system = SystemFactory(StandardMixConfig(footprint + footprint / 2, 3 * footprint));
+  cell.workload = workload;
+  cell.policy = WaterfallSpec();
+  cell.config.ops = 150'000;
+  grid.Add(std::move(cell));
+  const ExperimentResult r = grid.Run().front();
 
   std::printf("Figure 8a: Waterfall placement per profile window (pages per tier)\n\n");
   TablePrinter placement({"window", "DRAM", "NVMM", "CT-1", "CT-2"});

@@ -7,27 +7,30 @@
 // DRAM population exceeds the recommendation (faults continuously pull pages
 // back), and CT-2's cumulative fault count keeps rising.
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/experiment_grid.h"
 
 using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
-  tierscape::bench::ObsArtifactSession obs_session("fig09_am_tco_trace");
+  ExperimentGrid grid("fig09_am_tco_trace");
   const std::string workload = "memcached-ycsb";
   const std::size_t footprint = WorkloadFootprint(workload);
-  const auto make_system = [&]() {
-    return std::make_unique<TieredSystem>(
-        StandardMixConfig(footprint + footprint / 2, 3 * footprint));
-  };
-  ExperimentConfig config;
-  config.ops = 150'000;
+
+  CellSpec cell;
+  cell.label = "am-tco";
+  cell.make_system = SystemFactory(StandardMixConfig(footprint + footprint / 2, 3 * footprint));
+  cell.workload = workload;
   // A knob aggressive enough that the budget cannot be met from NVMM alone —
   // the regime of the paper's deep dive, where CT-2 engages and faults flow.
-  const ExperimentResult r = RunCell(make_system, workload, 1.0, AmSpec("AM-TCO", 0.15),
-                                     config);
+  cell.policy = AmSpec("AM-TCO", 0.15);
+  cell.config.ops = 150'000;
+  grid.Add(std::move(cell));
+  const ExperimentResult r = grid.Run().front();
 
   std::printf("Figure 9: AM-TCO recommendation vs ground truth (Memcached/YCSB)\n\n");
   TablePrinter table({"window", "rec DRAM", "act DRAM", "rec NVMM", "act NVMM",

@@ -6,45 +6,58 @@
 // (higher alpha -> less savings, less slowdown) that dominates the baseline
 // points at both threshold settings.
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/experiment_grid.h"
 
 using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
-  tierscape::bench::ObsArtifactSession obs_session("fig10_knob_sweep");
+  ExperimentGrid grid("fig10_knob_sweep");
   const std::string workload = "memcached-ycsb";
   const std::size_t footprint = WorkloadFootprint(workload);
-  const auto make_system = [&]() {
-    return std::make_unique<TieredSystem>(
-        StandardMixConfig(footprint + footprint / 2, 3 * footprint));
+  const auto make_system =
+      SystemFactory(StandardMixConfig(footprint + footprint / 2, 3 * footprint));
+
+  struct Row {
+    std::string setting;
   };
-
-  std::printf("Figure 10: knob sweep vs baselines at two hotness thresholds\n\n");
-  TablePrinter table({"policy", "setting", "slowdown %", "TCO savings %"});
-
+  std::vector<Row> rows;
   for (const double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-    ExperimentConfig config;
-    config.ops = 150'000;
-    const ExperimentResult r =
-        RunCell(make_system, workload, 1.0, AmSpec("TierScape AM", alpha), config);
-    table.AddRow({"TierScape AM", "alpha=" + TablePrinter::Fmt(alpha, 1),
-                  TablePrinter::Fmt(r.perf_overhead_pct),
-                  TablePrinter::Fmt(r.mean_tco_savings * 100.0)});
+    CellSpec cell;
+    cell.label = "am/alpha=" + TablePrinter::Fmt(alpha, 1);
+    cell.make_system = make_system;
+    cell.workload = workload;
+    cell.policy = AmSpec("TierScape AM", alpha);
+    cell.config.ops = 150'000;
+    grid.Add(std::move(cell));
+    rows.push_back({"alpha=" + TablePrinter::Fmt(alpha, 1)});
   }
   for (const double percentile : {25.0, 75.0}) {
     for (const PolicySpec& spec :
          {HememSpec(), GswapSpec(), TmoSpec(), WaterfallSpec()}) {
-      ExperimentConfig config;
-      config.ops = 150'000;
-      config.daemon.threshold_percentile = percentile;
-      const ExperimentResult r = RunCell(make_system, workload, 1.0, spec, config);
-      table.AddRow({spec.label, "P" + TablePrinter::Fmt(percentile, 0),
-                    TablePrinter::Fmt(r.perf_overhead_pct),
-                    TablePrinter::Fmt(r.mean_tco_savings * 100.0)});
+      CellSpec cell;
+      cell.label = spec.label + "/P" + TablePrinter::Fmt(percentile, 0);
+      cell.make_system = make_system;
+      cell.workload = workload;
+      cell.policy = spec;
+      cell.config.ops = 150'000;
+      cell.config.daemon.threshold_percentile = percentile;
+      grid.Add(std::move(cell));
+      rows.push_back({"P" + TablePrinter::Fmt(percentile, 0)});
     }
+  }
+  const std::vector<ExperimentResult> results = grid.Run();
+
+  std::printf("Figure 10: knob sweep vs baselines at two hotness thresholds\n\n");
+  TablePrinter table({"policy", "setting", "slowdown %", "TCO savings %"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    table.AddRow({r.policy, rows[i].setting, TablePrinter::Fmt(r.perf_overhead_pct),
+                  TablePrinter::Fmt(r.mean_tco_savings * 100.0)});
   }
   table.Print();
   return 0;

@@ -6,29 +6,38 @@
 // promoted to DRAM, so repeat accesses are fast) while its tail is worse
 // (decompression sits on the critical path of first accesses).
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/experiment_grid.h"
 
 using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
-  tierscape::bench::ObsArtifactSession obs_session("fig11_tail_latency");
+  ExperimentGrid grid("fig11_tail_latency");
   const std::string workload = "redis-ycsb";
   const std::size_t footprint = WorkloadFootprint(workload);
-  const auto make_system = [&]() {
-    return std::make_unique<TieredSystem>(
-        StandardMixConfig(footprint + footprint / 2, 3 * footprint));
-  };
+  const auto make_system =
+      SystemFactory(StandardMixConfig(footprint + footprint / 2, 3 * footprint));
 
-  ExperimentConfig config;
-  config.ops = 120'000;
+  // Cell 0 is the all-DRAM reference run (null policy) the rest normalize to.
+  const PolicySpec policies[] = {DramOnlySpec(), HememSpec(),     GswapSpec(),
+                                 TmoSpec(),      WaterfallSpec(), AmSpec("AM-TCO", 0.3),
+                                 AmSpec("AM-perf", 0.9)};
+  for (const PolicySpec& spec : policies) {
+    CellSpec cell;
+    cell.label = spec.label;
+    cell.make_system = make_system;
+    cell.workload = workload;
+    cell.policy = spec;
+    cell.config.ops = 120'000;
+    grid.Add(std::move(cell));
+  }
+  const std::vector<ExperimentResult> results = grid.Run();
 
-  // All-DRAM reference run (no policy).
-  auto system = make_system();
-  auto dram_workload = MakeWorkload(workload);
-  const ExperimentResult dram = RunExperiment(*system, *dram_workload, nullptr, config);
+  const ExperimentResult& dram = results.front();
   const double base_avg = dram.op_latency_ns.Mean();
   const double base_p95 = static_cast<double>(dram.op_latency_ns.Percentile(0.95));
   const double base_p999 = static_cast<double>(dram.op_latency_ns.Percentile(0.999));
@@ -36,12 +45,9 @@ int main() {
   std::printf("Figure 11: Redis latency normalized to DRAM (avg / p95 / p99.9)\n\n");
   TablePrinter table({"policy", "avg", "p95", "p99.9", "TCO savings %"});
   table.AddRow({"DRAM", "1.00", "1.00", "1.00", "0.00"});
-  const PolicySpec policies[] = {HememSpec(),     GswapSpec(),
-                                 TmoSpec(),       WaterfallSpec(),
-                                 AmSpec("AM-TCO", 0.3), AmSpec("AM-perf", 0.9)};
-  for (const PolicySpec& spec : policies) {
-    const ExperimentResult r = RunCell(make_system, workload, 1.0, spec, config);
-    table.AddRow({spec.label,
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    table.AddRow({r.policy,
                   TablePrinter::Fmt(r.op_latency_ns.Mean() / base_avg),
                   TablePrinter::Fmt(
                       static_cast<double>(r.op_latency_ns.Percentile(0.95)) / base_p95),

@@ -6,25 +6,20 @@
 // the chain; AM jumps cold data straight into the best-TCO tiers (C4/C12)
 // and its DRAM share shrinks as the setting gets more aggressive.
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/experiment_grid.h"
 
 using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
-  tierscape::bench::ObsArtifactSession obs_session("fig12_spectrum_placement");
+  ExperimentGrid grid("fig12_spectrum_placement");
   const std::string workload = "memcached-ycsb";
   const std::size_t footprint = WorkloadFootprint(workload);
-  const auto make_system = [&]() {
-    return std::make_unique<TieredSystem>(
-        SpectrumConfig(2 * footprint, 3 * footprint));
-  };
-
-  std::printf("Figure 12: placement on the 6-tier spectrum (final-window pages per tier)\n\n");
-  TablePrinter table({"model", "setting", "DRAM", "C1", "C2", "C4", "C7", "C12",
-                      "TCO savings %"});
+  const auto make_system = SystemFactory(SpectrumConfig(2 * footprint, 3 * footprint));
 
   struct Setting {
     const char* name;
@@ -33,28 +28,42 @@ int main() {
   };
   const Setting settings[] = {{"-C", 25.0, 0.9}, {"-M", 50.0, 0.5}, {"-A", 75.0, 0.1}};
 
+  std::vector<std::string> row_settings;
   for (const Setting& setting : settings) {
-    ExperimentConfig config;
-    config.ops = 120'000;
-    config.daemon.threshold_percentile = setting.percentile;
-    const ExperimentResult wf =
-        RunCell(make_system, workload, 1.0, WaterfallSpec(), config);
-    const auto& wp = wf.windows.back().actual_pages;
-    table.AddRow({"WF", std::string("WF") + setting.name, std::to_string(wp[0]),
-                  std::to_string(wp[1]), std::to_string(wp[2]), std::to_string(wp[3]),
-                  std::to_string(wp[4]), std::to_string(wp[5]),
-                  TablePrinter::Fmt(wf.mean_tco_savings * 100.0)});
+    CellSpec cell;
+    cell.label = std::string("WF") + setting.name;
+    cell.make_system = make_system;
+    cell.workload = workload;
+    cell.policy = WaterfallSpec();
+    cell.config.ops = 120'000;
+    cell.config.daemon.threshold_percentile = setting.percentile;
+    grid.Add(std::move(cell));
+    row_settings.push_back(std::string("WF") + setting.name);
   }
   for (const Setting& setting : settings) {
-    ExperimentConfig config;
-    config.ops = 120'000;
-    const ExperimentResult am = RunCell(make_system, workload, 1.0,
-                                        AmSpec("AM", setting.alpha), config);
-    const auto& ap = am.windows.back().actual_pages;
-    table.AddRow({"AM", std::string("AM") + setting.name, std::to_string(ap[0]),
-                  std::to_string(ap[1]), std::to_string(ap[2]), std::to_string(ap[3]),
-                  std::to_string(ap[4]), std::to_string(ap[5]),
-                  TablePrinter::Fmt(am.mean_tco_savings * 100.0)});
+    CellSpec cell;
+    cell.label = std::string("AM") + setting.name;
+    cell.make_system = make_system;
+    cell.workload = workload;
+    cell.policy = AmSpec("AM", setting.alpha);
+    cell.config.ops = 120'000;
+    grid.Add(std::move(cell));
+    row_settings.push_back(std::string("AM") + setting.name);
+  }
+  const std::vector<ExperimentResult> results = grid.Run();
+
+  std::printf("Figure 12: placement on the 6-tier spectrum (final-window pages per tier)\n\n");
+  TablePrinter table({"model", "setting", "DRAM", "C1", "C2", "C4", "C7", "C12",
+                      "TCO savings %"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    const auto& pages = r.windows.back().actual_pages;
+    const std::string model = row_settings[i].substr(0, 2);  // "WF" / "AM"
+    table.AddRow({model, row_settings[i], std::to_string(pages[0]),
+                  std::to_string(pages[1]), std::to_string(pages[2]),
+                  std::to_string(pages[3]), std::to_string(pages[4]),
+                  std::to_string(pages[5]),
+                  TablePrinter::Fmt(r.mean_tco_savings * 100.0)});
   }
   table.Print();
   return 0;

@@ -8,15 +8,17 @@
 // hurting performance. Achievable savings also exceed the 2-compressed-tier
 // standard mix (§8.3.2).
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/experiment_grid.h"
 
 using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
-  tierscape::bench::ObsArtifactSession obs_session("fig13_spectrum");
+  ExperimentGrid grid("fig13_spectrum");
   const char* workloads[] = {"memcached-ycsb", "redis-ycsb", "bfs", "pagerank"};
 
   struct Setting {
@@ -26,46 +28,53 @@ int main() {
   };
   const Setting settings[] = {{"-C", 25.0, 0.9}, {"-M", 50.0, 0.5}, {"-A", 75.0, 0.1}};
 
-  std::printf("Figure 13: six-tier spectrum — GS / WF / AM at three settings\n\n");
   for (const char* workload : workloads) {
     const std::size_t footprint = WorkloadFootprint(workload);
-    const auto make_system = [&]() {
-      return std::make_unique<TieredSystem>(
-          SpectrumConfig(2 * footprint, 3 * footprint));
-    };
-    TablePrinter table({"policy", "slowdown %", "TCO savings %", "faults"});
+    const auto make_system = SystemFactory(SpectrumConfig(2 * footprint, 3 * footprint));
     for (const Setting& setting : settings) {
-      ExperimentConfig config;
-      config.ops = 120'000;
-      config.daemon.threshold_percentile = setting.percentile;
       // GS: two-tier against C7 (GSwap's production tier).
-      PolicySpec gs{.label = std::string("GS") + setting.suffix,
-                    .slow_tier_label = "C7"};
-      const ExperimentResult gr = RunCell(make_system, workload, 1.0, gs, config);
-      table.AddRow({gr.policy, TablePrinter::Fmt(gr.perf_overhead_pct),
-                    TablePrinter::Fmt(gr.mean_tco_savings * 100.0),
-                    std::to_string(gr.total_faults)});
+      CellSpec cell;
+      cell.label = std::string(workload) + "/GS" + setting.suffix;
+      cell.make_system = make_system;
+      cell.workload = workload;
+      cell.policy = PolicySpec{.label = std::string("GS") + setting.suffix,
+                               .slow_tier_label = "C7"};
+      cell.config.ops = 120'000;
+      cell.config.daemon.threshold_percentile = setting.percentile;
+      grid.Add(std::move(cell));
     }
     for (const Setting& setting : settings) {
-      ExperimentConfig config;
-      config.ops = 120'000;
-      config.daemon.threshold_percentile = setting.percentile;
-      PolicySpec wf = WaterfallSpec();
-      wf.label = std::string("WF") + setting.suffix;
-      const ExperimentResult wr = RunCell(make_system, workload, 1.0, wf, config);
-      table.AddRow({wr.policy, TablePrinter::Fmt(wr.perf_overhead_pct),
-                    TablePrinter::Fmt(wr.mean_tco_savings * 100.0),
-                    std::to_string(wr.total_faults)});
+      CellSpec cell;
+      cell.label = std::string(workload) + "/WF" + setting.suffix;
+      cell.make_system = make_system;
+      cell.workload = workload;
+      cell.policy = WaterfallSpec();
+      cell.policy.label = std::string("WF") + setting.suffix;
+      cell.config.ops = 120'000;
+      cell.config.daemon.threshold_percentile = setting.percentile;
+      grid.Add(std::move(cell));
     }
     for (const Setting& setting : settings) {
-      ExperimentConfig config;
-      config.ops = 120'000;
-      const ExperimentResult ar = RunCell(
-          make_system, workload, 1.0,
-          AmSpec(std::string("AM") + setting.suffix, setting.alpha), config);
-      table.AddRow({ar.policy, TablePrinter::Fmt(ar.perf_overhead_pct),
-                    TablePrinter::Fmt(ar.mean_tco_savings * 100.0),
-                    std::to_string(ar.total_faults)});
+      CellSpec cell;
+      cell.label = std::string(workload) + "/AM" + setting.suffix;
+      cell.make_system = make_system;
+      cell.workload = workload;
+      cell.policy = AmSpec(std::string("AM") + setting.suffix, setting.alpha);
+      cell.config.ops = 120'000;
+      grid.Add(std::move(cell));
+    }
+  }
+  const std::vector<ExperimentResult> results = grid.Run();
+
+  std::printf("Figure 13: six-tier spectrum — GS / WF / AM at three settings\n\n");
+  std::size_t index = 0;
+  for (const char* workload : workloads) {
+    TablePrinter table({"policy", "slowdown %", "TCO savings %", "faults"});
+    for (int row = 0; row < 9; ++row) {
+      const ExperimentResult& r = results[index++];
+      table.AddRow({r.policy, TablePrinter::Fmt(r.perf_overhead_pct),
+                    TablePrinter::Fmt(r.mean_tco_savings * 100.0),
+                    std::to_string(r.total_faults)});
     }
     std::printf("== %s ==\n", workload);
     table.Print();

@@ -3,33 +3,27 @@
 // the ILP solver local vs remote.
 //
 // Expected shape: profiling alone is near-free; local vs remote solving is a
-// wash because the ILP is tiny (<0.3% of a CPU in the paper; we report the
-// measured per-window solve time of the in-repo MCKP solver).
+// wash because the ILP is tiny (<0.3% of a CPU in the paper). The solve
+// column reports the per-window solver cost charged to the virtual clock
+// (modeled constants / RPC latency, §8.4) — the measured wall-clock solve
+// time lives under the wall/ metric quarantine instead, so this harness's
+// stdout stays byte-identical across runs and grid thread counts.
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/experiment_grid.h"
 
 using namespace tierscape;
 using namespace tierscape::bench;
 
 int main() {
-  tierscape::bench::ObsArtifactSession obs_session("fig14_daemon_tax");
+  ExperimentGrid grid("fig14_daemon_tax");
   const std::string workload = "memcached-memtier-1k";
   const std::size_t footprint = WorkloadFootprint(workload);
-  const auto make_system = [&]() {
-    return std::make_unique<TieredSystem>(
-        StandardMixConfig(footprint + footprint / 2, 3 * footprint));
-  };
-
-  ExperimentConfig base_config;
-  base_config.ops = 150'000;
-
-  // Baseline: no profiling, no migration.
-  auto baseline_system = make_system();
-  auto baseline_workload = MakeWorkload(workload);
-  const ExperimentResult baseline =
-      RunExperiment(*baseline_system, *baseline_workload, nullptr, base_config);
+  const auto make_system =
+      SystemFactory(StandardMixConfig(footprint + footprint / 2, 3 * footprint));
 
   struct Mode {
     const char* name;
@@ -44,31 +38,54 @@ int main() {
       {"AM-perf-Remote", 0.9, true},
   };
 
+  // Cell 0: no profiling, no migration — the throughput reference.
+  {
+    CellSpec cell;
+    cell.label = "baseline";
+    cell.make_system = make_system;
+    cell.workload = workload;
+    cell.policy = DramOnlySpec("Baseline");
+    cell.config.ops = 150'000;
+    grid.Add(std::move(cell));
+  }
+  for (const Mode& mode : modes) {
+    CellSpec cell;
+    cell.label = mode.name;
+    cell.make_system = make_system;
+    cell.workload = workload;
+    if (mode.alpha >= 0.0) {
+      cell.policy = AmSpec(mode.name, mode.alpha);
+    } else {
+      cell.policy = DramOnlySpec(mode.name);
+      cell.config.daemon.enable_migration = false;  // profiling only
+    }
+    cell.config.ops = 150'000;
+    cell.config.daemon.remote_solver = mode.remote;
+    grid.Add(std::move(cell));
+  }
+  const std::vector<ExperimentResult> results = grid.Run();
+  const ExperimentResult& baseline = results.front();
+
   std::printf("Figure 14: TS-Daemon tax (throughput relative to no-daemon baseline)\n\n");
   TablePrinter table({"mode", "relative throughput", "daemon overhead (ms)",
-                      "mean solve (ms)", "TCO savings %"});
+                      "mean solve charge (ms)", "TCO savings %"});
   table.AddRow({"Baseline", "1.000", "0.00", "-", "0.00"});
-  for (const Mode& mode : modes) {
-    auto system = make_system();
-    auto run_workload = MakeWorkload(workload);
-    ExperimentConfig config = base_config;
-    config.daemon.remote_solver = mode.remote;
-    std::unique_ptr<PlacementPolicy> policy;
-    if (mode.alpha >= 0.0) {
-      policy = std::make_unique<AnalyticalPolicy>(mode.alpha);
-    } else {
-      config.daemon.enable_migration = false;  // profiling only
-    }
-    const ExperimentResult r =
-        RunExperiment(*system, *run_workload, policy.get(), config);
+  for (std::size_t i = 0; i < std::size(modes); ++i) {
+    const ExperimentResult& r = results[i + 1];
     const double relative = baseline.throughput_mops > 0.0
                                 ? r.throughput_mops / baseline.throughput_mops
                                 : 0.0;
+    Nanos solve_cost_ns = 0;
+    for (const auto& window : r.windows) {
+      solve_cost_ns += window.solve_cost_ns;
+    }
     const double solve_ms =
-        r.windows.empty() ? 0.0 : r.total_solve_ms / static_cast<double>(r.windows.size());
-    table.AddRow({mode.name, TablePrinter::Fmt(relative, 3),
+        r.windows.empty()
+            ? 0.0
+            : NanosToMillis(solve_cost_ns) / static_cast<double>(r.windows.size());
+    table.AddRow({modes[i].name, TablePrinter::Fmt(relative, 3),
                   TablePrinter::Fmt(NanosToMillis(r.daemon_overhead_ns)),
-                  mode.alpha >= 0.0 ? TablePrinter::Fmt(solve_ms, 3) : "-",
+                  modes[i].alpha >= 0.0 ? TablePrinter::Fmt(solve_ms, 3) : "-",
                   TablePrinter::Fmt(r.mean_tco_savings * 100.0)});
   }
   table.Print();

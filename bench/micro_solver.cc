@@ -33,33 +33,67 @@ MckpProblem MakeProblem(int groups, int choices, double tightness, std::uint64_t
   return problem;
 }
 
+// range(1) toggles Options::prune so the dominance/hull pruning win is read
+// straight off the A/B; the pruned run also reports what fraction of the
+// group-choice pairs each rule dropped (cost-neutrality is guarded by
+// PruningEquivalenceTest, not here).
 void BM_SolveDp(benchmark::State& state) {
   const auto problem =
       MakeProblem(static_cast<int>(state.range(0)), 6, 0.3, 42);
   MckpSolver::Options options;
   options.strategy = MckpSolver::Strategy::kDp;
+  options.prune = state.range(1) != 0;
+  MckpSolver::SolveStats stats;
   for (auto _ : state) {
     MckpSolver solver(options);
     auto solution = solver.Solve(problem);
     benchmark::DoNotOptimize(solution);
+    stats = solver.stats();
   }
-  state.SetLabel(std::to_string(state.range(0)) + " regions x 6 tiers");
+  if (options.prune) {
+    state.counters["dominated_frac"] =
+        static_cast<double>(stats.pruned_dominated) / static_cast<double>(stats.choices_total);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " regions x 6 tiers, prune " +
+                 (options.prune ? "on" : "off"));
 }
-BENCHMARK(BM_SolveDp)->Arg(256)->Arg(1024)->Arg(4096)->Iterations(5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SolveDp)
+    ->Args({256, 1})
+    ->Args({1024, 1})
+    ->Args({4096, 1})
+    ->Args({1024, 0})
+    ->Args({4096, 0})
+    ->Iterations(5)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SolveGreedy(benchmark::State& state) {
   const auto problem =
       MakeProblem(static_cast<int>(state.range(0)), 6, 0.3, 42);
   MckpSolver::Options options;
   options.strategy = MckpSolver::Strategy::kGreedy;
+  options.prune = state.range(1) != 0;
+  MckpSolver::SolveStats stats;
   for (auto _ : state) {
     MckpSolver solver(options);
     auto solution = solver.Solve(problem);
     benchmark::DoNotOptimize(solution);
+    stats = solver.stats();
   }
-  state.SetLabel(std::to_string(state.range(0)) + " regions x 6 tiers");
+  if (options.prune) {
+    state.counters["off_hull_frac"] =
+        static_cast<double>(stats.pruned_off_hull) / static_cast<double>(stats.choices_total);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " regions x 6 tiers, prune " +
+                 (options.prune ? "on" : "off"));
 }
-BENCHMARK(BM_SolveGreedy)->Arg(256)->Arg(4096)->Arg(16384)->Iterations(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SolveGreedy)
+    ->Args({256, 1})
+    ->Args({4096, 1})
+    ->Args({16384, 1})
+    ->Args({4096, 0})
+    ->Args({16384, 0})
+    ->Iterations(20)
+    ->Unit(benchmark::kMillisecond);
 
 // Solution-quality gap of greedy vs DP at a representative size.
 void BM_GreedyQualityGap(benchmark::State& state) {

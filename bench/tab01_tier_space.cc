@@ -1,61 +1,94 @@
 // Table 1: the full compressed-tier option space. Linux offers 7 compression
 // algorithms x 3 pool managers x 3 backing media = 63 possible tiers; this
-// harness enumerates all of them and reports each tier's measured ratio and
-// modeled latency on the dickens-like corpus, demonstrating that they span a
-// wide, mostly Pareto-incomparable latency/TCO spectrum (§5).
+// harness enumerates all of them (one grid cell per tier) and reports each
+// tier's measured ratio and modeled latency on the dickens-like corpus,
+// demonstrating that they span a wide, mostly Pareto-incomparable latency/TCO
+// spectrum (§5).
 #include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/experiment_grid.h"
 #include "src/common/table.h"
 #include "src/compress/corpus.h"
 #include "src/mem/medium.h"
 #include "src/zswap/compressed_tier.h"
 
 using namespace tierscape;
+using namespace tierscape::bench;
 
 int main() {
-  tierscape::bench::ObsArtifactSession obs_session("tab01_tier_space");
+  ExperimentGrid grid("tab01_tier_space");
   constexpr std::size_t kDataPages = 512;  // 2 MiB probe per tier
   const MediumKind media[] = {MediumKind::kDram, MediumKind::kCxl, MediumKind::kNvmm};
 
-  TablePrinter table({"#", "algorithm", "pool", "media", "ratio",
-                      "latency (us)", "$ / GiB stored"});
+  struct Probe {
+    int index;
+    Algorithm algorithm;
+    PoolManager pool_manager;
+    MediumKind kind;
+  };
+  std::vector<Probe> probes;
   int index = 1;
-  int pareto_front = 0;
-  std::vector<std::pair<double, double>> points;  // (latency, cost)
   for (int a = 0; a < kAlgorithmCount; ++a) {
     for (int m = 0; m < kPoolManagerCount; ++m) {
       for (const MediumKind kind : media) {
-        Medium medium(kind == MediumKind::kDram  ? DramSpec(16 * kMiB)
-                      : kind == MediumKind::kCxl ? CxlSpec(16 * kMiB)
-                                                 : NvmmSpec(16 * kMiB));
-        CompressedTierConfig config;
-        config.label = "T" + std::to_string(index);
-        config.algorithm = static_cast<Algorithm>(a);
-        config.pool_manager = static_cast<PoolManager>(m);
-        CompressedTier tier(0, config, medium);
-        std::vector<std::byte> page(kPageSize);
-        for (std::size_t i = 0; i < kDataPages; ++i) {
-          FillPage(CorpusProfile::kDickens, 9000 + i, page);
-          (void)tier.Store(page);
-        }
-        const double ratio = tier.EffectiveRatio();
-        const double latency_us = static_cast<double>(tier.NominalLoadCost()) / 1000.0;
-        const double cost = ratio * medium.cost_per_gib();
-        points.emplace_back(latency_us, cost);
-        table.AddRow({std::to_string(index),
-                      std::string(AlgorithmName(static_cast<Algorithm>(a))),
-                      std::string(PoolManagerName(static_cast<PoolManager>(m))),
-                      std::string(MediumKindName(kind)), TablePrinter::Fmt(ratio, 3),
-                      TablePrinter::Fmt(latency_us, 2), TablePrinter::Fmt(cost, 3)});
-        ++index;
+        probes.push_back(
+            {index++, static_cast<Algorithm>(a), static_cast<PoolManager>(m), kind});
       }
     }
+  }
+
+  for (const Probe& probe : probes) {
+    CellSpec cell;
+    cell.label = "T" + std::to_string(probe.index);
+    cell.run = [probe](Observability& obs, const CellContext& ctx) {
+      Medium medium(probe.kind == MediumKind::kDram  ? DramSpec(16 * kMiB)
+                    : probe.kind == MediumKind::kCxl ? CxlSpec(16 * kMiB)
+                                                     : NvmmSpec(16 * kMiB));
+      CompressedTierConfig config;
+      config.label = "T" + std::to_string(probe.index);
+      config.algorithm = probe.algorithm;
+      config.pool_manager = probe.pool_manager;
+      CompressedTier tier(0, config, medium, &obs);
+      const std::size_t pages = ctx.smoke ? kDataPages / 4 : kDataPages;
+      std::vector<std::byte> page(kPageSize);
+      for (std::size_t i = 0; i < pages; ++i) {
+        FillPage(CorpusProfile::kDickens, 9000 + i, page);
+        (void)tier.Store(page);
+      }
+      const double ratio = tier.EffectiveRatio();
+      ExperimentResult result;
+      result.policy = config.label;
+      result.extras = {{"ratio", ratio},
+                       {"latency_us", static_cast<double>(tier.NominalLoadCost()) / 1000.0},
+                       {"cost", ratio * medium.cost_per_gib()}};
+      return result;
+    };
+    grid.Add(std::move(cell));
+  }
+  const std::vector<ExperimentResult> results = grid.Run();
+
+  TablePrinter table({"#", "algorithm", "pool", "media", "ratio",
+                      "latency (us)", "$ / GiB stored"});
+  std::vector<std::pair<double, double>> points;  // (latency, cost)
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const Probe& probe = probes[i];
+    const ExperimentResult& r = results[i];
+    points.emplace_back(r.Extra("latency_us"), r.Extra("cost"));
+    table.AddRow({std::to_string(probe.index), std::string(AlgorithmName(probe.algorithm)),
+                  std::string(PoolManagerName(probe.pool_manager)),
+                  std::string(MediumKindName(probe.kind)),
+                  TablePrinter::Fmt(r.Extra("ratio"), 3),
+                  TablePrinter::Fmt(r.Extra("latency_us"), 2),
+                  TablePrinter::Fmt(r.Extra("cost"), 3)});
   }
   std::printf("Table 1: all 63 configurable compressed tiers (dickens-like data)\n\n");
   table.Print();
 
+  int pareto_front = 0;
   for (std::size_t i = 0; i < points.size(); ++i) {
     bool dominated = false;
     for (std::size_t j = 0; j < points.size() && !dominated; ++j) {

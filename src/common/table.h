@@ -28,19 +28,24 @@ class TablePrinter {
     rows_.push_back(std::move(cells));
   }
 
-  void Print() const {
-    PrintRow(headers_);
-    std::string rule;
+  void Print() const { std::fputs(ToString().c_str(), stdout); }
+
+  // The exact bytes Print() writes — lets harnesses and tests compare table
+  // output across configurations without capturing stdout.
+  std::string ToString() const {
+    std::string out;
+    AppendRow(out, headers_);
     for (std::size_t i = 0; i < widths_.size(); ++i) {
-      rule.append(widths_[i] + 2, '-');
+      out.append(widths_[i] + 2, '-');
       if (i + 1 < widths_.size()) {
-        rule += '+';
+        out += '+';
       }
     }
-    std::printf("%s\n", rule.c_str());
+    out += '\n';
     for (const auto& row : rows_) {
-      PrintRow(row);
+      AppendRow(out, row);
     }
+    return out;
   }
 
   static std::string Fmt(double v, int decimals = 2) {
@@ -54,18 +59,17 @@ class TablePrinter {
   }
 
  private:
-  void PrintRow(const std::vector<std::string>& cells) const {
-    std::string line;
+  void AppendRow(std::string& out, const std::vector<std::string>& cells) const {
     for (std::size_t i = 0; i < widths_.size(); ++i) {
       const std::string& cell = i < cells.size() ? cells[i] : std::string();
-      line += ' ';
-      line += cell;
-      line.append(widths_[i] - cell.size() + 1, ' ');
+      out += ' ';
+      out += cell;
+      out.append(widths_[i] - cell.size() + 1, ' ');
       if (i + 1 < widths_.size()) {
-        line += '|';
+        out += '|';
       }
     }
-    std::printf("%s\n", line.c_str());
+    out += '\n';
   }
 
   std::vector<std::string> headers_;

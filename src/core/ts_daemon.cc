@@ -102,6 +102,7 @@ Status TsDaemon::OnWindowEnd() {
             static_cast<Nanos>(modeled * config_.local_solver_interference);
       }
       engine_.Compute(solve_cost);
+      record.solve_cost_ns = solve_cost;
       charged_overhead_ns_ += solve_cost;
       m_solver_solves_->Add();
       m_solver_cells_->Add(input.regions.size() * engine_.tiers().count());

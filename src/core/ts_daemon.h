@@ -67,7 +67,13 @@ class TsDaemon {
     std::uint64_t migrated_pages = 0;
     double tco = 0.0;
     double tco_savings = 0.0;
+    // Measured wall-clock solve time (reporting only; never compared across
+    // runs — the determinism quarantine, metrics.h).
     double solve_ms = 0.0;
+    // The solver cost actually charged to the virtual clock this window
+    // (modeled constants or RPC latency, §8.4) — deterministic, safe for
+    // bench stdout.
+    Nanos solve_cost_ns = 0;
     FilterStats filter;
   };
 

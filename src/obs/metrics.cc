@@ -159,6 +159,37 @@ RegistrySnapshot MetricsRegistry::Delta(const RegistrySnapshot& before,
   return delta;
 }
 
+RegistrySnapshot MergeSnapshots(const std::vector<LabeledSnapshot>& cells) {
+  RegistrySnapshot merged;
+  std::size_t total = 0;
+  for (const LabeledSnapshot& cell : cells) {
+    total += cell.snapshot.metrics.size();
+  }
+  merged.metrics.reserve(total);
+  for (const LabeledSnapshot& cell : cells) {
+    TS_CHECK(!cell.label.empty()) << "merge: cell label must be non-empty";
+    const std::string prefix = "cell/" + cell.label + "/";
+    for (const MetricSnapshot& metric : cell.snapshot.metrics) {
+      MetricSnapshot renamed = metric;
+      if (IsWallMetric(metric.name)) {
+        // Keep the quarantine prefix outermost so kExclude still drops it.
+        renamed.name = std::string(kWallMetricPrefix) + prefix +
+                       metric.name.substr(kWallMetricPrefix.size());
+      } else {
+        renamed.name = prefix + metric.name;
+      }
+      merged.metrics.push_back(std::move(renamed));
+    }
+  }
+  std::sort(merged.metrics.begin(), merged.metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) { return a.name < b.name; });
+  for (std::size_t i = 1; i < merged.metrics.size(); ++i) {
+    TS_CHECK(merged.metrics[i - 1].name != merged.metrics[i].name)
+        << "merge: duplicate cell label produced metric '" << merged.metrics[i].name << "'";
+  }
+  return merged;
+}
+
 void MetricsRegistry::Reset() {
   for (auto& [name, instrument] : instruments_) {
     switch (instrument.kind) {

@@ -117,6 +117,21 @@ struct RegistrySnapshot {
   const MetricSnapshot* Find(std::string_view name) const;
 };
 
+// One labeled registry snapshot of a multi-cell merge (see MergeSnapshots).
+struct LabeledSnapshot {
+  std::string label;
+  RegistrySnapshot snapshot;
+};
+
+// Deterministic multi-registry merge for the bench experiment grid
+// (DESIGN.md §4b): every metric of cell `label` is renamed under the
+// `cell/<label>/` prefix and the union is re-sorted by name. The wall/
+// quarantine survives the rename — "wall/x" becomes "wall/cell/<label>/x",
+// never "cell/<label>/wall/x" — so WallMetrics::kExclude exports of a merged
+// snapshot stay a pure function of the virtual execution. Labels must be
+// unique; the result is independent of the order cells are passed in.
+RegistrySnapshot MergeSnapshots(const std::vector<LabeledSnapshot>& cells);
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;

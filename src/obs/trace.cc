@@ -33,8 +33,12 @@ void AppendEventBody(std::string& out, const TraceRecorder::Event& event, bool c
     chrome ? AppendMicros(out, event.dur) : AppendNanos(out, event.dur);
   }
   if (chrome) {
-    // One virtual clock == one logical track.
-    out += ",\"pid\":0,\"tid\":0";
+    // One virtual clock == one logical track; merged multi-cell exports set
+    // one track per cell.
+    out += ",\"pid\":0,\"tid\":";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d", event.track);
+    out += buf;
   }
   if (!event.args.empty()) {
     out += ",\"args\":{";
@@ -69,27 +73,31 @@ void TraceRecorder::Span(std::string_view name, Nanos begin, std::string args) {
                           .args = std::move(args)});
 }
 
-std::string TraceRecorder::ToJsonl() const {
+std::string TraceEventsToJsonl(const std::vector<TraceRecorder::Event>& events) {
   std::string out;
-  for (const Event& event : events_) {
+  for (const TraceRecorder::Event& event : events) {
     AppendEventBody(out, event, /*chrome=*/false);
     out += '\n';
   }
   return out;
 }
 
-std::string TraceRecorder::ToChromeJson() const {
+std::string TraceEventsToChromeJson(const std::vector<TraceRecorder::Event>& events) {
   std::string out = "{\"traceEvents\":[";
-  for (std::size_t i = 0; i < events_.size(); ++i) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
     if (i > 0) {
       out += ',';
     }
     out += '\n';
-    AppendEventBody(out, events_[i], /*chrome=*/true);
+    AppendEventBody(out, events[i], /*chrome=*/true);
   }
   out += "\n],\"displayTimeUnit\":\"ns\"}\n";
   return out;
 }
+
+std::string TraceRecorder::ToJsonl() const { return TraceEventsToJsonl(events_); }
+
+std::string TraceRecorder::ToChromeJson() const { return TraceEventsToChromeJson(events_); }
 
 Status TraceRecorder::WriteChromeJson(const std::string& path) const {
   return WriteTextFile(path, ToChromeJson());

@@ -36,6 +36,10 @@ class TraceRecorder {
     Nanos ts = 0;      // virtual time at emission (span: at open)
     Nanos dur = 0;     // virtual duration (spans only)
     std::string args;  // pre-serialized JSON object body ("" = no args)
+    // Logical track (chrome "tid"). A single recorder always emits on track
+    // 0; merged multi-cell exports (bench/experiment_grid.h) assign one
+    // track per cell so Perfetto renders the cells side by side.
+    std::int32_t track = 0;
   };
 
   TraceRecorder() = default;
@@ -81,6 +85,12 @@ class TraceRecorder {
   const Nanos* clock_ = nullptr;
   std::vector<Event> events_;
 };
+
+// Serialization over a bare event sequence, shared by TraceRecorder and the
+// multi-cell artifact merge (which concatenates several recorders' events in
+// deterministic cell order before serializing).
+std::string TraceEventsToJsonl(const std::vector<TraceRecorder::Event>& events);
+std::string TraceEventsToChromeJson(const std::vector<TraceRecorder::Event>& events);
 
 // RAII helper emitting a complete span over its lexical scope; virtual
 // duration is whatever the engine clock advanced in between. Near-zero cost

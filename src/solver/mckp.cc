@@ -3,11 +3,38 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 #include <queue>
 
 #include "src/common/logging.h"
 
 namespace tierscape {
+
+// Pruned per-group choice-index sets. Each rule is applied only where it is
+// provably cost-neutral:
+//
+//  * dominant[g] — choices surviving dominance pruning: k is dropped iff some
+//    sibling i has weight_i <= weight_k and either cost_i < cost_k, or
+//    cost_i == cost_k with i < k ("keep-first"). Every exhaustive
+//    first-index-tie-break scan (each DP column min, the greedy seed and
+//    improvement passes) picks the same choice over dominant[g] as over the
+//    full group: the dropped k is feasible only when i is, never strictly
+//    better, and loses every tie to i.
+//  * hull[g] — choices on the group's lower convex hull in (weight, cost),
+//    colinear points and exact duplicates included. The greedy efficiency
+//    walk only ever moves to hull choices: from a hull point, a choice
+//    strictly above the hull has strictly worse efficiency than the adjacent
+//    hull vertex, so restricting next_move to hull[g] reproduces the
+//    unpruned walk move-for-move (up to floating-point-degenerate ties).
+//    hull[g] is *not* a subset of dominant[g]: an equal-cost heavier choice
+//    on a horizontal hull segment is dominated yet a legal walk target.
+//
+// Both lists are in ascending index order so first-index tie-breaks survive.
+struct MckpPruning {
+  std::vector<std::vector<int>> dominant;
+  std::vector<std::vector<int>> hull;
+};
+
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -37,6 +64,100 @@ Status CheckProblem(const MckpProblem& problem) {
     return ResourceExhausted("mckp: minimum-weight assignment exceeds capacity");
   }
   return OkStatus();
+}
+
+// O(m log m) per group. With `enabled` false both lists are the identity, so
+// the solve paths stay branch-free over a single representation.
+MckpPruning BuildPruning(const MckpProblem& problem, bool enabled,
+                         MckpSolver::SolveStats& stats) {
+  MckpPruning pruning;
+  pruning.dominant.resize(problem.groups.size());
+  pruning.hull.resize(problem.groups.size());
+  for (std::size_t g = 0; g < problem.groups.size(); ++g) {
+    const auto& group = problem.groups[g];
+    stats.choices_total += group.size();
+    auto& dominant = pruning.dominant[g];
+    auto& hull = pruning.hull[g];
+    if (!enabled || group.size() <= 2) {
+      dominant.resize(group.size());
+      std::iota(dominant.begin(), dominant.end(), 0);
+      hull = dominant;
+      continue;
+    }
+    std::vector<int> order(group.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      if (group[a].weight != group[b].weight) {
+        return group[a].weight < group[b].weight;
+      }
+      if (group[a].cost != group[b].cost) {
+        return group[a].cost < group[b].cost;
+      }
+      return a < b;
+    });
+
+    // Dominance sweep in ascending weight: everything already seen is
+    // lighter-or-equal, so k survives iff nothing seen is strictly cheaper or
+    // equally cheap with a smaller index.
+    double best_cost = kInf;
+    int best_index = -1;
+    for (const int k : order) {
+      const double cost = group[k].cost;
+      if (cost < best_cost || (cost == best_cost && k < best_index)) {
+        best_cost = cost;
+        best_index = k;
+      }
+      // After the update best_cost <= cost; k survives iff it is itself the
+      // (cost, index)-lexicographic minimum of everything seen so far.
+      if (cost == best_cost && best_index >= k) {
+        dominant.push_back(k);
+      }
+    }
+    std::sort(dominant.begin(), dominant.end());
+
+    // Lower convex hull over the distinct-weight minima (the first entry of
+    // each weight run in `order` is that weight's cheapest choice). Pops use
+    // a strict test so colinear points stay on the hull — they tie the
+    // adjacent vertex's efficiency and the unpruned walk may pick them.
+    struct Point {
+      double weight;
+      double cost;
+    };
+    std::vector<Point> chain;
+    for (const int k : order) {
+      const Point p{group[k].weight, group[k].cost};
+      if (!chain.empty() && chain.back().weight == p.weight) {
+        continue;  // heavier-cost duplicate weight: strictly above the hull
+      }
+      while (chain.size() >= 2) {
+        const Point& a = chain[chain.size() - 2];
+        const Point& b = chain.back();
+        // b is strictly above segment a->p iff slope(a,b) > slope(b,p).
+        if ((b.cost - a.cost) * (p.weight - b.weight) >
+            (p.cost - b.cost) * (b.weight - a.weight)) {
+          chain.pop_back();
+        } else {
+          break;
+        }
+      }
+      chain.push_back(p);
+    }
+    std::size_t at = 0;
+    for (const int k : order) {
+      while (at < chain.size() && chain[at].weight < group[k].weight) {
+        ++at;
+      }
+      if (at < chain.size() && chain[at].weight == group[k].weight &&
+          chain[at].cost == group[k].cost) {
+        hull.push_back(k);
+      }
+    }
+    std::sort(hull.begin(), hull.end());
+
+    stats.pruned_dominated += group.size() - dominant.size();
+    stats.pruned_off_hull += group.size() - hull.size();
+  }
+  return pruning;
 }
 
 }  // namespace
@@ -82,17 +203,18 @@ StatusOr<MckpSolution> MckpSolver::Solve(const MckpProblem& problem) {
   }
   stats_ = SolveStats{};
   stats_.used = strategy;
+  const MckpPruning pruning = BuildPruning(problem, options_.prune, stats_);
   if (strategy == Strategy::kDp) {
-    auto solution = SolveDp(problem);
+    auto solution = SolveDp(problem, pruning);
     if (solution.ok() || solution.status().code() != StatusCode::kResourceExhausted) {
       return solution;
     }
     // The DP rounds weights up; an exact-fit budget can become infeasible at
     // the chosen resolution. The greedy path uses exact arithmetic.
     stats_.used = Strategy::kGreedy;
-    return SolveGreedy(problem);
+    return SolveGreedy(problem, pruning);
   }
-  return SolveGreedy(problem);
+  return SolveGreedy(problem, pruning);
 }
 
 int MckpSolver::EffectiveBuckets(std::size_t n_groups) const {
@@ -102,7 +224,8 @@ int MckpSolver::EffectiveBuckets(std::size_t n_groups) const {
       std::min<std::size_t>(wanted, options_.dp_buckets_max));
 }
 
-StatusOr<MckpSolution> MckpSolver::SolveDp(const MckpProblem& problem) {
+StatusOr<MckpSolution> MckpSolver::SolveDp(const MckpProblem& problem,
+                                           const MckpPruning& pruning) {
   const std::size_t n_groups = problem.groups.size();
   const int buckets = EffectiveBuckets(n_groups);
   // Bucket width; capacity 0 degenerates to "all weights must be 0".
@@ -129,12 +252,17 @@ StatusOr<MckpSolution> MckpSolver::SolveDp(const MckpProblem& problem) {
 
   for (std::size_t g = 0; g < n_groups; ++g) {
     const auto& group = problem.groups[g];
+    const std::vector<int>& keep = pruning.dominant[g];
     TS_CHECK_LE(group.size(), std::size_t{0xff});
     std::fill(next.begin(), next.end(), kInf);
     for (int b = 0; b <= buckets; ++b) {
       double best = kInf;
       int best_k = -1;
-      for (std::size_t k = 0; k < group.size(); ++k) {
+      // Dominated choices are cost-neutral to skip: dp[] is non-increasing in
+      // b and quantize() is monotone in weight, so a dominator's candidate is
+      // always <= the dominated choice's, and keep-first preserves the
+      // first-index tie-break below.
+      for (const int k : keep) {
         const int wq = quantize(group[k].weight);
         if (wq > b) {
           continue;
@@ -142,14 +270,14 @@ StatusOr<MckpSolution> MckpSolver::SolveDp(const MckpProblem& problem) {
         const double cand = dp[b - wq] + group[k].cost;
         if (cand < best) {
           best = cand;
-          best_k = static_cast<int>(k);
+          best_k = k;
         }
       }
       next[b] = best;
       pick[g * (buckets + 1) + b] = best_k < 0 ? 0xff : static_cast<std::uint8_t>(best_k);
     }
     dp.swap(next);
-    stats_.dp_cells += static_cast<std::size_t>(buckets + 1) * group.size();
+    stats_.dp_cells += static_cast<std::size_t>(buckets + 1) * keep.size();
   }
   if (!std::isfinite(dp[buckets])) {
     return ResourceExhausted("mckp: no feasible assignment at this resolution");
@@ -174,20 +302,23 @@ StatusOr<MckpSolution> MckpSolver::SolveDp(const MckpProblem& problem) {
   return solution;
 }
 
-StatusOr<MckpSolution> MckpSolver::SolveGreedy(const MckpProblem& problem) {
+StatusOr<MckpSolution> MckpSolver::SolveGreedy(const MckpProblem& problem,
+                                               const MckpPruning& pruning) {
   const std::size_t n_groups = problem.groups.size();
   MckpSolution solution;
   solution.choice.assign(n_groups, 0);
 
-  // Start each group at its minimum-cost choice.
+  // Start each group at its minimum-cost choice (never dominance-pruned: a
+  // dominator would have to be at least as cheap with a smaller index).
   double total_weight = 0.0;
   double total_cost = 0.0;
   for (std::size_t g = 0; g < n_groups; ++g) {
     const auto& group = problem.groups[g];
-    int best = 0;
-    for (std::size_t k = 1; k < group.size(); ++k) {
+    const std::vector<int>& keep = pruning.dominant[g];
+    int best = keep.front();
+    for (const int k : keep) {
       if (group[k].cost < group[best].cost) {
-        best = static_cast<int>(k);
+        best = k;
       }
     }
     solution.choice[g] = best;
@@ -207,7 +338,10 @@ StatusOr<MckpSolution> MckpSolver::SolveGreedy(const MckpProblem& problem) {
     const auto& group = problem.groups[g];
     const auto& cur = group[solution.choice[g]];
     Move best{kInf, g, -1};
-    for (std::size_t k = 0; k < group.size(); ++k) {
+    // The walk starts on the hull (min-cost choices are hull points) and
+    // stays there, so off-hull choices can never be the efficiency minimum —
+    // skipping them reproduces the full scan.
+    for (const int k : pruning.hull[g]) {
       const double dw = cur.weight - group[k].weight;
       if (dw <= 1e-12) {
         continue;
@@ -215,7 +349,7 @@ StatusOr<MckpSolution> MckpSolver::SolveGreedy(const MckpProblem& problem) {
       const double dc = group[k].cost - cur.cost;
       const double eff = dc / dw;
       if (eff < best.efficiency) {
-        best = Move{eff, g, static_cast<int>(k)};
+        best = Move{eff, g, k};
       }
     }
     return best;
@@ -263,11 +397,15 @@ StatusOr<MckpSolution> MckpSolver::SolveGreedy(const MckpProblem& problem) {
       const auto& cur = group[solution.choice[g]];
       int best = -1;
       double best_gain = 0.0;
-      for (std::size_t k = 0; k < group.size(); ++k) {
+      // Dominated candidates are safe to skip: the dominator fits whenever
+      // they do and gains at least as much (hull restriction would NOT be —
+      // a budget cutting mid-segment can make an interior point the best
+      // feasible gain).
+      for (const int k : pruning.dominant[g]) {
         const double dc = cur.cost - group[k].cost;
         const double dw = group[k].weight - cur.weight;
         if (dc > best_gain && total_weight + dw <= problem.capacity * (1.0 + 1e-12)) {
-          best = static_cast<int>(k);
+          best = k;
           best_gain = dc;
         }
       }

@@ -15,6 +15,14 @@
 //              LP-relaxation walk) plus a local improvement pass; O(n log n),
 //              used for very large instances.
 //
+// Both strategies first prune each group's choice list (Options::prune):
+// dominance pruning drops any choice beaten on both cost and weight by an
+// earlier-or-cheaper sibling, and the greedy efficiency walk additionally
+// restricts its move targets to the group's lower convex hull. Each rule is
+// applied only where it provably cannot change the solved total_cost — see
+// the notes in mckp.cc; MckpSolverTest.PruningPreservesTotalCost guards the
+// equivalence on randomized instances.
+//
 // The paper reports its ILP consumes <0.3% of a CPU and ~480 MB (§8.4);
 // bench/micro_solver reproduces the equivalent measurement for this solver.
 #ifndef SRC_SOLVER_MCKP_H_
@@ -38,6 +46,9 @@ struct MckpProblem {
   double capacity = 0.0;  // maximum total weight
 };
 
+// Per-group pruned choice-index sets; built in mckp.cc (opaque here).
+struct MckpPruning;
+
 struct MckpSolution {
   std::vector<int> choice;  // chosen index per group
   double total_cost = 0.0;
@@ -57,13 +68,26 @@ class MckpSolver {
     // to keep the cumulative rounding loss below ~3% of the budget.
     int dp_buckets = 2048;
     int dp_buckets_max = 16384;
-    // kAuto switches to greedy above this many group-choice pairs.
+    // kAuto switches to greedy above this many group-choice pairs. The
+    // decision uses the *unpruned* pair count so pruning never flips the
+    // chosen strategy (the two strategies return different costs).
     std::size_t auto_greedy_threshold = 4'000'000;
+    // Per-group dominance/convex-hull pruning. Cost-neutral by construction;
+    // off only for A/B measurement (bench/micro_solver) and the equivalence
+    // test.
+    bool prune = true;
   };
 
   struct SolveStats {
     std::size_t dp_cells = 0;
     std::size_t greedy_moves = 0;
+    // Pruning effectiveness: total choices across groups, how many were
+    // dominance-pruned (skipped by the DP and the greedy improvement pass),
+    // and how many the greedy efficiency walk excludes as off-hull (the two
+    // counts overlap: a dominated choice is usually also off the hull).
+    std::size_t choices_total = 0;
+    std::size_t pruned_dominated = 0;
+    std::size_t pruned_off_hull = 0;
     Strategy used = Strategy::kDp;
   };
 
@@ -77,9 +101,9 @@ class MckpSolver {
   const SolveStats& stats() const { return stats_; }
 
  private:
-  StatusOr<MckpSolution> SolveDp(const MckpProblem& problem);
+  StatusOr<MckpSolution> SolveDp(const MckpProblem& problem, const MckpPruning& pruning);
   int EffectiveBuckets(std::size_t n_groups) const;
-  StatusOr<MckpSolution> SolveGreedy(const MckpProblem& problem);
+  StatusOr<MckpSolution> SolveGreedy(const MckpProblem& problem, const MckpPruning& pruning);
 
   Options options_;
   SolveStats stats_;

@@ -14,6 +14,8 @@ TieringEngine::TieringEngine(AddressSpace& space, TierTable& tiers, EngineConfig
       sampler_(config.pebs_period) {
   pages_.resize(space_.total_pages());
   tier_pages_.assign(tiers_.count(), 0);
+  region_tier_pages_.assign(space_.total_regions() * static_cast<std::uint64_t>(tiers_.count()),
+                            0);
   thread_pool_ = std::make_unique<ThreadPool>(config_.migrate_threads);
   if (config_.compression_cache) {
     compression_cache_ = std::make_unique<CompressionCache>(space_.total_pages(), &obs_->metrics);
@@ -78,13 +80,17 @@ Status TieringEngine::PlacePageInByteTier(std::uint64_t page, int tier) {
 
 void TieringEngine::SetPageTier(std::uint64_t page, int tier) {
   PageState& state = pages_[page];
+  const std::uint64_t region_row =
+      (page / kPagesPerRegion) * static_cast<std::uint64_t>(tiers_.count());
   if (state.tier >= 0) {
     --tier_pages_[state.tier];
+    --region_tier_pages_[region_row + state.tier];
     m_tier_pages_[state.tier]->Set(static_cast<double>(tier_pages_[state.tier]));
   }
   state.tier = tier;
   if (tier >= 0) {
     ++tier_pages_[tier];
+    ++region_tier_pages_[region_row + tier];
     m_tier_pages_[tier]->Set(static_cast<double>(tier_pages_[tier]));
   }
 }
@@ -392,12 +398,25 @@ std::vector<std::uint64_t> TieringEngine::PagesPerTier() const {
 void TieringEngine::RegionTierHistogram(std::uint64_t region,
                                         std::span<std::uint64_t> counts) const {
   TS_CHECK_EQ(counts.size(), static_cast<std::size_t>(tiers_.count()));
-  std::fill(counts.begin(), counts.end(), 0);
-  const std::uint64_t first_page = region * kPagesPerRegion;
-  for (std::uint64_t page = first_page;
-       page < std::min<std::uint64_t>(first_page + kPagesPerRegion, pages_.size()); ++page) {
-    if (pages_[page].tier >= 0) {
-      ++counts[pages_[page].tier];
+  if (region >= space_.total_regions()) {
+    std::fill(counts.begin(), counts.end(), 0);  // out of range: empty, as a scan would find
+    return;
+  }
+  const std::uint64_t* row = &region_tier_pages_[region * counts.size()];
+  std::copy(row, row + counts.size(), counts.begin());
+  if (config_.check_tier_counts) {
+    // Drift cross-check: re-derive the row with the old page scan.
+    const std::uint64_t first_page = region * kPagesPerRegion;
+    std::vector<std::uint64_t> scanned(counts.size(), 0);
+    for (std::uint64_t page = first_page;
+         page < std::min<std::uint64_t>(first_page + kPagesPerRegion, pages_.size()); ++page) {
+      if (pages_[page].tier >= 0) {
+        ++scanned[pages_[page].tier];
+      }
+    }
+    for (std::size_t tier = 0; tier < counts.size(); ++tier) {
+      TS_CHECK_EQ(scanned[tier], counts[tier])
+          << "region " << region << " tier count drift at tier " << tier;
     }
   }
 }

@@ -50,8 +50,9 @@ struct EngineConfig {
   // virtual time — the modeled store cost is derived from the compressed
   // size, which is identical either way.
   bool compression_cache = true;
-  // Debug cross-check: PagesPerTier() re-derives the counts with a full
-  // O(total_pages) scan and TS_CHECKs it against the incremental counters.
+  // Debug cross-check: PagesPerTier() and RegionTierHistogram() re-derive
+  // their counts with a full page scan and TS_CHECK it against the
+  // incremental counters.
   bool check_tier_counts = false;
 };
 
@@ -125,10 +126,12 @@ class TieringEngine {
   std::vector<std::uint64_t> PagesPerTier() const;
   // Pages of `region` currently in each tier, written into caller-provided
   // storage (`counts.size()` must be the tier count) — the allocation-free
-  // form for per-window loops.
+  // form for per-window loops. O(tiers): copied from counts maintained
+  // incrementally in SetPageTier, not a page scan (the daemon calls this for
+  // every region every window, §6.2's per-region placement sweep).
   void RegionTierHistogram(std::uint64_t region, std::span<std::uint64_t> counts) const;
   std::vector<std::uint64_t> RegionTierHistogram(std::uint64_t region) const;
-  // Dominant tier of a region (where most of its pages live).
+  // Dominant tier of a region (where most of its pages live). O(tiers).
   int RegionTier(std::uint64_t region) const;
 
   const std::unordered_map<int, FaultRecord>& window_faults() const { return window_faults_; }
@@ -181,6 +184,9 @@ class TieringEngine {
   PebsSampler sampler_;
   std::vector<PageState> pages_;
   std::vector<std::uint64_t> tier_pages_;  // incremental per-tier page counts
+  // Incremental per-region per-tier counts, row-major [region][tier]; kept
+  // exact by SetPageTier so region histograms never rescan pages.
+  std::vector<std::uint64_t> region_tier_pages_;
   // Cached instrument handles ("engine/..."): resolved once at construction
   // so the access hot path never touches the registry map.
   Counter* m_access_ops_ = nullptr;

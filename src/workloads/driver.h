@@ -5,6 +5,8 @@
 #define SRC_WORKLOADS_DRIVER_H_
 
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/common/histogram.h"
@@ -55,6 +57,19 @@ struct ExperimentResult {
   std::uint64_t migrated_pages = 0;
   Nanos daemon_overhead_ns = 0;
   double total_solve_ms = 0.0;
+
+  // Free-form named values a bench attaches to its cell (grid inspect hooks
+  // and custom cell bodies, bench/experiment_grid.h); keyed lookup for table
+  // formatting. RunExperiment itself never writes these.
+  std::vector<std::pair<std::string, double>> extras;
+  double Extra(std::string_view name) const {
+    for (const auto& [key, value] : extras) {
+      if (key == name) {
+        return value;
+      }
+    }
+    return 0.0;
+  }
 };
 
 // Runs `workload` against `system` under `policy` (null = static all-DRAM).

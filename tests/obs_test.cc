@@ -160,6 +160,40 @@ TEST(MetricsExportTest, JsonlShapeIsStable) {
             "{\"name\":\"zpool/CT-1/frag_pct\",\"kind\":\"gauge\",\"value\":12.5}\n");
 }
 
+TEST(MetricsExportTest, MergeSnapshotsPrefixesAndRequarantines) {
+  MetricsRegistry a;
+  a.GetCounter("engine/faults").Add(3);
+  a.GetGauge("wall/solver/last_solve_ms").Set(1.5);
+  MetricsRegistry b;
+  b.GetCounter("engine/faults").Add(7);
+
+  const RegistrySnapshot merged = MergeSnapshots({
+      {"AM-0.5", a.Snapshot()},
+      {"static", b.Snapshot()},
+  });
+  ASSERT_EQ(merged.metrics.size(), 3u);
+  const MetricSnapshot* am = merged.Find("cell/AM-0.5/engine/faults");
+  ASSERT_NE(am, nullptr);
+  EXPECT_EQ(am->count, 3u);
+  const MetricSnapshot* st = merged.Find("cell/static/engine/faults");
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->count, 7u);
+  // wall/ stays the outermost prefix so kExclude still quarantines it.
+  EXPECT_NE(merged.Find("wall/cell/AM-0.5/solver/last_solve_ms"), nullptr);
+  EXPECT_EQ(merged.Find("cell/AM-0.5/wall/solver/last_solve_ms"), nullptr);
+  const std::string deterministic = SnapshotToJsonl(merged, WallMetrics::kExclude);
+  EXPECT_EQ(deterministic.find("wall/"), std::string::npos);
+  EXPECT_NE(deterministic.find("cell/static/engine/faults"), std::string::npos);
+
+  // Order-independent: passing cells reversed yields the same sorted union.
+  const RegistrySnapshot reversed = MergeSnapshots({
+      {"static", b.Snapshot()},
+      {"AM-0.5", a.Snapshot()},
+  });
+  EXPECT_EQ(SnapshotToJsonl(reversed, WallMetrics::kInclude),
+            SnapshotToJsonl(merged, WallMetrics::kInclude));
+}
+
 TEST(TraceRecorderTest, DisabledRecorderDropsEverything) {
   TraceRecorder trace;
   TS_TRACE_INSTANT(&trace, "never");
@@ -218,6 +252,26 @@ TEST(TraceRecorderTest, ExportsJsonlAndChromeJson) {
   EXPECT_NE(chrome.find("\"ts\":1.500"), std::string::npos);
   EXPECT_NE(chrome.find("\"dur\":2.500"), std::string::npos);
   EXPECT_NE(chrome.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  // A lone recorder always emits on track 0.
+  EXPECT_NE(chrome.find("\"pid\":0,\"tid\":0"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, FreeSerializersHonorTrackAssignment) {
+  TraceRecorder trace;
+  trace.SetEnabled(true);
+  Nanos clock = 1000;
+  trace.SetClock(&clock);
+  trace.Instant("fault");
+
+  // The grid's artifact merge re-tags each cell's events before serializing.
+  std::vector<TraceRecorder::Event> events = trace.events();
+  events[0].track = 3;
+  const std::string chrome = TraceEventsToChromeJson(events);
+  EXPECT_NE(chrome.find("\"pid\":0,\"tid\":3"), std::string::npos);
+  // JSONL (the determinism-comparison form) carries no track noise.
+  const std::string jsonl = TraceEventsToJsonl(events);
+  EXPECT_EQ(jsonl.find("tid"), std::string::npos);
+  EXPECT_EQ(jsonl, trace.ToJsonl());
 }
 
 TEST(ObservabilityTest, ResolveFallsBackToProcessDefault) {

@@ -272,6 +272,114 @@ TEST(MckpSolverTest, DpRoundingLossBoundedAtScale) {
       << "DP rounding loss too large at scale";
 }
 
+// Pruning (Options::prune) must be invisible in the solved cost: dominance
+// pruning is exact for the DP and the greedy seed/improvement scans, and the
+// hull restriction is exact for the greedy efficiency walk. The integer-valued
+// RandomProblem generator makes exact cost/weight ties and colinear triples
+// common, so this also exercises the keep-first tie-break paths.
+class PruningEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PruningEquivalenceTest, PruningPreservesTotalCost) {
+  Rng rng(4000 + GetParam());
+  std::size_t total_dominated = 0;
+  for (int round = 0; round < 15; ++round) {
+    const MckpProblem problem = RandomProblem(rng, 8, 6);
+    for (const MckpSolver::Strategy strategy :
+         {MckpSolver::Strategy::kDp, MckpSolver::Strategy::kGreedy}) {
+      MckpSolver::Options pruned_options;
+      pruned_options.strategy = strategy;
+      pruned_options.prune = true;
+      MckpSolver::Options full_options = pruned_options;
+      full_options.prune = false;
+      MckpSolver pruned(pruned_options);
+      MckpSolver full(full_options);
+      auto pruned_solution = pruned.Solve(problem);
+      auto full_solution = full.Solve(problem);
+      ASSERT_EQ(pruned_solution.ok(), full_solution.ok())
+          << "round " << round << " strategy " << static_cast<int>(strategy);
+      if (!pruned_solution.ok()) {
+        continue;
+      }
+      // Bit-exact, not approximate: pruning may only skip choices the full
+      // scan provably never picks, so the solve path is move-for-move equal.
+      EXPECT_EQ(pruned_solution->total_cost, full_solution->total_cost)
+          << "round " << round << " strategy " << static_cast<int>(strategy);
+      EXPECT_EQ(pruned_solution->total_weight, full_solution->total_weight)
+          << "round " << round << " strategy " << static_cast<int>(strategy);
+      EXPECT_EQ(pruned_solution->choice, full_solution->choice)
+          << "round " << round << " strategy " << static_cast<int>(strategy);
+      EXPECT_TRUE(ValidateSolution(problem, *pruned_solution).ok());
+      total_dominated += pruned.stats().pruned_dominated;
+      EXPECT_EQ(full.stats().pruned_dominated, 0u);
+    }
+  }
+  // The integer generator produces dominated choices in nearly every group;
+  // a zero count would mean the pruner never engaged.
+  EXPECT_GT(total_dominated, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruningEquivalenceTest, ::testing::Range(0, 5));
+
+TEST(MckpSolverTest, PruningHandlesDegenerateTies) {
+  // Duplicates, a horizontal (equal-cost) hull segment, and a colinear
+  // interior point — the cases where keep-first and colinear-keeping rules
+  // carry the exactness proof.
+  MckpProblem problem;
+  problem.groups = {
+      // Exact duplicates plus a dominated straggler.
+      {{.cost = 5.0, .weight = 4.0}, {.cost = 5.0, .weight = 4.0}, {.cost = 6.0, .weight = 4.0}},
+      // Horizontal segment: equal cost at weights 2/4/6 — heavier ones are
+      // dominated yet remain legal efficiency-walk targets (on the hull).
+      {{.cost = 3.0, .weight = 6.0}, {.cost = 3.0, .weight = 4.0}, {.cost = 3.0, .weight = 2.0}},
+      // Colinear: (2,8) lies exactly on the segment (1,10)-(3,6).
+      {{.cost = 10.0, .weight = 1.0}, {.cost = 8.0, .weight = 2.0}, {.cost = 6.0, .weight = 3.0}},
+  };
+  for (double capacity : {3.0, 5.0, 7.0, 9.0, 11.0, 13.0}) {
+    problem.capacity = capacity;
+    for (const MckpSolver::Strategy strategy :
+         {MckpSolver::Strategy::kDp, MckpSolver::Strategy::kGreedy}) {
+      MckpSolver::Options options;
+      options.strategy = strategy;
+      options.prune = true;
+      MckpSolver pruned(options);
+      options.prune = false;
+      MckpSolver full(options);
+      auto pruned_solution = pruned.Solve(problem);
+      auto full_solution = full.Solve(problem);
+      ASSERT_EQ(pruned_solution.ok(), full_solution.ok()) << "capacity " << capacity;
+      if (!pruned_solution.ok()) {
+        continue;
+      }
+      EXPECT_EQ(pruned_solution->total_cost, full_solution->total_cost)
+          << "capacity " << capacity << " strategy " << static_cast<int>(strategy);
+      EXPECT_EQ(pruned_solution->choice, full_solution->choice)
+          << "capacity " << capacity << " strategy " << static_cast<int>(strategy);
+    }
+  }
+}
+
+TEST(MckpSolverTest, PruningShrinksDpWork) {
+  // 6-choice groups with integer weights have dominated choices almost
+  // always; the DP must visit measurably fewer cells with pruning on and
+  // report what it dropped.
+  Rng rng(91);
+  const MckpProblem problem = RandomProblem(rng, 64, 6);
+  MckpSolver::Options options;
+  options.strategy = MckpSolver::Strategy::kDp;
+  options.prune = true;
+  MckpSolver pruned(options);
+  options.prune = false;
+  MckpSolver full(options);
+  ASSERT_TRUE(pruned.Solve(problem).ok());
+  ASSERT_TRUE(full.Solve(problem).ok());
+  EXPECT_EQ(pruned.stats().choices_total, std::size_t{64 * 6});
+  EXPECT_GT(pruned.stats().pruned_dominated, 0u);
+  EXPECT_GT(pruned.stats().pruned_off_hull, 0u);
+  EXPECT_LT(pruned.stats().dp_cells, full.stats().dp_cells);
+  EXPECT_EQ(full.stats().dp_cells - pruned.stats().dp_cells,
+            pruned.stats().pruned_dominated * (full.stats().dp_cells / (64 * 6)));
+}
+
 TEST(ValidateSolutionTest, CatchesViolations) {
   MckpProblem problem;
   problem.groups = {{{.cost = 1.0, .weight = 10.0}}};

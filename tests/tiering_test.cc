@@ -200,6 +200,49 @@ TEST_F(TieringFixture, RegionTierReportsDominantTier) {
   EXPECT_EQ(histogram[2], kPagesPerRegion - 1);
 }
 
+TEST_F(TieringFixture, RegionTierCountsStayExactUnderChurn) {
+  // The incremental per-region rows behind RegionTierHistogram must track
+  // every SetPageTier path — initial placement, migrations in both
+  // directions, rejects, and faults. check_tier_counts makes every histogram
+  // read TS_CHECK the row against a fresh page scan, so drift dies here.
+  EngineConfig config;
+  config.check_tier_counts = true;
+  TieringEngine engine(space_, tiers_, config);
+  ASSERT_TRUE(engine.PlaceInitial().ok());
+
+  for (std::uint64_t region = 0; region < space_.total_regions(); ++region) {
+    const auto initial = engine.RegionTierHistogram(region);
+    EXPECT_EQ(initial[0], kPagesPerRegion);
+  }
+  // Demote alternating regions to NVMM and the dense compressed tier, fault
+  // a couple of pages back, then promote one region again.
+  for (std::uint64_t region = 0; region < space_.total_regions(); ++region) {
+    ASSERT_TRUE(engine.MigrateRegion(region, region % 2 == 0 ? 1 : 3).ok());
+  }
+  engine.Access(1 * kRegionSize, false);
+  engine.Access(3 * kRegionSize + 5 * kPageSize, false);
+  ASSERT_TRUE(engine.MigrateRegion(1, 0).ok());
+
+  std::vector<std::uint64_t> totals(tiers_.count(), 0);
+  for (std::uint64_t region = 0; region < space_.total_regions(); ++region) {
+    const auto histogram = engine.RegionTierHistogram(region);  // cross-checked
+    for (int tier = 0; tier < tiers_.count(); ++tier) {
+      totals[tier] += histogram[tier];
+    }
+    EXPECT_EQ(engine.RegionTier(region), region % 2 == 0 ? 1 : (region == 1 ? 0 : 3));
+  }
+  // Region rows must also sum to the global per-tier counts.
+  EXPECT_EQ(totals, engine.PagesPerTier());
+  const auto faulted = engine.RegionTierHistogram(3);
+  EXPECT_EQ(faulted[0], 1u);
+  EXPECT_EQ(faulted[3], kPagesPerRegion - 1);
+  // Out-of-range regions read as empty, as a scan would find.
+  const auto beyond = engine.RegionTierHistogram(space_.total_regions());
+  for (const std::uint64_t count : beyond) {
+    EXPECT_EQ(count, 0u);
+  }
+}
+
 TEST_F(TieringFixture, IncompressiblePagesStayPut) {
   AddressSpace space;
   space.Allocate("random", 2 * kMiB, CorpusProfile::kRandom);

@@ -300,6 +300,55 @@ TEST(PoolPurity, TraceSpanInWorkerFlagged) {
   EXPECT_EQ(Rules(diags), std::set<std::string>{kRulePoolPurity});
 }
 
+TEST(PoolPurity, SubscriptedSlotObservabilityPasses) {
+  // The grid runner's disjoint-slot idiom: registrar and handle-mutator calls
+  // whose receiver chain is subscripted touch this worker's slot only.
+  const auto diags = LintOne("bench/grid.cc",
+                             "void f(ThreadPool& pool, Slot* slots, std::size_t n) {\n"
+                             "  pool.ParallelFor(n, [&](std::size_t i) {\n"
+                             "    slots[i].obs.metrics.GetCounter(\"cell/runs\")->Add(1);\n"
+                             "    slots[i]->obs.metrics.GetHistogram(\"cell/ms\")->Record(1.0);\n"
+                             "    slots[i]->m_runs_->Add(1);\n"
+                             "    slots[i].result = Run(slots[i].spec);\n"
+                             "  });\n"
+                             "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(PoolPurity, UnsubscriptedRegistrarInWorkerStillFlagged) {
+  // Same calls without an indexed receiver: shared registry, still banned.
+  const auto diags = LintOne("bench/grid.cc",
+                             "void f(ThreadPool& pool, Obs& obs, std::size_t n) {\n"
+                             "  pool.ParallelFor(n, [&](std::size_t i) {\n"
+                             "    obs.metrics.GetCounter(\"cell/runs\")->Add(1);\n"
+                             "  });\n"
+                             "}\n");
+  EXPECT_EQ(diags.size(), 1u);
+  EXPECT_EQ(Rules(diags), std::set<std::string>{kRulePoolPurity});
+}
+
+TEST(PoolPurity, ObservabilityDefaultInWorkerFlagged) {
+  const auto diags = LintOne("bench/grid.cc",
+                             "void f(ThreadPool& pool, Slot* slots, std::size_t n) {\n"
+                             "  pool.ParallelFor(n, [&](std::size_t i) {\n"
+                             "    slots[i].result = Run(slots[i].spec, Observability::Default());\n"
+                             "  });\n"
+                             "}\n");
+  EXPECT_EQ(diags.size(), 1u);
+  EXPECT_EQ(Rules(diags), std::set<std::string>{kRulePoolPurity});
+}
+
+TEST(PoolPurity, ObservabilityDefaultOutsideWorkerPasses) {
+  const auto diags = LintOne("bench/grid.cc",
+                             "void f(ThreadPool& pool, Slot* slots, std::size_t n) {\n"
+                             "  pool.ParallelFor(n, [&](std::size_t i) {\n"
+                             "    slots[i].result = Run(slots[i].spec);\n"
+                             "  });\n"
+                             "  Observability::Default().metrics.GetCounter(\"grid/cells\")->Add(1);\n"
+                             "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
 // --- no-exceptions --------------------------------------------------------
 
 TEST(NoExceptions, TryEmplaceIsOneIdentifier) {

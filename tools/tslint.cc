@@ -486,11 +486,47 @@ void CheckCiteConstants(const LexedFile& file, const std::vector<AllowEntry>& al
   }
 }
 
+// The banned identifier at `j` is reached through a member chain whose
+// receiver contains an index subscript (`slots[i]->obs.metrics.GetCounter`).
+// Walks the chain backwards over `ident` / `]...[` / `)...(` elements joined
+// by '.'/'->' and reports whether any element is subscripted.
+bool ReceiverChainHasSubscript(const std::vector<Token>& toks, std::size_t j) {
+  std::size_t k = j;
+  while (k >= 2 && toks[k - 1].kind == TokenKind::kPunct &&
+         (toks[k - 1].text == "." || toks[k - 1].text == "->")) {
+    std::size_t r = k - 2;  // last token of the receiver element
+    // Skip one balanced ]...[ or )...( group (subscript or call).
+    for (const auto& [close, open] : {std::pair{"]", "["}, std::pair{")", "("}}) {
+      if (toks[r].kind == TokenKind::kPunct && toks[r].text == close) {
+        if (close[0] == ']') return true;  // indexed element: disjoint slot
+        int depth = 0;
+        while (r > 0) {
+          if (toks[r].kind == TokenKind::kPunct && toks[r].text == close) ++depth;
+          if (toks[r].kind == TokenKind::kPunct && toks[r].text == open && --depth == 0) break;
+          --r;
+        }
+        if (r == 0) return false;
+        --r;
+      }
+    }
+    if (toks[r].kind != TokenKind::kIdentifier) return false;
+    k = r;
+  }
+  return false;
+}
+
 void CheckPoolPurity(const LexedFile& file, const std::vector<AllowEntry>& allow,
                      std::vector<bool>& used_allow, std::vector<Diagnostic>& diags) {
   // Workers inside ThreadPool::ParallelFor bodies may only compute pure
   // results into disjoint slots (thread_pool.h); logging, metric mutation,
   // and trace spans there would make output depend on wall-clock scheduling.
+  //
+  // One idiom is exempt: registrar/mutator calls reached through an indexed
+  // receiver (`slots[i]->obs.metrics.GetCounter(...)`) mutate observability
+  // state owned by this worker's disjoint slot — the experiment-grid runner's
+  // per-cell registries (bench/experiment_grid.h) — and commute with
+  // scheduling by construction. `Observability::Default()` in a worker is the
+  // inverse: it reaches the shared process-default scope and is always banned.
   static const std::set<std::string> kBannedInWorker = {
       "TS_LOG", "TS_TRACE_SPAN", "TS_TRACE_INSTANT",
       "GetCounter", "GetGauge", "GetHistogram",
@@ -516,20 +552,30 @@ void CheckPoolPurity(const LexedFile& file, const std::vector<AllowEntry>& allow
     for (std::size_t j = k + 2; j < end && j < toks.size(); ++j) {
       const Token& t = toks[j];
       if (t.kind != TokenKind::kIdentifier) continue;
-      bool hit = kBannedInWorker.count(t.text) != 0;
-      // Handle-mutation idiom: m_foo_->Add(...), m_foo_.Set(...).
-      if (!hit && t.text.rfind("m_", 0) == 0 && j + 2 < toks.size() &&
-          toks[j + 1].kind == TokenKind::kPunct &&
-          (toks[j + 1].text == "->" || toks[j + 1].text == ".") &&
-          kMutators.count(toks[j + 2].text) != 0) {
-        hit = true;
+      std::string why;
+      if (kBannedInWorker.count(t.text) != 0) {
+        if (ReceiverChainHasSubscript(toks, j)) continue;  // disjoint-slot obs
+        why = "`" + t.text + "` inside a ThreadPool worker lambda: workers must be pure; "
+              "log/record on the submitting thread in submission order, or go through the "
+              "worker's disjoint slot (`slots[i]->...`, thread_pool.h)";
+      } else if (t.text == "Default" && j >= 2 && toks[j - 1].text == "::" &&
+                 toks[j - 2].text == "Observability") {
+        why = "`Observability::Default()` inside a ThreadPool worker lambda reaches the "
+              "shared process-default scope; use the cell's private Observability slot "
+              "(bench/experiment_grid.h)";
+      } else if (t.text.rfind("m_", 0) == 0 && j + 2 < toks.size() &&
+                 toks[j + 1].kind == TokenKind::kPunct &&
+                 (toks[j + 1].text == "->" || toks[j + 1].text == ".") &&
+                 kMutators.count(toks[j + 2].text) != 0) {
+        // Handle-mutation idiom: m_foo_->Add(...), m_foo_.Set(...).
+        if (ReceiverChainHasSubscript(toks, j)) continue;  // slot-owned handle
+        why = "`" + t.text + "` inside a ThreadPool worker lambda: workers must be pure; "
+              "log/record on the submitting thread in submission order (thread_pool.h)";
+      } else {
+        continue;
       }
-      if (!hit) continue;
       if (Allowed(kRulePoolPurity, file.path, allow, used_allow)) continue;
-      diags.push_back({kRulePoolPurity, file.path, t.line, t.col,
-                       "`" + t.text + "` inside a ThreadPool worker lambda: workers must be "
-                           "pure; log/record on the submitting thread in submission order "
-                           "(thread_pool.h)"});
+      diags.push_back({kRulePoolPurity, file.path, t.line, t.col, why});
     }
     k = end;
   }
