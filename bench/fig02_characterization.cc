@@ -43,7 +43,7 @@ int main() {
         config.label = spec.label;
         config.algorithm = spec.algorithm;
         config.pool_manager = spec.pool_manager;
-        CompressedTier tier(0, config, medium, &obs);
+        CompressedTier tier(0, config, medium, obs);
 
         const std::size_t pages = ctx.smoke ? kDataPages / 10 : kDataPages;
         std::vector<std::byte> page(kPageSize);

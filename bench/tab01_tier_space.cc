@@ -52,7 +52,7 @@ int main() {
       config.label = "T" + std::to_string(probe.index);
       config.algorithm = probe.algorithm;
       config.pool_manager = probe.pool_manager;
-      CompressedTier tier(0, config, medium, &obs);
+      CompressedTier tier(0, config, medium, obs);
       const std::size_t pages = ctx.smoke ? kDataPages / 4 : kDataPages;
       std::vector<std::byte> page(kPageSize);
       for (std::size_t i = 0; i < pages; ++i) {

@@ -20,6 +20,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "REJECTED";
     case StatusCode::kCorruption:
       return "CORRUPTION";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }

@@ -20,6 +20,8 @@ enum class StatusCode {
   kResourceExhausted,  // capacity limits other than raw memory
   kRejected,           // e.g. zswap refusing an incompressible page
   kCorruption,         // round-trip integrity failure
+  kUnavailable,        // transient failure; retrying may succeed
+  kDeadlineExceeded,   // operation blew its (virtual-time) budget
   kInternal,
 };
 
@@ -72,6 +74,12 @@ inline Status ResourceExhausted(std::string msg) {
 inline Status Rejected(std::string msg) { return Status(StatusCode::kRejected, std::move(msg)); }
 inline Status Corruption(std::string msg) {
   return Status(StatusCode::kCorruption, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 inline Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
 

@@ -37,6 +37,10 @@ class AnalyticalPolicy : public PlacementPolicy {
   StatusOr<PlacementDecision> Decide(const PlacementInput& input,
                                      const CostModel& model) override;
 
+  // Forwarded to the MCKP solver (timeout/infeasibility injection,
+  // DESIGN.md §4d); TsDaemon wires this from its assembly's injector.
+  void set_fault_injector(FaultInjector* fault) { solver_.set_fault_injector(fault); }
+
   const Stats& stats() const { return stats_; }
 
  private:

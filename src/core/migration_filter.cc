@@ -8,6 +8,26 @@
 
 namespace tierscape {
 
+Status FilterConfig::Validate() const {
+  if (!(capacity_headroom > 0.0)) {
+    return InvalidArgument("FilterConfig: capacity_headroom must be > 0, got " +
+                           std::to_string(capacity_headroom));
+  }
+  if (demotion_benefit_factor < 0.0) {
+    return InvalidArgument("FilterConfig: demotion_benefit_factor must be >= 0, got " +
+                           std::to_string(demotion_benefit_factor));
+  }
+  if (hysteresis < 0.0 || hysteresis >= 1.0) {
+    return InvalidArgument("FilterConfig: hysteresis must be in [0, 1), got " +
+                           std::to_string(hysteresis));
+  }
+  if (move_cost_factor < 0.0) {
+    return InvalidArgument("FilterConfig: move_cost_factor must be >= 0, got " +
+                           std::to_string(move_cost_factor));
+  }
+  return OkStatus();
+}
+
 FilterStats MigrationFilter::Apply(const PlacementInput& input, PlacementDecision& decision,
                                    const CostModel& model, TieringEngine& engine) const {
   TS_CHECK_EQ(input.regions.size(), decision.size());

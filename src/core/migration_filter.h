@@ -21,7 +21,8 @@
 namespace tierscape {
 
 struct FilterConfig {
-  // Never fill a backing medium beyond this fraction.
+  // Never fill a backing medium beyond this fraction. Values > 1 disable the
+  // bound (the ablation_filter "no capacity bound" variant).
   double capacity_headroom = 0.95;
   // A compressed tier with more demand faults than this in the last window
   // is pressured: no new regions are moved into it this round.
@@ -38,6 +39,9 @@ struct FilterConfig {
   // A performance-motivated move must save at least this fraction of its own
   // migration cost in expected next-window overhead.
   double move_cost_factor = 0.5;
+
+  // Rejects nonsensical knobs; checked with the owning DaemonConfig.
+  Status Validate() const;
 };
 
 struct FilterStats {

@@ -73,31 +73,61 @@ SystemConfig SpectrumConfig(std::size_t dram_bytes, std::size_t nvmm_bytes) {
   return config;
 }
 
-TieredSystem::TieredSystem(const SystemConfig& config) {
-  obs_ = &ResolveObs(config.obs);
-  zswap_.set_obs(obs_);
+Status SystemConfig::Validate() const {
+  if (dram_bytes == 0) {
+    return InvalidArgument("SystemConfig: dram_bytes must be > 0 (tier 0 is always DRAM)");
+  }
+  for (const auto& spec : compressed_tiers) {
+    if (spec.label.empty()) {
+      return InvalidArgument("SystemConfig: compressed tier with empty label");
+    }
+    if (spec.backing == MediumKind::kNvmm && nvmm_bytes == 0) {
+      return InvalidArgument("SystemConfig: tier \"" + spec.label +
+                             "\" is NVMM-backed but nvmm_bytes == 0");
+    }
+    if (spec.backing == MediumKind::kCxl && cxl_bytes == 0) {
+      return InvalidArgument("SystemConfig: tier \"" + spec.label +
+                             "\" is CXL-backed but cxl_bytes == 0");
+    }
+  }
+  TS_RETURN_IF_ERROR(fault.Validate());
+  return OkStatus();
+}
+
+TieredSystem::TieredSystem(const SystemConfig& config)
+    : obs_(&ResolveObs(config.obs)),
+      fault_(config.fault.enabled() ? std::make_unique<FaultInjector>(config.fault, obs_)
+                                    : nullptr),
+      zswap_(*obs_, fault_.get()) {
+  const Status valid = config.Validate();
+  TS_CHECK(valid.ok()) << valid.ToString();
   tiers_.set_obs(obs_);
-  dram_ = std::make_unique<Medium>(DramSpec(config.dram_bytes));
+  tiers_.set_fault(fault_.get());
+  dram_ = std::make_unique<Medium>(DramSpec(config.dram_bytes), fault_.get());
   if (config.nvmm_bytes > 0) {
-    nvmm_ = std::make_unique<Medium>(NvmmSpec(config.nvmm_bytes));
+    nvmm_ = std::make_unique<Medium>(NvmmSpec(config.nvmm_bytes), fault_.get());
   }
   if (config.cxl_bytes > 0) {
-    cxl_ = std::make_unique<Medium>(CxlSpec(config.cxl_bytes));
+    cxl_ = std::make_unique<Medium>(CxlSpec(config.cxl_bytes), fault_.get());
   }
-  tiers_.AddByteTier(*dram_);
+  const auto register_tier = [](StatusOr<int> added) {
+    TS_CHECK(added.ok()) << added.status().ToString();
+    return *added;
+  };
+  register_tier(tiers_.AddByteTier(*dram_));
   if (config.nvmm_byte_tier && nvmm_ != nullptr) {
-    tiers_.AddByteTier(*nvmm_);
+    register_tier(tiers_.AddByteTier(*nvmm_));
   }
   if (cxl_ != nullptr) {
-    tiers_.AddByteTier(*cxl_);
+    register_tier(tiers_.AddByteTier(*cxl_));
   }
   for (const auto& spec : config.compressed_tiers) {
     CompressedTierConfig tier_config;
     tier_config.label = spec.label;
     tier_config.algorithm = spec.algorithm;
     tier_config.pool_manager = spec.pool_manager;
-    const int tier_id = zswap_.AddTier(tier_config, MediumFor(spec.backing));
-    tiers_.AddCompressedTier(zswap_.tier(tier_id));
+    const int tier_id = register_tier(zswap_.AddTier(tier_config, MediumFor(spec.backing)));
+    register_tier(tiers_.AddCompressedTier(zswap_.tier(tier_id)));
   }
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/fault/fault_injector.h"
 #include "src/mem/medium.h"
 #include "src/tiering/tier_table.h"
 #include "src/zswap/zswap.h"
@@ -47,6 +48,15 @@ struct SystemConfig {
   // daemon). Null means the process-wide Observability::Default(). Pass a
   // per-run instance to compare runs metric-for-metric (determinism tests).
   Observability* obs = nullptr;
+  // Fault injection for the whole assembly (DESIGN.md §4d). Disabled by
+  // default (seed == 0); when enabled the system owns one FaultInjector
+  // shared by its media, zswap tiers, sampler, and solver.
+  FaultConfig fault;
+
+  // Rejects structurally impossible assemblies (no DRAM, compressed tiers
+  // backed by absent media, invalid fault rates) with actionable messages;
+  // checked once at TieredSystem construction.
+  Status Validate() const;
 };
 
 // Convenience assemblies.
@@ -66,14 +76,20 @@ class TieredSystem {
   TierTable& tiers() { return tiers_; }
   ZswapBackend& zswap() { return zswap_; }
   Observability& obs() { return *obs_; }
+  // Null when SystemConfig::fault is disabled. Experiment drivers disarm the
+  // injector during setup and arm it for the measured phase (DESIGN.md §4d).
+  FaultInjector* fault() { return fault_.get(); }
 
  private:
   Medium& MediumFor(MediumKind kind);
 
+  // Declaration order is load-bearing: obs_ and fault_ must initialize
+  // before zswap_, whose constructor captures both.
+  Observability* obs_ = nullptr;  // resolved: never null after construction
+  std::unique_ptr<FaultInjector> fault_;
   std::unique_ptr<Medium> dram_;
   std::unique_ptr<Medium> nvmm_;
   std::unique_ptr<Medium> cxl_;
-  Observability* obs_ = nullptr;  // resolved: never null after construction
   ZswapBackend zswap_;
   TierTable tiers_;
 };

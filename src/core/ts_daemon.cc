@@ -7,6 +7,24 @@
 
 namespace tierscape {
 
+Status DaemonConfig::Validate() const {
+  if (profile_window == 0 && window_ops == 0) {
+    return InvalidArgument(
+        "DaemonConfig: profile_window must be >= 1 ns (or set window_ops) — a zero-length "
+        "window would close on every operation");
+  }
+  if (threshold_percentile < 0.0 || threshold_percentile > 100.0) {
+    return InvalidArgument("DaemonConfig: threshold_percentile must be in [0, 100], got " +
+                           std::to_string(threshold_percentile));
+  }
+  if (local_solver_interference < 0.0) {
+    return InvalidArgument("DaemonConfig: local_solver_interference must be >= 0, got " +
+                           std::to_string(local_solver_interference));
+  }
+  TS_RETURN_IF_ERROR(filter.Validate());
+  return OkStatus();
+}
+
 TsDaemon::TsDaemon(TieringEngine& engine, PlacementPolicy* policy, DaemonConfig config)
     : engine_(engine),
       policy_(policy),
@@ -14,6 +32,12 @@ TsDaemon::TsDaemon(TieringEngine& engine, PlacementPolicy* policy, DaemonConfig 
       cost_model_(engine.tiers(), engine.space(), engine.sampler().period()),
       filter_(config.filter),
       next_window_at_(engine.now() + config.profile_window) {
+  const Status valid = config_.Validate();
+  TS_CHECK(valid.ok()) << valid.ToString();
+  if (auto* analytical = dynamic_cast<AnalyticalPolicy*>(policy_)) {
+    // Wire the assembly's fault injector into the solver (DESIGN.md §4d).
+    analytical->set_fault_injector(engine.tiers().fault());
+  }
   for (std::uint64_t region = 0; region < engine.space().total_regions(); ++region) {
     hotness_.Track(region);
   }
@@ -25,6 +49,10 @@ TsDaemon::TsDaemon(TieringEngine& engine, PlacementPolicy* policy, DaemonConfig 
   m_migrated_pages_ = &metrics.GetCounter("daemon/migrated_pages");
   m_solver_solves_ = &metrics.GetCounter("solver/solves");
   m_solver_cells_ = &metrics.GetCounter("solver/cells");
+  m_degraded_windows_ = &metrics.GetCounter("fault/daemon/degraded_windows");
+  m_solver_fallbacks_ = &metrics.GetCounter("fault/daemon/solver_fallbacks");
+  m_unrealized_pages_ = &metrics.GetCounter("fault/daemon/unrealized_pages");
+  m_migrate_retries_ = &metrics.GetCounter("fault/daemon/migrate_retries");
   m_last_tco_ = &metrics.GetGauge("daemon/last/tco");
   m_last_tco_savings_ = &metrics.GetGauge("daemon/last/tco_savings");
   m_last_threshold_ = &metrics.GetGauge("daemon/last/hotness_threshold");
@@ -81,12 +109,10 @@ Status TsDaemon::OnWindowEnd() {
     record.hotness_threshold = input.hotness_threshold;
 
     auto decision = policy_->Decide(input, cost_model_);
-    if (!decision.ok()) {
-      return decision.status();
-    }
 
-    // Charge the solver cost (§8.4): local solves interfere with the
-    // application; a remote solver costs one RPC round trip.
+    // Charge the solver cost (§8.4) whether or not the solve succeeded — a
+    // timed-out solve burned its budget all the same: local solves interfere
+    // with the application; a remote solver costs one RPC round trip.
     if (auto* analytical = dynamic_cast<AnalyticalPolicy*>(policy_)) {
       record.solve_ms = analytical->stats().last_solve_ms;
       Nanos solve_cost = 0;
@@ -111,19 +137,40 @@ Status TsDaemon::OnWindowEnd() {
       m_wall_total_solve_ms_->Set(analytical->stats().total_solve_ms);
     }
 
-    // 3. Filter (§6.7), then record the post-filter recommendation.
-    record.filter = filter_.Apply(input, *decision, cost_model_, engine_);
+    // 3. Filter (§6.7) a fresh decision, then record the post-filter plan.
+    // A failed solve (timeout/infeasibility, genuine or injected) never
+    // aborts the window: the degradation ladder (DESIGN.md §4d) falls back
+    // to the previous window's post-filter plan — already filtered, so it is
+    // not re-filtered here — or, before any plan exists, to holding every
+    // region on its current tier.
+    if (decision.ok()) {
+      record.filter = filter_.Apply(input, *decision, cost_model_, engine_);
+      last_plan_ = std::move(*decision);
+    } else {
+      record.solver_fallback = true;
+      record.degraded = true;
+      m_solver_fallbacks_->Add();
+      if (last_plan_.size() != input.regions.size()) {
+        last_plan_.resize(input.regions.size());
+        for (std::size_t i = 0; i < input.regions.size(); ++i) {
+          last_plan_[i] = std::max(0, input.regions[i].current_tier);
+        }
+      }
+    }
+    const std::vector<int>& plan = last_plan_;
     record.recommended_pages.assign(engine_.tiers().count(), 0);
-    for (std::size_t i = 0; i < decision->size(); ++i) {
-      record.recommended_pages[(*decision)[i]] += kPagesPerRegion;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      record.recommended_pages[plan[i]] += kPagesPerRegion;
     }
 
     // 4. Migrate. A region is also re-packed when enough of its pages have
     // strayed (demand faults promote individual pages to DRAM; once an eighth
-    // of the region sits outside the decided tier, push it back).
+    // of the region sits outside the decided tier, push it back). Partial
+    // placements (rejections, capacity shortfall) are accounted as
+    // unrealized pages rather than failing the window.
     std::vector<std::uint64_t> histogram(engine_.tiers().count());  // reused per region
-    for (std::size_t i = 0; i < decision->size(); ++i) {
-      const int dst = (*decision)[i];
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const int dst = plan[i];
       if (dst == input.regions[i].current_tier) {
         engine_.RegionTierHistogram(input.regions[i].region, histogram);
         std::uint64_t total = 0;
@@ -136,7 +183,9 @@ Status TsDaemon::OnWindowEnd() {
       }
       auto moved = engine_.MigrateRegion(input.regions[i].region, dst);
       if (moved.ok()) {
-        record.migrated_pages += *moved;
+        record.migrated_pages += moved->moved;
+        record.unrealized_pages += moved->rejected + moved->shortfall;
+        record.migrate_retries += moved->retries;
       }
     }
   } else {
@@ -144,6 +193,14 @@ Status TsDaemon::OnWindowEnd() {
   }
 
   // 5. Record realized state.
+  if (record.unrealized_pages > 0) {
+    record.degraded = true;
+  }
+  if (record.degraded) {
+    m_degraded_windows_->Add();
+  }
+  m_unrealized_pages_->Add(record.unrealized_pages);
+  m_migrate_retries_->Add(record.migrate_retries);
   record.actual_pages = engine_.PagesPerTier();
   record.tco = engine_.CurrentTco();
   record.tco_savings = engine_.TcoSavings();

@@ -53,6 +53,11 @@ struct DaemonConfig {
   // false = profiling-only mode (no model, no migration) for Fig. 14.
   bool enable_migration = true;
   FilterConfig filter;
+
+  // Rejects nonsensical knobs (zero window, percentile outside [0, 100],
+  // negative costs) with actionable messages; checked once at daemon
+  // construction.
+  Status Validate() const;
 };
 
 class TsDaemon {
@@ -75,6 +80,13 @@ class TsDaemon {
     // bench stdout.
     Nanos solve_cost_ns = 0;
     FilterStats filter;
+    // Graceful degradation (DESIGN.md §4d). A window is degraded when the
+    // solver fell back to a stale plan or part of the recommendation could
+    // not be realized (capacity shortfall / store rejection).
+    bool degraded = false;
+    bool solver_fallback = false;            // Decide() failed; stale plan used
+    std::uint64_t unrealized_pages = 0;      // recommended but not placed
+    std::uint64_t migrate_retries = 0;       // transient-store retries charged
   };
 
   // `policy` may be null: profiling-only mode.
@@ -120,6 +132,9 @@ class TsDaemon {
   std::uint64_t ops_since_window_ = 0;
   Nanos charged_overhead_ns_ = 0;
   std::vector<WindowRecord> history_;
+  // Previous window's post-filter plan (per region, in region order): the
+  // fallback placement when a solve fails (DESIGN.md §4d).
+  std::vector<int> last_plan_;
   // Cached "daemon/..." and "solver/..." handles (engine's observability
   // scope), resolved once in the constructor.
   Counter* m_windows_ = nullptr;
@@ -129,6 +144,10 @@ class TsDaemon {
   Counter* m_migrated_pages_ = nullptr;
   Counter* m_solver_solves_ = nullptr;
   Counter* m_solver_cells_ = nullptr;
+  Counter* m_degraded_windows_ = nullptr;
+  Counter* m_solver_fallbacks_ = nullptr;
+  Counter* m_unrealized_pages_ = nullptr;
+  Counter* m_migrate_retries_ = nullptr;
   Gauge* m_last_tco_ = nullptr;
   Gauge* m_last_tco_savings_ = nullptr;
   Gauge* m_last_threshold_ = nullptr;

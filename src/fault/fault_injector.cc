@@ -1,0 +1,136 @@
+#include "src/fault/fault_injector.h"
+
+#include <string>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace tierscape {
+namespace {
+
+// Distinct per-site salts so two sites with equal draw indices never share a
+// Bernoulli stream (golden-ratio multiples, same family as SplitMix64).
+constexpr std::array<std::uint64_t, kFaultSiteCount> kSiteSalt = {
+    0x9e3779b97f4a7c15ULL * 1, 0x9e3779b97f4a7c15ULL * 2, 0x9e3779b97f4a7c15ULL * 3,
+    0x9e3779b97f4a7c15ULL * 4, 0x9e3779b97f4a7c15ULL * 5, 0x9e3779b97f4a7c15ULL * 6,
+};
+
+// Top 53 bits of a SplitMix64 output, mapped to [0, 1).
+double UnitDraw(std::uint64_t seed, FaultSite site, std::uint64_t index) {
+  const std::uint64_t x =
+      SplitMix64(seed ^ kSiteSalt[static_cast<int>(site)] ^ SplitMix64(index));
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+Status RateInRange(double rate, std::string_view knob) {
+  if (rate < 0.0 || rate > 1.0) {
+    return InvalidArgument(std::string(knob) + " must be in [0, 1], got " + std::to_string(rate));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+std::string_view FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kStoreReject:
+      return "store_reject";
+    case FaultSite::kStoreTransient:
+      return "store_transient";
+    case FaultSite::kMediumExhausted:
+      return "medium_exhausted";
+    case FaultSite::kSolverTimeout:
+      return "solver_timeout";
+    case FaultSite::kSolverInfeasible:
+      return "solver_infeasible";
+    case FaultSite::kSamplerDrop:
+      return "sampler_drop";
+  }
+  return "unknown";
+}
+
+double FaultConfig::RateFor(FaultSite site) const {
+  switch (site) {
+    case FaultSite::kStoreReject:
+      return store_reject_rate;
+    case FaultSite::kStoreTransient:
+      return store_transient_rate;
+    case FaultSite::kMediumExhausted:
+      return medium_exhausted_rate;
+    case FaultSite::kSolverTimeout:
+      return solver_timeout_rate;
+    case FaultSite::kSolverInfeasible:
+      return solver_infeasible_rate;
+    case FaultSite::kSamplerDrop:
+      return sampler_drop_rate;
+  }
+  return 0.0;
+}
+
+Status FaultConfig::Validate() const {
+  TS_RETURN_IF_ERROR(RateInRange(store_reject_rate, "store_reject_rate"));
+  TS_RETURN_IF_ERROR(RateInRange(store_transient_rate, "store_transient_rate"));
+  TS_RETURN_IF_ERROR(RateInRange(medium_exhausted_rate, "medium_exhausted_rate"));
+  TS_RETURN_IF_ERROR(RateInRange(solver_timeout_rate, "solver_timeout_rate"));
+  TS_RETURN_IF_ERROR(RateInRange(solver_infeasible_rate, "solver_infeasible_rate"));
+  TS_RETURN_IF_ERROR(RateInRange(sampler_drop_rate, "sampler_drop_rate"));
+  if (sampler_drop_rate > 0.0 && sampler_drop_burst == 0) {
+    return InvalidArgument(
+        "sampler_drop_burst must be >= 1 when sampler_drop_rate > 0 (a burst of zero samples "
+        "injects nothing)");
+  }
+  return OkStatus();
+}
+
+FaultConfig FaultConfig::Uniform(std::uint64_t seed, double rate) {
+  FaultConfig config;
+  config.seed = seed;
+  config.store_reject_rate = rate;
+  config.store_transient_rate = rate;
+  config.medium_exhausted_rate = rate;
+  config.solver_timeout_rate = rate;
+  config.solver_infeasible_rate = rate;
+  config.sampler_drop_rate = rate;
+  return config;
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config, Observability* obs) : config_(config) {
+  const Status valid = config_.Validate();
+  TS_CHECK(valid.ok()) << "FaultConfig: " << valid.ToString();
+  MetricsRegistry& metrics = ResolveObs(obs).metrics;
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    injected_counters_[i] = &metrics.GetCounter(
+        std::string("fault/injected/") + std::string(FaultSiteName(static_cast<FaultSite>(i))));
+  }
+  dropped_samples_ = &metrics.GetCounter("fault/sampler/dropped_samples");
+}
+
+bool FaultInjector::ShouldFail(FaultSite site) {
+  if (!armed_ || !config_.enabled()) {
+    return false;
+  }
+  const double rate = config_.RateFor(site);
+  if (rate <= 0.0) {
+    return false;
+  }
+  const int i = static_cast<int>(site);
+  const std::uint64_t index = ++draws_[i];
+  if (UnitDraw(config_.seed, site, index) >= rate) {
+    return false;
+  }
+  ++injected_[i];
+  injected_counters_[i]->Add();
+  return true;
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : injected_) {
+    total += n;
+  }
+  return total;
+}
+
+void FaultInjector::CountDroppedSamples(std::uint64_t n) { dropped_samples_->Add(n); }
+
+}  // namespace tierscape

@@ -1,0 +1,108 @@
+// Seeded, virtual-time-deterministic fault injection (DESIGN.md §4d).
+//
+// The injector answers one question — "does this operation fail now?" — at a
+// fixed set of sites (store rejection, transient store failure, medium
+// exhaustion, solver timeout/infeasibility, sampler drop bursts). Every
+// answer is a pure function of (seed, site, per-site draw index), so a given
+// experiment sees the exact same fault sequence on every run, at every thread
+// count, with or without the compression cache. Wall clocks are banned here
+// outright: tslint's fault-hook-purity rule (DESIGN.md §4c) refuses wall-time
+// identifiers in this directory and in any file that includes this header.
+//
+// Threading contract: ShouldFail() mutates per-site draw counters and
+// fault/ metrics, so it follows the thread-pool invariant
+// (src/common/thread_pool.h) — call it only from the submitting/sequential
+// path, never from ThreadPool workers. All current hooks sit on sequential
+// paths (zswap StoreCompressed, Medium alloc, solver entry, sampler drain).
+#ifndef SRC_FAULT_FAULT_INJECTOR_H_
+#define SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/obs/observability.h"
+
+namespace tierscape {
+
+// Natural failure points the paper's substrate exposes (§7.1 pool store
+// rejection, §8.4 solver budget overrun) plus the capacity/telemetry faults
+// any production tiering daemon must survive.
+enum class FaultSite : int {
+  kStoreReject = 0,    // compressed tier refuses the page (incompressible)
+  kStoreTransient,     // pool store fails transiently; retry may succeed
+  kMediumExhausted,    // frame/run allocation spuriously denied
+  kSolverTimeout,      // MCKP solve blows its window budget
+  kSolverInfeasible,   // MCKP solve reports no feasible placement
+  kSamplerDrop,        // PEBS buffer overflow drops a burst of samples
+};
+inline constexpr int kFaultSiteCount = 6;
+
+std::string_view FaultSiteName(FaultSite site);
+
+// Per-site Bernoulli rates. seed == 0 disables injection entirely (the
+// default: production assemblies pay one branch per hook).
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  double store_reject_rate = 0.0;
+  double store_transient_rate = 0.0;
+  double medium_exhausted_rate = 0.0;
+  double solver_timeout_rate = 0.0;
+  double solver_infeasible_rate = 0.0;
+  double sampler_drop_rate = 0.0;
+  // Consecutive samples discarded when a kSamplerDrop fault fires.
+  std::uint32_t sampler_drop_burst = 64;
+
+  bool enabled() const { return seed != 0; }
+  double RateFor(FaultSite site) const;
+  Status Validate() const;
+
+  // Convenience: every site at the same rate (fig15 sweeps this scale).
+  static FaultConfig Uniform(std::uint64_t seed, double rate);
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config, Observability* obs = nullptr);
+
+  // True iff a fault fires at this site for this draw. Deterministic: the
+  // n-th armed query at a site always returns the same answer for a given
+  // seed. Disarmed (or disabled, or zero-rate) queries consume no draw, so
+  // setup phases do not shift the measured-phase fault sequence.
+  bool ShouldFail(FaultSite site);
+
+  // Arming gate: experiment drivers disarm the injector while building the
+  // initial placement and arm it for the measured phase, so faults only
+  // perturb the steady state the figures measure.
+  void set_armed(bool armed) { armed_ = armed; }
+  bool armed() const { return armed_; }
+  bool enabled() const { return config_.enabled(); }
+  const FaultConfig& config() const { return config_; }
+
+  std::uint64_t draws(FaultSite site) const { return draws_[static_cast<int>(site)]; }
+  std::uint64_t injected(FaultSite site) const { return injected_[static_cast<int>(site)]; }
+  std::uint64_t injected_total() const;
+
+  // Bookkeeping for the sampler hook: number of individual samples discarded
+  // across all drop bursts (fault/sampler/dropped_samples).
+  void CountDroppedSamples(std::uint64_t n);
+
+ private:
+  FaultConfig config_;
+  bool armed_ = true;
+  std::array<std::uint64_t, kFaultSiteCount> draws_{};
+  std::array<std::uint64_t, kFaultSiteCount> injected_{};
+  std::array<Counter*, kFaultSiteCount> injected_counters_{};
+  Counter* dropped_samples_;
+};
+
+// Null-object helper mirroring ResolveObs: hooks hold a FaultInjector* that
+// may be null (no injection configured); this keeps call sites one-liner.
+inline bool ShouldInjectFault(FaultInjector* fault, FaultSite site) {
+  return fault != nullptr && fault->ShouldFail(site);
+}
+
+}  // namespace tierscape
+
+#endif  // SRC_FAULT_FAULT_INJECTOR_H_

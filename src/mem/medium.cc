@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/fault/fault_injector.h"
 
 namespace tierscape {
 
@@ -50,10 +51,13 @@ MediumSpec CxlSpec(std::size_t capacity_bytes) {
                     .capacity_bytes = capacity_bytes};
 }
 
-Medium::Medium(MediumSpec spec)
-    : spec_(std::move(spec)), allocator_(spec_.capacity_bytes / kPageSize) {}
+Medium::Medium(MediumSpec spec, FaultInjector* fault)
+    : spec_(std::move(spec)), fault_(fault), allocator_(spec_.capacity_bytes / kPageSize) {}
 
 StatusOr<std::uint64_t> Medium::AllocFrame() {
+  if (ShouldInjectFault(fault_, FaultSite::kMediumExhausted)) {
+    return OutOfMemory(spec_.name + ": out of frames (injected)");
+  }
   auto frame = allocator_.Alloc(0);
   if (!frame.ok()) {
     return OutOfMemory(spec_.name + ": out of frames");
@@ -64,6 +68,9 @@ StatusOr<std::uint64_t> Medium::AllocFrame() {
 Status Medium::FreeFrame(std::uint64_t frame) { return allocator_.Free(frame, 0); }
 
 StatusOr<std::uint64_t> Medium::AllocBackedRun(int order) {
+  if (ShouldInjectFault(fault_, FaultSite::kMediumExhausted)) {
+    return OutOfMemory(spec_.name + ": out of pool pages (injected)");
+  }
   auto frame = allocator_.Alloc(order);
   if (!frame.ok()) {
     return OutOfMemory(spec_.name + ": out of pool pages");

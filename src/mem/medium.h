@@ -25,6 +25,8 @@
 
 namespace tierscape {
 
+class FaultInjector;
+
 enum class MediumKind { kDram, kNvmm, kCxl };
 
 std::string_view MediumKindName(MediumKind kind);
@@ -48,7 +50,10 @@ MediumSpec CxlSpec(std::size_t capacity_bytes);
 
 class Medium {
  public:
-  explicit Medium(MediumSpec spec);
+  // `fault`, when set, may spuriously deny allocations (FaultSite::
+  // kMediumExhausted) to model capacity pressure; callers see the same
+  // kOutOfMemory they must already handle for genuine exhaustion.
+  explicit Medium(MediumSpec spec, FaultInjector* fault = nullptr);
 
   Medium(const Medium&) = delete;
   Medium& operator=(const Medium&) = delete;
@@ -86,6 +91,7 @@ class Medium {
 
  private:
   MediumSpec spec_;
+  FaultInjector* fault_ = nullptr;
   BuddyAllocator allocator_;
   // Real backing for pool pages, keyed by first frame of the run.
   std::unordered_map<std::uint64_t, std::unique_ptr<std::byte[]>> backing_;

@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "src/common/logging.h"
+#include "src/fault/fault_injector.h"
 
 namespace tierscape {
 
@@ -186,6 +187,14 @@ Status ValidateSolution(const MckpProblem& problem, const MckpSolution& solution
 }
 
 StatusOr<MckpSolution> MckpSolver::Solve(const MckpProblem& problem) {
+  // Injected faults fire before any solving work, modeling the solve being
+  // abandoned at the window boundary (§8.4) rather than mid-DP.
+  if (ShouldInjectFault(fault_, FaultSite::kSolverTimeout)) {
+    return DeadlineExceeded("mckp: solve exceeded its window budget (injected)");
+  }
+  if (ShouldInjectFault(fault_, FaultSite::kSolverInfeasible)) {
+    return ResourceExhausted("mckp: no feasible placement (injected)");
+  }
   TS_RETURN_IF_ERROR(CheckProblem(problem));
   std::size_t pairs = 0;
   for (const auto& group : problem.groups) {

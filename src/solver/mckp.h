@@ -35,6 +35,8 @@
 
 namespace tierscape {
 
+class FaultInjector;
+
 struct MckpChoice {
   double cost = 0.0;    // objective contribution (minimized)
   double weight = 0.0;  // budgeted resource contribution
@@ -94,8 +96,14 @@ class MckpSolver {
   MckpSolver() : options_(Options()) {}
   explicit MckpSolver(Options options) : options_(options) {}
 
-  // Fails with kInvalidArgument for malformed problems and kResourceExhausted
-  // when even the minimum-weight assignment exceeds the capacity.
+  // Fault injection (DESIGN.md §4d): checked once at Solve entry; injects
+  // kDeadlineExceeded (solve blew its window budget, §8.4) or
+  // kResourceExhausted (spurious infeasibility).
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
+  // Fails with kInvalidArgument for malformed problems, kResourceExhausted
+  // when even the minimum-weight assignment exceeds the capacity, and
+  // kDeadlineExceeded on an injected solver timeout.
   StatusOr<MckpSolution> Solve(const MckpProblem& problem);
 
   const SolveStats& stats() const { return stats_; }
@@ -107,6 +115,7 @@ class MckpSolver {
 
   Options options_;
   SolveStats stats_;
+  FaultInjector* fault_ = nullptr;
 };
 
 // Checks that a solution is well-formed and within capacity.

@@ -9,10 +9,13 @@
 #ifndef SRC_TELEMETRY_SAMPLER_H_
 #define SRC_TELEMETRY_SAMPLER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/units.h"
+#include "src/fault/fault_injector.h"
 
 namespace tierscape {
 
@@ -22,8 +25,11 @@ constexpr std::uint64_t RegionOf(std::uint64_t vaddr) { return vaddr / kRegionSi
 class PebsSampler {
  public:
   // 1-in-5000 sampling mirrors the paper's PEBS rate for
-  // MEM_INST_RETIRED.ALL_LOADS/STORES (§7.1; DESIGN.md §2).
-  explicit PebsSampler(std::uint64_t period = 5000) : period_(period) {}
+  // MEM_INST_RETIRED.ALL_LOADS/STORES (§7.1; DESIGN.md §2). `fault`, when
+  // set, can drop a burst of samples at window drain (PEBS buffer overflow;
+  // DESIGN.md §4d).
+  explicit PebsSampler(std::uint64_t period = 5000, FaultInjector* fault = nullptr)
+      : period_(period), fault_(fault) {}
 
   // Feeds one retired load/store. Deterministic 1-in-period sampling.
   void OnAccess(std::uint64_t vaddr, bool is_store) { OnAccessN(vaddr, 1, is_store); }
@@ -44,9 +50,36 @@ class PebsSampler {
   }
 
   // Returns and clears the per-region sample counts for the current window.
+  // An injected kSamplerDrop fault discards a burst of samples in ascending
+  // region order (a deterministic stand-in for PEBS overflow, which loses
+  // whatever happened to be in the buffer); dropped counts are tallied under
+  // fault/sampler/dropped_samples.
   std::unordered_map<std::uint64_t, std::uint32_t> DrainWindow() {
     auto out = std::move(window_samples_);
     window_samples_.clear();
+    if (fault_ != nullptr && fault_->ShouldFail(FaultSite::kSamplerDrop)) {
+      std::vector<std::uint64_t> regions;
+      regions.reserve(out.size());
+      for (const auto& [region, count] : out) {
+        regions.push_back(region);
+      }
+      std::sort(regions.begin(), regions.end());
+      std::uint64_t remaining = fault_->config().sampler_drop_burst;
+      for (const std::uint64_t region : regions) {
+        if (remaining == 0) {
+          break;
+        }
+        auto it = out.find(region);
+        const std::uint64_t taken = std::min<std::uint64_t>(it->second, remaining);
+        remaining -= taken;
+        dropped_samples_ += taken;
+        fault_->CountDroppedSamples(taken);
+        it->second -= static_cast<std::uint32_t>(taken);
+        if (it->second == 0) {
+          out.erase(it);
+        }
+      }
+    }
     return out;
   }
 
@@ -54,13 +87,16 @@ class PebsSampler {
   std::uint64_t total_events() const { return total_events_; }
   std::uint64_t total_samples() const { return total_samples_; }
   std::uint64_t store_samples() const { return store_samples_; }
+  std::uint64_t dropped_samples() const { return dropped_samples_; }
 
  private:
   std::uint64_t period_;
+  FaultInjector* fault_ = nullptr;
   std::uint64_t countdown_ = 0;
   std::uint64_t total_events_ = 0;
   std::uint64_t total_samples_ = 0;
   std::uint64_t store_samples_ = 0;
+  std::uint64_t dropped_samples_ = 0;
   std::unordered_map<std::uint64_t, std::uint32_t> window_samples_;
 };
 

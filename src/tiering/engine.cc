@@ -6,12 +6,33 @@
 
 namespace tierscape {
 
+Status EngineConfig::Validate() const {
+  if (pebs_period == 0) {
+    return InvalidArgument("EngineConfig: pebs_period must be >= 1 (1-in-N sampling)");
+  }
+  if (migration_interference < 0.0 || migration_interference > 1.0) {
+    return InvalidArgument("EngineConfig: migration_interference must be in [0, 1], got " +
+                           std::to_string(migration_interference));
+  }
+  if (migrate_threads < 1) {
+    return InvalidArgument("EngineConfig: migrate_threads must be >= 1, got " +
+                           std::to_string(migrate_threads));
+  }
+  if (migrate_retry_limit < 0) {
+    return InvalidArgument("EngineConfig: migrate_retry_limit must be >= 0, got " +
+                           std::to_string(migrate_retry_limit));
+  }
+  return OkStatus();
+}
+
 TieringEngine::TieringEngine(AddressSpace& space, TierTable& tiers, EngineConfig config)
     : space_(space),
       tiers_(tiers),
       config_(config),
       obs_(&ResolveObs(tiers.obs())),
-      sampler_(config.pebs_period) {
+      sampler_(config.pebs_period, tiers.fault()) {
+  const Status valid = config_.Validate();
+  TS_CHECK(valid.ok()) << valid.ToString();
   pages_.resize(space_.total_pages());
   tier_pages_.assign(tiers_.count(), 0);
   region_tier_pages_.assign(space_.total_regions() * static_cast<std::uint64_t>(tiers_.count()),
@@ -35,6 +56,11 @@ TieringEngine::TieringEngine(AddressSpace& space, TierTable& tiers, EngineConfig
   m_migrate_load_ns_ = &metrics.GetCounter("engine/migrate/load_ns");
   m_migrate_store_ns_ = &metrics.GetCounter("engine/migrate/store_ns");
   m_migrate_virtual_ns_ = &metrics.GetCounter("engine/migrate/virtual_ns");
+  m_retry_attempts_ = &metrics.GetCounter("fault/engine/retries");
+  m_retry_backoff_ns_ = &metrics.GetCounter("fault/engine/retry_backoff_ns");
+  m_transient_failures_ = &metrics.GetCounter("fault/engine/transient_store_failures");
+  m_shortfall_pages_ = &metrics.GetCounter("fault/engine/shortfall_pages");
+  m_degraded_promotes_ = &metrics.GetCounter("fault/engine/degraded_promotes");
   m_tier_pages_.reserve(tiers_.count());
   for (int tier = 0; tier < tiers_.count(); ++tier) {
     m_tier_pages_.push_back(&metrics.GetGauge("engine/pages/" + tiers_.tier(tier).label));
@@ -138,11 +164,23 @@ Nanos TieringEngine::HandleFault(std::uint64_t page) {
   m_faults_->Add();
   m_fault_ns_->Add(fault_cost);
 
+  // Promote: allocate the destination frame *before* invalidating the source
+  // so a failed allocation (genuine or injected capacity exhaustion) degrades
+  // gracefully — the access is served from the decompressed copy and the page
+  // simply stays compressed — instead of crashing with the entry already gone
+  // (DESIGN.md §4d).
+  std::uint64_t frame = 0;
+  auto used = AllocByteFrame(0, &frame);
+  if (!used.ok()) {
+    ++degraded_promotes_;
+    m_degraded_promotes_->Add();
+    return fault_cost;
+  }
   const Status freed = ctier.Invalidate(state.location);
   TS_CHECK(freed.ok()) << freed.ToString();
-  SetPageTier(page, -1);
-  const Status placed = PlacePageInByteTier(page, 0);
-  TS_CHECK(placed.ok()) << "no byte tier space on fault: " << placed.ToString();
+  SetPageTier(page, *used);
+  state.location = frame;
+  state.compressed_size = 0;
   return fault_cost;
 }
 
@@ -160,8 +198,13 @@ Nanos TieringEngine::AccessBulk(std::uint64_t vaddr, std::uint32_t lines, bool i
   if (tiers_.tier(state.tier).kind == TierKind::kCompressed) {
     latency += HandleFault(page);
   }
-  // The accesses themselves, now from a byte-addressable tier.
-  latency += lines * tiers_.tier(state.tier).medium->load_latency_ns();
+  // The accesses themselves, now from a byte-addressable tier. After a
+  // degraded promote (frame allocation failed, DESIGN.md §4d) the page is
+  // still compressed and its TierRef has no medium; the access is then served
+  // from the transient decompressed copy, which lives in DRAM.
+  const Medium* medium = tiers_.tier(state.tier).medium;
+  latency += lines * (medium != nullptr ? medium->load_latency_ns()
+                                        : tiers_.dram().load_latency_ns());
   if (is_store) {
     space_.DirtyPage(page);
   }
@@ -170,7 +213,8 @@ Nanos TieringEngine::AccessBulk(std::uint64_t vaddr, std::uint32_t lines, bool i
   return latency;
 }
 
-StatusOr<std::uint64_t> TieringEngine::MigrateRegion(std::uint64_t region, int dst) {
+StatusOr<TieringEngine::MigrateOutcome> TieringEngine::MigrateRegion(std::uint64_t region,
+                                                                    int dst) {
   if (dst < 0 || dst >= tiers_.count()) {
     return InvalidArgument("engine: bad destination tier");
   }
@@ -254,8 +298,7 @@ StatusOr<std::uint64_t> TieringEngine::MigrateRegion(std::uint64_t region, int d
   // Phase 2 — sequential apply in ascending page order: source loads, pool
   // inserts, evictions, statistics, and virtual-time charges all happen here,
   // bit-identical to a serial migration.
-  std::uint64_t moved = 0;
-  std::uint64_t rejected = 0;
+  MigrateOutcome outcome;
   Nanos cost = 0;
   Nanos load_ns = 0;   // reading sources (byte loads + decompressions)
   Nanos store_ns = 0;  // writing destinations (byte stores + pool inserts)
@@ -280,7 +323,8 @@ StatusOr<std::uint64_t> TieringEngine::MigrateRegion(std::uint64_t region, int d
     if (!compressed_dst) {
       auto frame = dref.medium->AllocFrame();
       if (!frame.ok()) {
-        break;  // destination full: stop early
+        ++outcome.shortfall;  // destination full: partial placement, page stays
+        continue;
       }
       TS_RETURN_IF_ERROR(EvictPage(page));
       SetPageTier(page, dst);
@@ -324,16 +368,40 @@ StatusOr<std::uint64_t> TieringEngine::MigrateRegion(std::uint64_t region, int d
       // A compress_failed page overflowed even the full scratch slot, so it
       // cannot fit any tier's store limit: routing the whole slot through
       // StoreCompressed reproduces Store's reject accounting.
-      auto stored = staged.compressed_ready
-                        ? ctier.StoreCompressed(staged.bytes)
-                        : ctier.StoreCompressed(std::span<const std::byte>(
-                              &migrate_scratch_[i * kSlotBytes], kSlotBytes));
+      const auto attempt_store = [&] {
+        return staged.compressed_ready
+                   ? ctier.StoreCompressed(staged.bytes)
+                   : ctier.StoreCompressed(std::span<const std::byte>(
+                         &migrate_scratch_[i * kSlotBytes], kSlotBytes));
+      };
+      auto stored = attempt_store();
+      // Transient (kUnavailable) store failures are retried with exponential
+      // virtual-time backoff, bounded by migrate_retry_limit (DESIGN.md §4d).
+      for (int attempt = 0;
+           !stored.ok() && stored.status().code() == StatusCode::kUnavailable &&
+           attempt < config_.migrate_retry_limit;
+           ++attempt) {
+        ++outcome.transient_failures;
+        m_transient_failures_->Add();
+        const Nanos backoff = config_.migrate_retry_backoff_ns << attempt;
+        outcome.retry_backoff_ns += backoff;
+        ++outcome.retries;
+        m_retry_attempts_->Add();
+        m_retry_backoff_ns_->Add(backoff);
+        stored = attempt_store();
+      }
       if (!stored.ok()) {
         if (stored.status().code() == StatusCode::kRejected) {
-          ++rejected;
+          ++outcome.rejected;
           continue;  // incompressible page: leave in place (zswap behaviour)
         }
-        break;  // destination medium full: stop early
+        if (stored.status().code() == StatusCode::kUnavailable) {
+          // Retry budget exhausted: give the page up for this window.
+          ++outcome.transient_failures;
+          m_transient_failures_->Add();
+        }
+        ++outcome.shortfall;  // no space (or no luck): partial placement
+        continue;
       }
       TS_RETURN_IF_ERROR(EvictPage(page));
       SetPageTier(page, dst);
@@ -342,16 +410,17 @@ StatusOr<std::uint64_t> TieringEngine::MigrateRegion(std::uint64_t region, int d
       state.checksum = staged.checksum;
       store_ns += stored->latency;
     }
-    ++moved;
+    ++outcome.moved;
   }
-  cost = load_ns + store_ns;
-  migrated_pages_ += moved;
+  cost = load_ns + store_ns + outcome.retry_backoff_ns;
+  migrated_pages_ += outcome.moved;
   migration_ns_ += cost;
   clock_ += static_cast<Nanos>(static_cast<double>(cost) * config_.migration_interference);
 
   m_migrate_regions_->Add();
-  m_migrate_pages_->Add(moved);
-  m_migrate_rejected_->Add(rejected);
+  m_migrate_pages_->Add(outcome.moved);
+  m_migrate_rejected_->Add(outcome.rejected);
+  m_shortfall_pages_->Add(outcome.shortfall);
   m_migrate_fanout_compressed_->Add(fanout_compressed);
   m_migrate_fanout_cache_hits_->Add(fanout_cache_hits);
   m_migrate_load_ns_->Add(load_ns);
@@ -360,12 +429,14 @@ StatusOr<std::uint64_t> TieringEngine::MigrateRegion(std::uint64_t region, int d
   if (migrate_span.armed()) {
     // Args stay cache-/thread-independent so traces compare byte-for-byte;
     // the fan-out split is visible through the wall/ counters instead.
-    migrate_span.set_args("\"region\":" + std::to_string(region) + ",\"dst\":" +
-                          std::to_string(dst) + ",\"moved\":" + std::to_string(moved) +
-                          ",\"rejected\":" + std::to_string(rejected) + ",\"load_ns\":" +
-                          std::to_string(load_ns) + ",\"store_ns\":" + std::to_string(store_ns));
+    migrate_span.set_args(
+        "\"region\":" + std::to_string(region) + ",\"dst\":" + std::to_string(dst) +
+        ",\"moved\":" + std::to_string(outcome.moved) +
+        ",\"rejected\":" + std::to_string(outcome.rejected) +
+        ",\"shortfall\":" + std::to_string(outcome.shortfall) +
+        ",\"load_ns\":" + std::to_string(load_ns) + ",\"store_ns\":" + std::to_string(store_ns));
   }
-  return moved;
+  return outcome;
 }
 
 double TieringEngine::CurrentTco() const {

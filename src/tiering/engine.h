@@ -54,6 +54,15 @@ struct EngineConfig {
   // their counts with a full page scan and TS_CHECK it against the
   // incremental counters.
   bool check_tier_counts = false;
+  // Graceful-degradation knobs (DESIGN.md §4d): a transient (kUnavailable)
+  // pool store failure during migration is retried up to this many times,
+  // each attempt charging an exponentially-growing virtual-time backoff
+  // (base << attempt) to the migration clock.
+  int migrate_retry_limit = 3;
+  Nanos migrate_retry_backoff_ns = 2000;
+
+  // Rejects nonsensical knobs before any engine state is built.
+  Status Validate() const;
 };
 
 class TieringEngine {
@@ -68,6 +77,20 @@ class TieringEngine {
   struct FaultRecord {
     std::uint64_t faults = 0;
     Nanos latency = 0;
+  };
+
+  // Per-region migration accounting, including the degradation ladder's
+  // outcomes (DESIGN.md §4d): pages that moved, pages rejected as
+  // incompressible (left in place, zswap-style), pages left behind because
+  // the destination ran out of space (`shortfall`), and the transient-failure
+  // retry work that was absorbed along the way.
+  struct MigrateOutcome {
+    std::uint64_t moved = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t shortfall = 0;
+    std::uint64_t transient_failures = 0;  // kUnavailable store attempts seen
+    std::uint64_t retries = 0;             // retry attempts charged
+    Nanos retry_backoff_ns = 0;            // virtual backoff added to the cost
   };
 
   TieringEngine(AddressSpace& space, TierTable& tiers, EngineConfig config = {});
@@ -92,9 +115,13 @@ class TieringEngine {
   void Compute(Nanos ns) { clock_ += ns; opt_clock_ += ns; }
 
   // Moves all pages of `region` to tier `dst`. Incompressible pages stay
-  // where they are (zswap-style rejection); a full destination stops the
-  // migration early. Returns the number of pages actually moved.
-  StatusOr<std::uint64_t> MigrateRegion(std::uint64_t region, int dst);
+  // where they are (zswap-style rejection); pages the destination has no
+  // space for are left in place and counted as shortfall (partial
+  // placement); transient store failures are retried with virtual-time
+  // backoff and give up into the shortfall after migrate_retry_limit
+  // attempts. Never fails on capacity or injected faults — only on
+  // structurally invalid arguments.
+  StatusOr<MigrateOutcome> MigrateRegion(std::uint64_t region, int dst);
 
   // --- clocks -------------------------------------------------------------
   Nanos now() const { return clock_; }
@@ -140,6 +167,9 @@ class TieringEngine {
   std::uint64_t total_faults() const { return total_faults_; }
   std::uint64_t total_migrated_pages() const { return migrated_pages_; }
   Nanos migration_ns() const { return migration_ns_; }
+  // Demand faults served in place because no byte tier had a free frame: the
+  // page stayed compressed instead of crashing the engine (DESIGN.md §4d).
+  std::uint64_t degraded_promotes() const { return degraded_promotes_; }
 
   PebsSampler& sampler() { return sampler_; }
   AddressSpace& space() { return space_; }
@@ -201,6 +231,14 @@ class TieringEngine {
   Counter* m_migrate_load_ns_ = nullptr;
   Counter* m_migrate_store_ns_ = nullptr;
   Counter* m_migrate_virtual_ns_ = nullptr;
+  // Degradation accounting ("fault/engine/..."): pure functions of the
+  // virtual execution (injection itself is seeded + virtual-time), so these
+  // live outside the wall/ quarantine.
+  Counter* m_retry_attempts_ = nullptr;
+  Counter* m_retry_backoff_ns_ = nullptr;
+  Counter* m_transient_failures_ = nullptr;
+  Counter* m_shortfall_pages_ = nullptr;
+  Counter* m_degraded_promotes_ = nullptr;
   std::vector<Gauge*> m_tier_pages_;  // "engine/pages/<label>", by tier index
   std::unique_ptr<ThreadPool> thread_pool_;
   std::unique_ptr<CompressionCache> compression_cache_;
@@ -213,6 +251,7 @@ class TieringEngine {
   Nanos migration_ns_ = 0;
   std::uint64_t total_faults_ = 0;
   std::uint64_t migrated_pages_ = 0;
+  std::uint64_t degraded_promotes_ = 0;
   std::unordered_map<int, FaultRecord> window_faults_;
 };
 

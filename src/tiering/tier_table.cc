@@ -12,9 +12,14 @@ void TierTable::NoteMedium(Medium& medium) {
   }
 }
 
-int TierTable::AddByteTier(Medium& medium) {
-  if (tiers_.empty()) {
-    TS_CHECK(medium.kind() == MediumKind::kDram) << "tier 0 must be DRAM";
+StatusOr<int> TierTable::AddByteTier(Medium& medium) {
+  if (tiers_.empty() && medium.kind() != MediumKind::kDram) {
+    return FailedPrecondition("tier table: tier 0 must be DRAM, got " +
+                              std::string(MediumKindName(medium.kind())) + " \"" + medium.name() +
+                              "\"");
+  }
+  if (FindByLabel(medium.name()) != -1) {
+    return InvalidArgument("tier table: duplicate tier label \"" + medium.name() + "\"");
   }
   TierRef ref;
   ref.kind = TierKind::kByteAddressable;
@@ -25,8 +30,13 @@ int TierTable::AddByteTier(Medium& medium) {
   return count() - 1;
 }
 
-int TierTable::AddCompressedTier(CompressedTier& tier) {
-  TS_CHECK(!tiers_.empty()) << "add the DRAM tier first";
+StatusOr<int> TierTable::AddCompressedTier(CompressedTier& tier) {
+  if (tiers_.empty()) {
+    return FailedPrecondition("tier table: add the DRAM tier first");
+  }
+  if (FindByLabel(tier.label()) != -1) {
+    return InvalidArgument("tier table: duplicate tier label \"" + tier.label() + "\"");
+  }
   TierRef ref;
   ref.kind = TierKind::kCompressed;
   ref.compressed = &tier;

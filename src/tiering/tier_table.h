@@ -34,9 +34,10 @@ struct TierRef {
 
 class TierTable {
  public:
-  // Index 0 must be the DRAM tier.
-  int AddByteTier(Medium& medium);
-  int AddCompressedTier(CompressedTier& tier);
+  // Index 0 must be the DRAM tier; registration fails upfront (instead of
+  // crashing deep in placement) on ordering violations or duplicate labels.
+  StatusOr<int> AddByteTier(Medium& medium);
+  StatusOr<int> AddCompressedTier(CompressedTier& tier);
 
   int count() const { return static_cast<int>(tiers_.size()); }
   const TierRef& tier(int index) const { return tiers_.at(index); }
@@ -67,6 +68,12 @@ class TierTable {
   void set_obs(Observability* obs) { obs_ = obs; }
   Observability* obs() const { return obs_; }
 
+  // The fault injector of the owning assembly (set by TieredSystem); null
+  // means no injection. The engine and daemon pick this up to decide retry /
+  // degradation behavior deterministically (DESIGN.md §4d).
+  void set_fault(FaultInjector* fault) { fault_ = fault; }
+  FaultInjector* fault() const { return fault_; }
+
   // Distinct backing media across all tiers (for Eq. 8-style TCO accounting:
   // compressed pools are counted through their backing medium usage).
   const std::vector<Medium*>& media() const { return media_; }
@@ -75,6 +82,7 @@ class TierTable {
   std::vector<TierRef> tiers_;
   std::vector<Medium*> media_;
   Observability* obs_ = nullptr;
+  FaultInjector* fault_ = nullptr;
 
   void NoteMedium(Medium& medium);
 };

@@ -12,6 +12,14 @@ ExperimentResult RunExperiment(TieredSystem& system, Workload& workload,
   result.workload = std::string(workload.name());
   result.policy = policy != nullptr ? std::string(policy->name()) : "DRAM-only";
 
+  // Setup runs with the injector disarmed: faults perturb only the measured
+  // steady state, and the arming point is the same virtual instant in every
+  // run (DESIGN.md §4d).
+  FaultInjector* fault = system.fault();
+  if (fault != nullptr) {
+    fault->set_armed(false);
+  }
+
   AddressSpace space;
   workload.Reserve(space);
   TieringEngine engine(space, system.tiers(), config.engine);
@@ -28,6 +36,9 @@ ExperimentResult RunExperiment(TieredSystem& system, Workload& workload,
   TsDaemon daemon(engine, policy, daemon_config);
 
   // Measured phase.
+  if (fault != nullptr) {
+    fault->set_armed(true);
+  }
   const Nanos start = engine.now();
   const Nanos opt_start = engine.optimal_now();
   for (std::uint64_t op = 0; op < config.ops; ++op) {
@@ -54,6 +65,14 @@ ExperimentResult RunExperiment(TieredSystem& system, Workload& workload,
   result.daemon_overhead_ns = daemon.charged_overhead_ns();
   for (const auto& window : result.windows) {
     result.total_solve_ms += window.solve_ms;
+    if (window.degraded) {
+      ++result.degraded_windows;
+    }
+    result.unrealized_pages += window.unrealized_pages;
+    result.migrate_retries += window.migrate_retries;
+  }
+  if (fault != nullptr) {
+    result.injected_faults = fault->injected_total();
   }
   return result;
 }

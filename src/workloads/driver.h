@@ -58,6 +58,13 @@ struct ExperimentResult {
   Nanos daemon_overhead_ns = 0;
   double total_solve_ms = 0.0;
 
+  // Graceful-degradation summary (DESIGN.md §4d); all zero when the system
+  // has no fault injection and no genuine capacity pressure.
+  std::uint64_t degraded_windows = 0;
+  std::uint64_t unrealized_pages = 0;
+  std::uint64_t migrate_retries = 0;
+  std::uint64_t injected_faults = 0;  // across all sites, measured phase only
+
   // Free-form named values a bench attaches to its cell (grid inspect hooks
   // and custom cell bodies, bench/experiment_grid.h); keyed lookup for table
   // formatting. RunExperiment itself never writes these.

@@ -103,25 +103,26 @@ StatusOr<PoolManager> PoolManagerFromName(std::string_view name) {
   return NotFound("unknown pool manager: " + std::string(name));
 }
 
-std::unique_ptr<ZPool> CreateZPool(PoolManager manager, Medium& medium,
-                                   MetricsRegistry* metrics, std::string_view scope) {
-  std::unique_ptr<ZPool> pool;
+std::unique_ptr<ZPool> CreateZPool(PoolManager manager, Medium& medium) {
   switch (manager) {
     case PoolManager::kZbud:
-      pool = std::make_unique<ZbudPool>(medium);
-      break;
+      return std::make_unique<ZbudPool>(medium);
     case PoolManager::kZ3fold:
-      pool = std::make_unique<Z3foldPool>(medium);
-      break;
+      return std::make_unique<Z3foldPool>(medium);
     case PoolManager::kZsmalloc:
-      pool = std::make_unique<ZsmallocPool>(medium);
-      break;
+      return std::make_unique<ZsmallocPool>(medium);
   }
-  if (pool != nullptr && metrics != nullptr) {
-    const std::string_view effective_scope = scope.empty() ? pool->name() : scope;
-    pool = std::make_unique<InstrumentedZPool>(std::move(pool), *metrics, effective_scope);
+  return nullptr;
+}
+
+std::unique_ptr<ZPool> CreateZPool(PoolManager manager, Medium& medium, MetricsRegistry& metrics,
+                                   std::string_view scope) {
+  std::unique_ptr<ZPool> pool = CreateZPool(manager, medium);
+  if (pool == nullptr) {
+    return nullptr;
   }
-  return pool;
+  const std::string_view effective_scope = scope.empty() ? pool->name() : scope;
+  return std::make_unique<InstrumentedZPool>(std::move(pool), metrics, effective_scope);
 }
 
 }  // namespace tierscape

@@ -72,12 +72,16 @@ class ZPool {
   virtual void RefreshMetrics() {}
 };
 
-// Creates a pool drawing pages from `medium`. The medium must outlive the pool.
-// When `metrics` is non-null the pool is wrapped in an instrumented decorator
-// exporting "zpool/<scope>/..." counters (allocs, frees, maps, failed allocs)
-// and occupancy/fragmentation gauges; `scope` is the owning tier's label.
-std::unique_ptr<ZPool> CreateZPool(PoolManager manager, Medium& medium,
-                                   MetricsRegistry* metrics = nullptr,
+// Creates an uninstrumented pool drawing pages from `medium`. The medium must
+// outlive the pool.
+std::unique_ptr<ZPool> CreateZPool(PoolManager manager, Medium& medium);
+
+// Instrumented overload: the pool is wrapped in a decorator exporting
+// "zpool/<scope>/..." counters (allocs, frees, maps, failed allocs) and
+// occupancy/fragmentation gauges, with handles resolved here, once
+// (DESIGN.md §4b); `scope` is the owning tier's label (the pool-manager name
+// when empty).
+std::unique_ptr<ZPool> CreateZPool(PoolManager manager, Medium& medium, MetricsRegistry& metrics,
                                    std::string_view scope = {});
 
 }  // namespace tierscape

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/fault/fault_injector.h"
 
 namespace tierscape {
 namespace {
@@ -11,14 +12,29 @@ constexpr std::size_t kCachelineSize = 64;
 
 }  // namespace
 
+Status CompressedTierConfig::Validate() const {
+  if (label.empty()) {
+    return InvalidArgument("CompressedTierConfig: label must be non-empty");
+  }
+  if (max_store_ratio <= 0.0 || max_store_ratio > 1.0) {
+    return InvalidArgument("CompressedTierConfig \"" + label +
+                           "\": max_store_ratio must be in (0, 1], got " +
+                           std::to_string(max_store_ratio));
+  }
+  return OkStatus();
+}
+
 CompressedTier::CompressedTier(int tier_id, CompressedTierConfig config, Medium& medium,
-                               Observability* obs)
+                               Observability& obs, FaultInjector* fault)
     : tier_id_(tier_id),
       config_(std::move(config)),
       medium_(medium),
+      fault_(fault),
       compressor_(&GetCompressor(config_.algorithm)) {
-  MetricsRegistry& metrics = ResolveObs(obs).metrics;
-  pool_ = CreateZPool(config_.pool_manager, medium, &metrics, config_.label);
+  const Status valid = config_.Validate();
+  TS_CHECK(valid.ok()) << valid.ToString();
+  MetricsRegistry& metrics = obs.metrics;
+  pool_ = CreateZPool(config_.pool_manager, medium, metrics, config_.label);
   const std::string prefix = "zswap/" + config_.label + "/";
   m_stores_ = &metrics.GetCounter(prefix + "stores");
   m_rejects_ = &metrics.GetCounter(prefix + "rejects");
@@ -53,6 +69,17 @@ StatusOr<CompressedTier::StoreResult> CompressedTier::Store(std::span<const std:
 
 StatusOr<CompressedTier::StoreResult> CompressedTier::StoreCompressed(
     std::span<const std::byte> compressed) {
+  // Injected faults (DESIGN.md §4d): a transient pool failure surfaces as
+  // kUnavailable (the migration pipeline retries it); an injected rejection is
+  // indistinguishable from a genuinely incompressible page.
+  if (ShouldInjectFault(fault_, FaultSite::kStoreTransient)) {
+    return Unavailable(config_.label + ": transient pool store failure (injected)");
+  }
+  if (ShouldInjectFault(fault_, FaultSite::kStoreReject)) {
+    ++stats_.rejects;
+    m_rejects_->Add();
+    return Rejected(config_.label + ": page not compressible enough (injected)");
+  }
   const auto limit = static_cast<std::size_t>(config_.max_store_ratio * kPageSize);
   if (compressed.size() > limit) {
     ++stats_.rejects;

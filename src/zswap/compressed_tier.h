@@ -25,6 +25,8 @@
 
 namespace tierscape {
 
+class FaultInjector;
+
 struct CompressedTierConfig {
   std::string label;  // e.g. "C7", "CT-1"
   Algorithm algorithm = Algorithm::kLzo;
@@ -32,6 +34,10 @@ struct CompressedTierConfig {
   // Pages whose compressed size exceeds this fraction of the page are
   // rejected, mirroring zswap's refusal of incompressible data (footnote 1).
   double max_store_ratio = 0.9;
+
+  // Rejects nonsensical knobs (empty label, ratio outside (0, 1]) before any
+  // tier state is built; ZswapBackend::AddTier calls this upfront.
+  Status Validate() const;
 };
 
 class CompressedTier {
@@ -51,9 +57,12 @@ class CompressedTier {
   };
 
   // `obs` scopes the tier's "zswap/<label>/..." metrics and its pool's
-  // "zpool/<label>/..." metrics; null falls back to Observability::Default().
-  CompressedTier(int tier_id, CompressedTierConfig config, Medium& medium,
-                 Observability* obs = nullptr);
+  // "zpool/<label>/..." metrics; handles resolve here, once (DESIGN.md §4b).
+  // `config` must Validate() — AddTier checks upfront, this TS_CHECKs as a
+  // backstop. `fault`, when set, can inject store rejections and transient
+  // store failures (DESIGN.md §4d).
+  CompressedTier(int tier_id, CompressedTierConfig config, Medium& medium, Observability& obs,
+                 FaultInjector* fault = nullptr);
 
   int tier_id() const { return tier_id_; }
   const std::string& label() const { return config_.label; }
@@ -65,7 +74,8 @@ class CompressedTier {
   const Medium& medium() const { return medium_; }
 
   // Compresses `page` (must be kPageSize) and stores it. Returns kRejected if
-  // the data is not compressible enough, kOutOfMemory if the medium is full.
+  // the data is not compressible enough, kOutOfMemory if the medium is full,
+  // kUnavailable on an injected transient store failure (retry may succeed).
   StatusOr<StoreResult> Store(std::span<const std::byte> page);
 
   // Stores a page that was already compressed with this tier's algorithm —
@@ -111,6 +121,7 @@ class CompressedTier {
   int tier_id_;
   CompressedTierConfig config_;
   Medium& medium_;
+  FaultInjector* fault_;
   const Compressor* compressor_;
   std::unique_ptr<ZPool> pool_;
   Stats stats_;

@@ -4,9 +4,14 @@
 
 namespace tierscape {
 
-int ZswapBackend::AddTier(CompressedTierConfig config, Medium& medium) {
+StatusOr<int> ZswapBackend::AddTier(CompressedTierConfig config, Medium& medium) {
+  TS_RETURN_IF_ERROR(config.Validate());
+  if (FindTier(config.label) != -1) {
+    return InvalidArgument("zswap: duplicate tier label \"" + config.label + "\"");
+  }
   const int tier_id = static_cast<int>(tiers_.size());
-  tiers_.push_back(std::make_unique<CompressedTier>(tier_id, std::move(config), medium, obs_));
+  tiers_.push_back(
+      std::make_unique<CompressedTier>(tier_id, std::move(config), medium, *obs_, fault_));
   return tier_id;
 }
 

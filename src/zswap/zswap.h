@@ -18,17 +18,25 @@ namespace tierscape {
 
 class ZswapBackend {
  public:
-  ZswapBackend() = default;
+  // Observability is constructor-injected (DESIGN.md §4b): every tier and
+  // pool added later resolves its metric handles against `obs`, so there is
+  // no half-initialized window in which a set_obs call could be missed. The
+  // default constructor is the one factory overload for the common
+  // process-wide case. `fault` (optional) is handed to every tier for store
+  // fault injection (DESIGN.md §4d).
+  ZswapBackend() : ZswapBackend(Observability::Default()) {}
+  explicit ZswapBackend(Observability& obs, FaultInjector* fault = nullptr)
+      : obs_(&obs), fault_(fault) {}
   ZswapBackend(const ZswapBackend&) = delete;
   ZswapBackend& operator=(const ZswapBackend&) = delete;
 
-  // Scopes metrics of subsequently added tiers (and their pools). Call before
-  // AddTier; null (the default) means Observability::Default().
-  void set_obs(Observability* obs) { obs_ = obs; }
+  Observability& obs() const { return *obs_; }
+  FaultInjector* fault() const { return fault_; }
 
-  // Registers a new active tier backed by `medium` (must outlive the backend).
-  // Returns the tier id.
-  int AddTier(CompressedTierConfig config, Medium& medium);
+  // Registers a new active tier backed by `medium` (must outlive the backend)
+  // and returns its tier id. Fails upfront — before any tier state is built —
+  // on an invalid config or a duplicate label.
+  StatusOr<int> AddTier(CompressedTierConfig config, Medium& medium);
 
   int tier_count() const { return static_cast<int>(tiers_.size()); }
   CompressedTier& tier(int tier_id) { return *tiers_.at(tier_id); }
@@ -53,7 +61,8 @@ class ZswapBackend {
   std::size_t total_stored_pages() const;
 
  private:
-  Observability* obs_ = nullptr;
+  Observability* obs_;
+  FaultInjector* fault_;
   std::vector<std::unique_ptr<CompressedTier>> tiers_;
 };
 

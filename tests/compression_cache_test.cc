@@ -26,10 +26,10 @@ struct Rig {
     CompressedTierConfig ct_config;
     ct_config.label = "CT";
     ct_config.algorithm = algorithm;
-    ct = zswap.AddTier(ct_config, nvmm);
-    tiers.AddByteTier(dram);
-    tiers.AddByteTier(nvmm);
-    tiers.AddCompressedTier(zswap.tier(ct));
+    ct = *zswap.AddTier(ct_config, nvmm);
+    TS_CHECK(tiers.AddByteTier(dram).ok());
+    TS_CHECK(tiers.AddByteTier(nvmm).ok());
+    TS_CHECK(tiers.AddCompressedTier(zswap.tier(ct)).ok());
     space.Allocate("a", 2 * kMiB, CorpusProfile::kDickens);
     engine = std::make_unique<TieringEngine>(space, tiers, config);
     TS_CHECK(engine->PlaceInitial().ok());
@@ -60,7 +60,7 @@ TEST(CompressionCacheTest, HitsOnRepeatMigrationOfUnchangedPages) {
 
   auto moved = rig.engine->MigrateRegion(0, 2);
   ASSERT_TRUE(moved.ok());
-  ASSERT_GT(*moved, 0u);
+  ASSERT_GT(moved->moved, 0u);
   const std::uint64_t first_lookups = cache->stats().hits + cache->stats().misses;
   EXPECT_EQ(cache->stats().hits, 0u);  // cold cache: every lookup misses
   EXPECT_EQ(first_lookups, cache->stats().misses);
@@ -72,8 +72,8 @@ TEST(CompressionCacheTest, HitsOnRepeatMigrationOfUnchangedPages) {
   const std::uint64_t misses_before = cache->stats().misses;
   auto again = rig.engine->MigrateRegion(0, 2);
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(*again, *moved);
-  EXPECT_EQ(cache->stats().hits, *moved);
+  EXPECT_EQ(again->moved, moved->moved);
+  EXPECT_EQ(cache->stats().hits, moved->moved);
   EXPECT_EQ(cache->stats().misses, misses_before);  // no new misses
   EXPECT_GT(cache->stats().HitRate(), 0.0);
 }
@@ -95,7 +95,7 @@ TEST(CompressionCacheTest, DirtyPageInvalidatesExactlyTheStoredPages) {
   auto moved = rig.engine->MigrateRegion(0, 2);
   ASSERT_TRUE(moved.ok());
   EXPECT_EQ(cache->stats().misses - misses_before, kDirtied);
-  EXPECT_EQ(cache->stats().hits - hits_before, *moved - kDirtied);
+  EXPECT_EQ(cache->stats().hits - hits_before, moved->moved - kDirtied);
 }
 
 TEST(CompressionCacheTest, AlgorithmChangeEvictsAndRecounts) {
@@ -106,8 +106,8 @@ TEST(CompressionCacheTest, AlgorithmChangeEvictsAndRecounts) {
   CompressedTierConfig other;
   other.label = "CT2";
   other.algorithm = Algorithm::kDeflate;
-  const int ct2 = rig.zswap.AddTier(other, rig.nvmm);
-  rig.tiers.AddCompressedTier(rig.zswap.tier(ct2));
+  const int ct2 = *rig.zswap.AddTier(other, rig.nvmm);
+  ASSERT_TRUE(rig.tiers.AddCompressedTier(rig.zswap.tier(ct2)).ok());
   // Rebuild the engine so it sees the 4-tier table.
   rig.engine = std::make_unique<TieringEngine>(rig.space, rig.tiers, config);
   ASSERT_TRUE(rig.engine->PlaceInitial().ok());
@@ -122,7 +122,7 @@ TEST(CompressionCacheTest, AlgorithmChangeEvictsAndRecounts) {
   EXPECT_EQ(cache->stats().hits, 0u);
   // Every page cached under kLzo that deflate re-stored was overwritten.
   EXPECT_GT(cache->stats().evictions, 0u);
-  EXPECT_LE(cache->stats().evictions, *first);
+  EXPECT_LE(cache->stats().evictions, first->moved);
 }
 
 TEST(CompressionCacheTest, CachedAndUncachedMigrationsIdentical) {

@@ -16,7 +16,7 @@ namespace {
 TEST(EngineEdgeTest, BadMigrationArgumentsRejected) {
   Medium dram(DramSpec(32 * kMiB));
   TierTable tiers;
-  tiers.AddByteTier(dram);
+  ASSERT_TRUE(tiers.AddByteTier(dram).ok());
   AddressSpace space;
   space.Allocate("a", 2 * kMiB, CorpusProfile::kBinary);
   TieringEngine engine(space, tiers);
@@ -30,8 +30,8 @@ TEST(EngineEdgeTest, MigrationToFullByteTierStopsEarly) {
   Medium dram(DramSpec(32 * kMiB));
   Medium nvmm(NvmmSpec(kRegionSize / 2));  // room for only 256 pages
   TierTable tiers;
-  tiers.AddByteTier(dram);
-  tiers.AddByteTier(nvmm);
+  ASSERT_TRUE(tiers.AddByteTier(dram).ok());
+  ASSERT_TRUE(tiers.AddByteTier(nvmm).ok());
   AddressSpace space;
   space.Allocate("a", 2 * kMiB, CorpusProfile::kBinary);
   TieringEngine engine(space, tiers);
@@ -39,7 +39,9 @@ TEST(EngineEdgeTest, MigrationToFullByteTierStopsEarly) {
 
   auto moved = engine.MigrateRegion(0, 1);
   ASSERT_TRUE(moved.ok());
-  EXPECT_EQ(*moved, kRegionSize / 2 / kPageSize);  // exactly the NVMM capacity
+  EXPECT_EQ(moved->moved, kRegionSize / 2 / kPageSize);  // exactly the NVMM capacity
+  // The pages that did not fit are reported as shortfall, not dropped.
+  EXPECT_EQ(moved->shortfall, kPagesPerRegion - moved->moved);
   const auto counts = engine.PagesPerTier();
   EXPECT_EQ(counts[0] + counts[1], space.total_pages());  // nothing lost
 }
@@ -52,11 +54,11 @@ TEST(EngineEdgeTest, FaultSpillsToNvmmWhenDramFull) {
   ZswapBackend zswap;
   CompressedTierConfig config;
   config.label = "CT";
-  const int ct = zswap.AddTier(config, nvmm);
+  const int ct = *zswap.AddTier(config, nvmm);
   TierTable tiers;
-  tiers.AddByteTier(dram);
-  tiers.AddByteTier(nvmm);
-  tiers.AddCompressedTier(zswap.tier(ct));
+  ASSERT_TRUE(tiers.AddByteTier(dram).ok());
+  ASSERT_TRUE(tiers.AddByteTier(nvmm).ok());
+  ASSERT_TRUE(tiers.AddCompressedTier(zswap.tier(ct)).ok());
   AddressSpace space;
   space.Allocate("a", 2 * kMiB, CorpusProfile::kNci);
   TieringEngine engine(space, tiers);
@@ -75,8 +77,8 @@ TEST(EngineEdgeTest, MigrationInterferenceCharged) {
   Medium dram(DramSpec(32 * kMiB));
   Medium nvmm(NvmmSpec(32 * kMiB));
   TierTable tiers;
-  tiers.AddByteTier(dram);
-  tiers.AddByteTier(nvmm);
+  ASSERT_TRUE(tiers.AddByteTier(dram).ok());
+  ASSERT_TRUE(tiers.AddByteTier(nvmm).ok());
   AddressSpace space;
   space.Allocate("a", 2 * kMiB, CorpusProfile::kBinary);
 
@@ -100,10 +102,10 @@ TEST(EngineEdgeTest, DestructorReturnsFramesToMedia) {
   ZswapBackend zswap;
   CompressedTierConfig config;
   config.label = "CT";
-  const int ct = zswap.AddTier(config, nvmm);
+  const int ct = *zswap.AddTier(config, nvmm);
   TierTable tiers;
-  tiers.AddByteTier(dram);
-  tiers.AddCompressedTier(zswap.tier(ct));
+  ASSERT_TRUE(tiers.AddByteTier(dram).ok());
+  ASSERT_TRUE(tiers.AddCompressedTier(zswap.tier(ct)).ok());
   AddressSpace space;
   space.Allocate("a", 4 * kMiB, CorpusProfile::kDickens);
   {
@@ -121,7 +123,7 @@ TEST(EngineEdgeTest, DestructorReturnsFramesToMedia) {
 TEST(EngineEdgeTest, SlowdownIdentityWithoutTiering) {
   Medium dram(DramSpec(32 * kMiB));
   TierTable tiers;
-  tiers.AddByteTier(dram);
+  ASSERT_TRUE(tiers.AddByteTier(dram).ok());
   AddressSpace space;
   space.Allocate("a", 2 * kMiB, CorpusProfile::kBinary);
   TieringEngine engine(space, tiers);

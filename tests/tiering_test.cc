@@ -21,18 +21,18 @@ class TieringFixture : public ::testing::Test {
     fast.label = "CT-fast";
     fast.algorithm = Algorithm::kLz4;
     fast.pool_manager = PoolManager::kZbud;
-    fast_tier_ = zswap_.AddTier(fast, dram_);
+    fast_tier_ = *zswap_.AddTier(fast, dram_);
 
     CompressedTierConfig dense;
     dense.label = "CT-dense";
     dense.algorithm = Algorithm::kDeflate;
     dense.pool_manager = PoolManager::kZsmalloc;
-    dense_tier_ = zswap_.AddTier(dense, nvmm_);
+    dense_tier_ = *zswap_.AddTier(dense, nvmm_);
 
-    tiers_.AddByteTier(dram_);
-    tiers_.AddByteTier(nvmm_);
-    tiers_.AddCompressedTier(zswap_.tier(fast_tier_));
-    tiers_.AddCompressedTier(zswap_.tier(dense_tier_));
+    EXPECT_TRUE(tiers_.AddByteTier(dram_).ok());
+    EXPECT_TRUE(tiers_.AddByteTier(nvmm_).ok());
+    EXPECT_TRUE(tiers_.AddCompressedTier(zswap_.tier(fast_tier_)).ok());
+    EXPECT_TRUE(tiers_.AddCompressedTier(zswap_.tier(dense_tier_)).ok());
 
     space_.Allocate("seg-text", 8 * kMiB, CorpusProfile::kDickens);
     space_.Allocate("seg-struct", 4 * kMiB, CorpusProfile::kNci);
@@ -113,7 +113,9 @@ TEST_F(TieringFixture, CompressedTierMigrationStoresRealData) {
   // it below half a page, so zbud pairs objects and the pool really shrinks.
   auto moved = engine_->MigrateRegion(4, 2);
   ASSERT_TRUE(moved.ok());
-  EXPECT_EQ(*moved, kPagesPerRegion);
+  EXPECT_EQ(moved->moved, kPagesPerRegion);
+  EXPECT_EQ(moved->rejected, 0u);
+  EXPECT_EQ(moved->shortfall, 0u);
   EXPECT_EQ(zswap_.tier(fast_tier_).stored_pages(), kPagesPerRegion);
   EXPECT_GT(zswap_.tier(fast_tier_).pool_bytes(), 0u);
   EXPECT_LT(zswap_.tier(fast_tier_).pool_bytes(), kRegionSize);
@@ -251,16 +253,17 @@ TEST_F(TieringFixture, IncompressiblePagesStayPut) {
   ZswapBackend zswap;
   CompressedTierConfig config;
   config.label = "CT";
-  const int tier = zswap.AddTier(config, nvmm);
+  const int tier = *zswap.AddTier(config, nvmm);
   TierTable tiers;
-  tiers.AddByteTier(dram);
-  tiers.AddCompressedTier(zswap.tier(tier));
+  ASSERT_TRUE(tiers.AddByteTier(dram).ok());
+  ASSERT_TRUE(tiers.AddCompressedTier(zswap.tier(tier)).ok());
   TieringEngine engine(space, tiers);
   ASSERT_TRUE(engine.PlaceInitial().ok());
 
   auto moved = engine.MigrateRegion(0, 1);
   ASSERT_TRUE(moved.ok());
-  EXPECT_EQ(*moved, 0u);  // every page rejected as incompressible
+  EXPECT_EQ(moved->moved, 0u);  // every page rejected as incompressible
+  EXPECT_EQ(moved->rejected, kPagesPerRegion);
   EXPECT_EQ(engine.PagesPerTier()[0], space.total_pages());
   EXPECT_GT(zswap.tier(tier).stats().rejects, 0u);
 }
@@ -269,14 +272,42 @@ TEST(TierTableTest, OrderingAndLabels) {
   Medium dram(DramSpec(16 * kMiB));
   Medium nvmm(NvmmSpec(16 * kMiB));
   TierTable tiers;
-  EXPECT_EQ(tiers.AddByteTier(dram), 0);
-  EXPECT_EQ(tiers.AddByteTier(nvmm), 1);
+  auto dram_id = tiers.AddByteTier(dram);
+  ASSERT_TRUE(dram_id.ok());
+  EXPECT_EQ(*dram_id, 0);
+  auto nvmm_id = tiers.AddByteTier(nvmm);
+  ASSERT_TRUE(nvmm_id.ok());
+  EXPECT_EQ(*nvmm_id, 1);
   EXPECT_EQ(tiers.FindByLabel("DRAM"), 0);
   EXPECT_EQ(tiers.FindByLabel("NVMM"), 1);
   EXPECT_EQ(tiers.FindByLabel("CXL"), -1);
   EXPECT_EQ(tiers.AccessPenalty(0), 0u);
   EXPECT_EQ(tiers.AccessPenalty(1), nvmm.load_latency_ns() - dram.load_latency_ns());
   EXPECT_EQ(tiers.media().size(), 2u);
+}
+
+TEST(TierTableTest, RegistrationValidatesOrderAndLabels) {
+  Medium dram(DramSpec(16 * kMiB));
+  Medium nvmm(NvmmSpec(16 * kMiB));
+  ZswapBackend zswap;
+  CompressedTierConfig config;
+  config.label = "CT";
+  const int ct = *zswap.AddTier(config, nvmm);
+
+  TierTable tiers;
+  // Tier 0 must be the DRAM byte tier: anything else is rejected upfront.
+  auto nvmm_first = tiers.AddByteTier(nvmm);
+  ASSERT_FALSE(nvmm_first.ok());
+  EXPECT_EQ(nvmm_first.status().code(), StatusCode::kFailedPrecondition);
+  auto compressed_first = tiers.AddCompressedTier(zswap.tier(ct));
+  ASSERT_FALSE(compressed_first.ok());
+  EXPECT_EQ(compressed_first.status().code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(tiers.AddByteTier(dram).ok());
+  auto duplicate = tiers.AddByteTier(dram);
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(tiers.count(), 1);
 }
 
 }  // namespace

@@ -1,0 +1,20 @@
+// tslint-fixture: none
+// A well-behaved fault hook: everything derives from the seeded draw counter,
+// and wall-clock identifiers appear only inside comments and string literals
+// (steady_clock::now(), getenv("FAULT_SEED") — neither may trip).
+namespace fixture {
+
+inline const char* kHookDoc = "never call steady_clock::now() or rand() in a hook";
+
+struct SeededHook {
+  unsigned long long seed = 1;
+  unsigned long long draws = 0;
+
+  bool ShouldFail(double rate) {
+    ++draws;
+    const unsigned long long mixed = (seed ^ draws) * 0x9E3779B97F4A7C15ull;
+    return static_cast<double>(mixed >> 11) * 0x1.0p-53 < rate;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// tslint-fixture: fault-hook-purity
+// A fault-injection hook that reads the wall clock. Because this file lives
+// under src/fault/ it is a hook file, so the banned identifier is reported
+// under fault-hook-purity (not determinism-quarantine) and no allowlist
+// entry can exempt it.
+#include <chrono>
+
+namespace fixture {
+
+bool ShouldFailByDeadline() {
+  const auto now = std::chrono::steady_clock::now();  // banned, unexemptable
+  return now.time_since_epoch().count() % 2 == 0;
+}
+
+}  // namespace fixture

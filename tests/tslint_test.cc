@@ -150,6 +150,8 @@ TEST(Determinism, MalformedAllowlistEntryReported) {
 
 TEST(Layering, LayerOrder) {
   EXPECT_EQ(LayerOf("src/common/status.h"), 0);
+  EXPECT_LT(LayerOf("src/obs/metrics.h"), LayerOf("src/fault/fault_injector.h"));
+  EXPECT_LT(LayerOf("src/fault/fault_injector.h"), LayerOf("src/mem/medium.h"));
   EXPECT_LT(LayerOf("src/obs/metrics.h"), LayerOf("src/mem/medium.h"));
   EXPECT_EQ(LayerOf("src/compress/lz4.h"), LayerOf("src/zpool/zbud.h"));
   EXPECT_LT(LayerOf("src/zswap/zswap.h"), LayerOf("src/telemetry/hotness.h"));
@@ -197,6 +199,65 @@ TEST(Layering, CycleReportedOnEveryMember) {
     files.insert(d.file);
   }
   EXPECT_EQ(files, (std::set<std::string>{"src/zpool/a.h", "src/zpool/b.h"}));
+}
+
+// --- fault-hook-purity ----------------------------------------------------
+
+TEST(FaultHook, WallClockUnderSrcFaultFlagged) {
+  const auto diags = LintOne("src/fault/fault_injector.cc",
+                             "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_EQ(Rules(diags), std::set<std::string>{kRuleFaultHook});
+}
+
+TEST(FaultHook, DirectIncluderOfInjectorHeaderIsAHookFile) {
+  std::map<std::string, std::string> sources;
+  sources["src/fault/fault_injector.h"] = "int f;\n";
+  sources["src/mem/medium.cc"] =
+      "#include \"src/fault/fault_injector.h\"\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  const auto diags = LintTree(sources, {}, "tools/tslint_allow.txt");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleFaultHook);
+  EXPECT_EQ(diags[0].file, "src/mem/medium.cc");
+}
+
+TEST(FaultHook, AllowlistCannotExemptAndIsItselfAViolation) {
+  std::vector<Diagnostic> parse_diags;
+  const auto allow = ParseAllowlist(
+      "tools/tslint_allow.txt",
+      "determinism-quarantine src/fault/fault_injector.cc wall ms is reporting-only\n",
+      parse_diags);
+  const auto diags = LintOne("src/fault/fault_injector.cc",
+                             "auto t = std::chrono::steady_clock::now();\n", allow);
+  // Both the banned identifier and the allow entry itself are flagged, and
+  // neither under determinism-quarantine.
+  EXPECT_EQ(Rules(diags), std::set<std::string>{kRuleFaultHook});
+  EXPECT_GE(diags.size(), 2u);
+}
+
+TEST(FaultHook, TransitiveIncluderKeepsItsQuarantineExemption) {
+  // Only *direct* includers of the injector header are hook files: a file
+  // reaching it through another header (e.g. analytical.cc via mckp.h) keeps
+  // its justified determinism-quarantine entry.
+  std::map<std::string, std::string> sources;
+  sources["src/fault/fault_injector.h"] = "int f;\n";
+  sources["src/solver/mckp.h"] = "#include \"src/fault/fault_injector.h\"\n";
+  sources["src/core/analytical.cc"] =
+      "#include \"src/solver/mckp.h\"\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  std::vector<Diagnostic> parse_diags;
+  const auto allow = ParseAllowlist(
+      "tools/tslint_allow.txt",
+      "determinism-quarantine src/core/analytical.cc wall ms recorded under wall/ only\n",
+      parse_diags);
+  EXPECT_TRUE(LintTree(sources, allow, "tools/tslint_allow.txt").empty());
+}
+
+TEST(FaultHook, CleanHookFileStaysClean) {
+  const auto diags = LintOne("src/fault/fault_injector.cc",
+                             "// steady_clock::now() only in this comment\n"
+                             "unsigned long long Mix(unsigned long long x) { return x * 7; }\n");
+  EXPECT_TRUE(diags.empty());
 }
 
 // --- wall-prefix ----------------------------------------------------------

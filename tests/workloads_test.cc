@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/core/analytical.h"
+#include "src/fault/fault_injector.h"
 #include "src/obs/export.h"
 #include "src/workloads/driver.h"
 #include "src/workloads/graph.h"
@@ -171,17 +172,22 @@ TEST(DriverTest, DeterministicAcrossThreadsAndCache) {
   // virtual-time observable must be byte-identical across all combinations.
   // Each run records into its own Observability; the non-wall metrics export
   // and the virtual-time trace stream are compared byte-for-byte too — the
-  // observability stack must not leak thread count or cache behavior.
+  // observability stack must not leak thread count or cache behavior. The
+  // same contract holds under fault injection (DESIGN.md §4d): the seeded
+  // injector and the degradation ladder (retries, fallback plans, partial
+  // placement) are pure functions of the virtual execution, so the faulted
+  // configuration must be just as byte-stable.
   struct RunOutput {
     ExperimentResult result;
     std::string metrics_jsonl;  // wall/ metrics excluded
     std::string trace_jsonl;
   };
-  auto run = [](int threads, bool cache) {
+  auto run = [](int threads, bool cache, const FaultConfig& fault) {
     Observability obs;
     obs.trace.SetEnabled(true);
     SystemConfig system_config = StandardMixConfig(64 * kMiB, 256 * kMiB);
     system_config.obs = &obs;
+    system_config.fault = fault;
     TieredSystem system(system_config);
     MasimWorkload workload(DefaultMasimConfig(32 * kMiB));
     AnalyticalPolicy policy(0.3);
@@ -197,26 +203,41 @@ TEST(DriverTest, DeterministicAcrossThreadsAndCache) {
     output.trace_jsonl = obs.trace.ToJsonl();
     return output;
   };
-  const RunOutput base = run(1, false);
-  EXPECT_GT(base.metrics_jsonl.size(), 0u);
-  EXPECT_GT(base.trace_jsonl.size(), 0u);
-  for (const auto& [threads, cache] :
-       {std::pair<int, bool>{1, true}, {4, false}, {4, true}, {8, false}, {8, true}}) {
-    const RunOutput other = run(threads, cache);
-    SCOPED_TRACE("threads=" + std::to_string(threads) + " cache=" + std::to_string(cache));
-    EXPECT_DOUBLE_EQ(base.result.slowdown, other.result.slowdown);
-    EXPECT_DOUBLE_EQ(base.result.mean_tco_savings, other.result.mean_tco_savings);
-    EXPECT_EQ(base.result.total_faults, other.result.total_faults);
-    EXPECT_EQ(base.result.migrated_pages, other.result.migrated_pages);
-    ASSERT_EQ(base.result.windows.size(), other.result.windows.size());
-    for (std::size_t w = 0; w < base.result.windows.size(); ++w) {
-      EXPECT_EQ(base.result.windows[w].actual_pages, other.result.windows[w].actual_pages);
-      EXPECT_EQ(base.result.windows[w].faults, other.result.windows[w].faults);
-      EXPECT_EQ(base.result.windows[w].migrated_pages, other.result.windows[w].migrated_pages);
-      EXPECT_DOUBLE_EQ(base.result.windows[w].tco, other.result.windows[w].tco);
+  for (const FaultConfig& fault : {FaultConfig{}, FaultConfig::Uniform(971, 0.05)}) {
+    const RunOutput base = run(1, false, fault);
+    SCOPED_TRACE(fault.enabled() ? "faulted" : "fault-free");
+    EXPECT_GT(base.metrics_jsonl.size(), 0u);
+    EXPECT_GT(base.trace_jsonl.size(), 0u);
+    if (fault.enabled()) {
+      EXPECT_GT(base.result.injected_faults, 0u);
+    } else {
+      EXPECT_EQ(base.result.injected_faults, 0u);
     }
-    EXPECT_EQ(base.metrics_jsonl, other.metrics_jsonl);
-    EXPECT_EQ(base.trace_jsonl, other.trace_jsonl);
+    for (const auto& [threads, cache] :
+         {std::pair<int, bool>{1, true}, {4, false}, {4, true}, {8, false}, {8, true}}) {
+      const RunOutput other = run(threads, cache, fault);
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " cache=" + std::to_string(cache));
+      EXPECT_DOUBLE_EQ(base.result.slowdown, other.result.slowdown);
+      EXPECT_DOUBLE_EQ(base.result.mean_tco_savings, other.result.mean_tco_savings);
+      EXPECT_EQ(base.result.total_faults, other.result.total_faults);
+      EXPECT_EQ(base.result.migrated_pages, other.result.migrated_pages);
+      EXPECT_EQ(base.result.degraded_windows, other.result.degraded_windows);
+      EXPECT_EQ(base.result.unrealized_pages, other.result.unrealized_pages);
+      EXPECT_EQ(base.result.migrate_retries, other.result.migrate_retries);
+      EXPECT_EQ(base.result.injected_faults, other.result.injected_faults);
+      ASSERT_EQ(base.result.windows.size(), other.result.windows.size());
+      for (std::size_t w = 0; w < base.result.windows.size(); ++w) {
+        EXPECT_EQ(base.result.windows[w].actual_pages, other.result.windows[w].actual_pages);
+        EXPECT_EQ(base.result.windows[w].faults, other.result.windows[w].faults);
+        EXPECT_EQ(base.result.windows[w].migrated_pages, other.result.windows[w].migrated_pages);
+        EXPECT_DOUBLE_EQ(base.result.windows[w].tco, other.result.windows[w].tco);
+        EXPECT_EQ(base.result.windows[w].degraded, other.result.windows[w].degraded);
+        EXPECT_EQ(base.result.windows[w].solver_fallback,
+                  other.result.windows[w].solver_fallback);
+      }
+      EXPECT_EQ(base.metrics_jsonl, other.metrics_jsonl);
+      EXPECT_EQ(base.trace_jsonl, other.trace_jsonl);
+    }
   }
 }
 

@@ -37,8 +37,8 @@ TEST(ZswapStressTest, TiersSharingMediumUnderChurn) {
   c.label = "C";
   c.algorithm = Algorithm::kZstd;
   c.pool_manager = PoolManager::kZsmalloc;
-  const int tiers[] = {backend.AddTier(a, dram), backend.AddTier(b, dram),
-                       backend.AddTier(c, dram)};
+  const int tiers[] = {*backend.AddTier(a, dram), *backend.AddTier(b, dram),
+                       *backend.AddTier(c, dram)};
 
   struct Entry {
     int tier;
@@ -87,7 +87,7 @@ TEST(ZswapStressTest, ExhaustionLeavesExistingEntriesIntact) {
   config.label = "T";
   config.algorithm = Algorithm::kLzo;
   config.pool_manager = PoolManager::kZsmalloc;
-  const int tier = backend.AddTier(config, tiny);
+  const int tier = *backend.AddTier(config, tiny);
 
   std::vector<std::pair<ZPoolHandle, std::uint64_t>> stored;
   for (std::uint64_t seed = 0; seed < 10'000; ++seed) {
@@ -125,7 +125,7 @@ TEST(ZswapStressTest, MigrationChainAcrossAllTierKinds) {
       config.label = "T" + std::to_string(index);
       config.algorithm = algorithm;
       config.pool_manager = manager;
-      tiers.push_back(backend.AddTier(config, index % 2 == 0 ? dram : nvmm));
+      tiers.push_back(*backend.AddTier(config, index % 2 == 0 ? dram : nvmm));
       ++index;
     }
   }
@@ -158,7 +158,7 @@ TEST(ZswapStressTest, RecompressionTracksContentVersions) {
   ZswapBackend backend;
   CompressedTierConfig config;
   config.label = "T";
-  const int tier = backend.AddTier(config, dram);
+  const int tier = *backend.AddTier(config, dram);
 
   const auto v0 = Page(CorpusProfile::kBinary, 5);
   const auto v1 = Page(CorpusProfile::kBinary, 6);  // "after the store"

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/compress/corpus.h"
 #include "src/mem/medium.h"
 #include "src/zswap/zswap.h"
@@ -21,6 +22,12 @@ CompressedTierConfig TierConfig(const std::string& label, Algorithm algorithm,
   return config;
 }
 
+int MustAddTier(ZswapBackend& backend, CompressedTierConfig config, Medium& medium) {
+  auto added = backend.AddTier(std::move(config), medium);
+  TS_CHECK(added.ok()) << added.status().ToString();
+  return *added;
+}
+
 std::vector<std::byte> Page(CorpusProfile profile, std::uint64_t seed) {
   std::vector<std::byte> page(kPageSize);
   FillPage(profile, seed, page);
@@ -30,10 +37,10 @@ std::vector<std::byte> Page(CorpusProfile profile, std::uint64_t seed) {
 class ZswapTest : public ::testing::Test {
  protected:
   ZswapTest() : dram_(DramSpec(64 * kMiB)), nvmm_(NvmmSpec(64 * kMiB)) {
-    lz4_tier_ = backend_.AddTier(
-        TierConfig("fast", Algorithm::kLz4, PoolManager::kZbud), dram_);
-    deflate_tier_ = backend_.AddTier(
-        TierConfig("dense", Algorithm::kDeflate, PoolManager::kZsmalloc), nvmm_);
+    lz4_tier_ = MustAddTier(backend_,
+                            TierConfig("fast", Algorithm::kLz4, PoolManager::kZbud), dram_);
+    deflate_tier_ = MustAddTier(
+        backend_, TierConfig("dense", Algorithm::kDeflate, PoolManager::kZsmalloc), nvmm_);
   }
 
   Medium dram_;
@@ -118,7 +125,7 @@ TEST_F(ZswapTest, MigrationRejectionLeavesSourceIntact) {
   Medium extra(DramSpec(4 * kMiB));
   CompressedTierConfig tight = TierConfig("tight", Algorithm::kLz4, PoolManager::kZbud);
   tight.max_store_ratio = 0.10;
-  const int tight_tier = backend_.AddTier(tight, extra);
+  const int tight_tier = MustAddTier(backend_, tight, extra);
 
   const auto page = Page(CorpusProfile::kDickens, 7);
   auto stored = backend_.tier(deflate_tier_).Store(page);
@@ -126,10 +133,39 @@ TEST_F(ZswapTest, MigrationRejectionLeavesSourceIntact) {
   auto migrated = backend_.Migrate(deflate_tier_, stored->handle, tight_tier);
   ASSERT_FALSE(migrated.ok());
   EXPECT_EQ(migrated.status().code(), StatusCode::kRejected);
-  // Source still loadable.
+  // Rejected-move semantics: nothing landed in the destination, the source
+  // entry is intact (still counted, still owns its pool bytes), and the page
+  // is re-loadable from the source byte-for-byte.
+  EXPECT_EQ(backend_.tier(tight_tier).stored_pages(), 0u);
+  EXPECT_EQ(backend_.tier(tight_tier).pool_bytes(), 0u);
+  EXPECT_EQ(backend_.tier(deflate_tier_).stored_pages(), 1u);
   std::vector<std::byte> restored(kPageSize);
   ASSERT_TRUE(backend_.tier(deflate_tier_).Load(stored->handle, restored).ok());
   EXPECT_EQ(restored, page);
+  // And the intact entry can still migrate somewhere that will take it.
+  auto remigrated = backend_.Migrate(deflate_tier_, stored->handle, lz4_tier_);
+  ASSERT_TRUE(remigrated.ok());
+  ASSERT_TRUE(backend_.tier(lz4_tier_).Load(remigrated->store.handle, restored).ok());
+  EXPECT_EQ(restored, page);
+}
+
+TEST_F(ZswapTest, AddTierValidatesConfigUpfront) {
+  auto no_label = backend_.AddTier(TierConfig("", Algorithm::kLz4, PoolManager::kZbud), dram_);
+  ASSERT_FALSE(no_label.ok());
+  EXPECT_EQ(no_label.status().code(), StatusCode::kInvalidArgument);
+
+  CompressedTierConfig bad_ratio = TierConfig("ratio", Algorithm::kLz4, PoolManager::kZbud);
+  bad_ratio.max_store_ratio = 1.5;
+  auto rejected_ratio = backend_.AddTier(bad_ratio, dram_);
+  ASSERT_FALSE(rejected_ratio.ok());
+  EXPECT_EQ(rejected_ratio.status().code(), StatusCode::kInvalidArgument);
+
+  auto duplicate = backend_.AddTier(TierConfig("fast", Algorithm::kLzo, PoolManager::kZbud),
+                                    dram_);
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kInvalidArgument);
+  // Failed registrations left the backend untouched.
+  EXPECT_EQ(backend_.tier_count(), 2);
 }
 
 TEST_F(ZswapTest, StatsTrackOperations) {
@@ -173,11 +209,11 @@ TEST(ZswapLatencyModelTest, MediaAndAlgorithmSensitivity) {
   Medium nvmm(NvmmSpec(16 * kMiB));
   ZswapBackend backend;
   const int dram_lz4 =
-      backend.AddTier(TierConfig("dr-lz4", Algorithm::kLz4, PoolManager::kZbud), dram);
+      MustAddTier(backend, TierConfig("dr-lz4", Algorithm::kLz4, PoolManager::kZbud), dram);
   const int nvmm_lz4 =
-      backend.AddTier(TierConfig("op-lz4", Algorithm::kLz4, PoolManager::kZbud), nvmm);
-  const int dram_deflate = backend.AddTier(
-      TierConfig("dr-de", Algorithm::kDeflate, PoolManager::kZbud), dram);
+      MustAddTier(backend, TierConfig("op-lz4", Algorithm::kLz4, PoolManager::kZbud), nvmm);
+  const int dram_deflate =
+      MustAddTier(backend, TierConfig("dr-de", Algorithm::kDeflate, PoolManager::kZbud), dram);
 
   const std::size_t half_page = kPageSize / 2;
   // Fig. 2a: Optane-backed tiers are slower than DRAM-backed ones...

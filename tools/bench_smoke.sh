@@ -23,6 +23,7 @@ OUT=${2:-bench_smoke}
 GRID_BENCHES="fig01_motivation fig02_characterization tab01_tier_space \
 fig07_standard_mix fig08_waterfall_trace fig09_am_tco_trace fig10_knob_sweep \
 fig11_tail_latency fig12_spectrum_placement fig13_spectrum fig14_daemon_tax \
+fig15_resilience \
 ablation_cxl_backing ablation_filter ablation_tier_sets micro_migration \
 micro_grid"
 

@@ -300,13 +300,14 @@ int LayerOf(const std::string& path) {
   auto starts = [&](const char* prefix) { return path.rfind(prefix, 0) == 0; };
   if (starts("src/common/")) return 0;
   if (starts("src/obs/")) return 1;
-  if (starts("src/mem/")) return 2;
-  if (starts("src/compress/") || starts("src/zpool/")) return 3;
-  if (starts("src/zswap/")) return 4;
-  if (starts("src/telemetry/") || starts("src/solver/")) return 5;
-  if (starts("src/tiering/")) return 6;
-  if (starts("src/core/")) return 7;
-  if (starts("src/workloads/")) return 8;
+  if (starts("src/fault/")) return 2;
+  if (starts("src/mem/")) return 3;
+  if (starts("src/compress/") || starts("src/zpool/")) return 4;
+  if (starts("src/zswap/")) return 5;
+  if (starts("src/telemetry/") || starts("src/solver/")) return 6;
+  if (starts("src/tiering/")) return 7;
+  if (starts("src/core/")) return 8;
+  if (starts("src/workloads/")) return 9;
   if (starts("tests/") || starts("bench/") || starts("examples/") || starts("tools/")) return 100;
   return -1;
 }
@@ -382,8 +383,30 @@ bool KeywordOnLine(const std::string& line, const std::string& keyword) {
   return false;
 }
 
+}  // namespace
+
+bool IsFaultHookFile(const LexedFile& file) {
+  if (file.path.rfind("src/fault/", 0) == 0) return true;
+  for (const LexedFile::Include& inc : file.includes) {
+    if (!inc.angled && inc.path == "src/fault/fault_injector.h") return true;
+  }
+  return false;
+}
+
+namespace {
+
 void CheckDeterminism(const LexedFile& file, const std::vector<AllowEntry>& allow,
                       std::vector<bool>& used_allow, std::vector<Diagnostic>& diags) {
+  const bool fault_hook = IsFaultHookFile(file);
+  // A fault-injection hook file can never justify wall-clock access: even a
+  // "reporting-only" reading sitting next to injection hooks invites faults
+  // whose timing depends on the host. The allow entry itself is the bug.
+  if (fault_hook && HasAllowEntry(kRuleDeterminism, file.path, allow)) {
+    diags.push_back({kRuleFaultHook, file.path, 1, 1,
+                     "determinism-quarantine allowlist entry on a fault-injection hook file: "
+                         "fault hooks must derive entirely from the seeded injector and may "
+                         "not be exempted (DESIGN.md §4d)"});
+  }
   // Identifiers whose mere appearance in code is banned (wall clocks and
   // nondeterministic entropy sources), and identifiers banned only as direct
   // calls (common words like `time` would otherwise false-positive).
@@ -408,6 +431,16 @@ void CheckDeterminism(const LexedFile& file, const std::vector<AllowEntry>& allo
       hit = true;
     }
     if (!hit) continue;
+    if (fault_hook) {
+      // Hard ban, no allowlist: reported under fault-hook-purity instead of
+      // determinism-quarantine.
+      diags.push_back({kRuleFaultHook, file.path, t.line, t.col,
+                       "wall-clock / nondeterminism source `" + t.text +
+                           "` in a fault-injection hook file: fault hooks must derive "
+                           "entirely from the seeded injector; no allowlist exemption "
+                           "(DESIGN.md §4d)"});
+      continue;
+    }
     if (Allowed(kRuleDeterminism, file.path, allow, used_allow)) continue;
     diags.push_back({kRuleDeterminism, file.path, t.line, t.col,
                      "wall-clock / nondeterminism source `" + t.text +

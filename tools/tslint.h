@@ -101,13 +101,23 @@ inline constexpr const char* kRuleNoExceptions = "no-exceptions";
 inline constexpr const char* kRuleWallPrefix = "wall-prefix";
 inline constexpr const char* kRuleCiteConstants = "cite-constants";
 inline constexpr const char* kRulePoolPurity = "pool-purity";
+inline constexpr const char* kRuleFaultHook = "fault-hook-purity";
 inline constexpr const char* kRuleAllowlist = "allowlist";  // tool hygiene
 
-// Layer indices of the DAG (CLAUDE.md "Layering"): common → obs → mem →
-// {compress, zpool} → zswap → telemetry/solver → tiering → core → workloads
-// → {tests, bench, examples, tools}. Returns -1 for paths outside the DAG
-// (non-repo-relative), which the layering rule reports as a style violation.
+// Layer indices of the DAG (CLAUDE.md "Layering"): common → obs → fault →
+// mem → {compress, zpool} → zswap → telemetry/solver → tiering → core →
+// workloads → {tests, bench, examples, tools}. Returns -1 for paths outside
+// the DAG (non-repo-relative), which the layering rule reports as a style
+// violation.
 int LayerOf(const std::string& repo_relative_path);
+
+// True for fault-injection hook files: anything under src/fault/ plus any
+// file that directly includes src/fault/fault_injector.h. Hook files may
+// never read the wall clock — the fault-hook-purity rule reports banned
+// identifiers there instead of determinism-quarantine, takes no allowlist
+// exemption, and flags a determinism-quarantine allow entry on such a file
+// as a violation in its own right (DESIGN.md §4d).
+bool IsFaultHookFile(const LexedFile& file);
 
 // True for files whose paper-derived constants must carry a § citation
 // within ±3 lines (tier specs, cost model, media specs, telemetry).
