@@ -161,8 +161,20 @@ std::vector<ExperimentResult> ExperimentGrid::Run() {
       event.name = prefix + event.name;
       trace_events_.push_back(std::move(event));
     }
-    snapshots_.push_back({specs[i].label, slot.obs.metrics.Snapshot()});
-    timings_.push_back({specs[i].label, slot.wall_ms});
+    RegistrySnapshot snapshot = slot.obs.metrics.Snapshot();
+    CellTiming timing{specs[i].label, slot.wall_ms, {}};
+    for (const MetricSnapshot& metric : snapshot.metrics) {
+      // Harvest the cell's wall/ metrics (e.g. wall/solver/solve_ms) for the
+      // BENCH_grid.json records; the merged artifact excludes them.
+      if (metric.name.rfind("wall/", 0) == 0) {
+        const double value = metric.kind == MetricKind::kGauge
+                                 ? metric.value
+                                 : static_cast<double>(metric.count);
+        timing.wall_metrics.emplace_back(metric.name, value);
+      }
+    }
+    snapshots_.push_back({specs[i].label, std::move(snapshot)});
+    timings_.push_back(std::move(timing));
     results.push_back(std::move(slot.result));
   }
   return results;
@@ -174,6 +186,23 @@ std::string ExperimentGrid::MergedMetricsJsonl() const {
 
 std::string ExperimentGrid::MergedTraceJson() const {
   return TraceEventsToChromeJson(trace_events_);
+}
+
+std::string ExperimentGrid::WallRecordsJsonl() const {
+  std::string out;
+  char line[512];
+  for (const CellTiming& timing : timings_) {
+    std::snprintf(line, sizeof(line), "{\"bench\":\"%s\",\"cell\":\"%s\",\"wall_ms\":%.3f}\n",
+                  name_.c_str(), timing.label.c_str(), timing.wall_ms);
+    out += line;
+    for (const auto& [metric, value] : timing.wall_metrics) {
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"%s\",\"cell\":\"%s\",\"metric\":\"%s\",\"value\":%.6f}\n",
+                    name_.c_str(), timing.label.c_str(), metric.c_str(), value);
+      out += line;
+    }
+  }
+  return out;
 }
 
 ExperimentGrid::~ExperimentGrid() {
@@ -205,10 +234,8 @@ ExperimentGrid::~ExperimentGrid() {
       std::fprintf(stderr, "[grid] cannot append to %s\n", json_path_.c_str());
       return;
     }
-    for (const CellTiming& timing : timings_) {
-      std::fprintf(f, "{\"bench\":\"%s\",\"cell\":\"%s\",\"wall_ms\":%.3f}\n", name_.c_str(),
-                   timing.label.c_str(), timing.wall_ms);
-    }
+    const std::string records = WallRecordsJsonl();
+    std::fwrite(records.data(), 1, records.size(), f);
     std::fprintf(f, "{\"bench\":\"%s\",\"threads\":%d,\"cells\":%zu,\"total_wall_ms\":%.3f}\n",
                  name_.c_str(), last_threads_, timings_.size(), total_wall_ms_);
     std::fclose(f);

@@ -121,10 +121,21 @@ class ExperimentGrid {
   std::string MergedMetricsJsonl() const;
   std::string MergedTraceJson() const;
 
+  // The per-cell wall records the destructor appends to
+  // $TIERSCAPE_BENCH_JSON (sans the totals line): one {"bench","cell",
+  // "wall_ms"} line per cell plus one {"bench","cell","metric","value"} line
+  // per wall/ metric the cell registered — e.g. micro_solver's
+  // wall/solver/solve_ms scaling curve. Host-dependent values; never part of
+  // the determinism comparison.
+  std::string WallRecordsJsonl() const;
+
  private:
   struct CellTiming {
     std::string label;
     double wall_ms = 0.0;
+    // (name, value) of every wall/-prefixed metric in the cell's private
+    // registry: gauges report their value, counters their count.
+    std::vector<std::pair<std::string, double>> wall_metrics;
   };
 
   std::string name_;

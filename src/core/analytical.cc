@@ -22,6 +22,12 @@ StatusOr<PlacementDecision> AnalyticalPolicy::Decide(const PlacementInput& input
   const auto start = std::chrono::steady_clock::now();
   const int n_tiers = model.tiers().count();
 
+  stats_.last_solver_used = false;
+  stats_.last_warm = false;
+  stats_.last_warm_fallback = false;
+  stats_.last_groups_changed = 0;
+  stats_.last_shards = 1;
+
   // Knob endpoints have exact answers (Fig. 5): alpha = 1 keeps everything in
   // DRAM; alpha = 0 takes every region's cheapest tier.
   if (alpha_ >= 1.0) {
@@ -69,7 +75,13 @@ StatusOr<PlacementDecision> AnalyticalPolicy::Decide(const PlacementInput& input
   const double mts = tco_max - tco_min;
   problem.capacity = tco_min + alpha_ * mts;
 
-  auto solution = solver_.Solve(problem);
+  auto solution = incremental_ ? solver_.Solve(problem, &state_, input.changed_hint)
+                               : solver_.Solve(problem);
+  stats_.last_solver_used = true;
+  stats_.last_warm = solver_.stats().warm;
+  stats_.last_warm_fallback = solver_.stats().warm_fallback;
+  stats_.last_groups_changed = solver_.stats().groups_changed;
+  stats_.last_shards = solver_.stats().shards_used;
   if (!solution.ok()) {
     return solution.status();
   }

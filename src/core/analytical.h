@@ -25,6 +25,14 @@ class AnalyticalPolicy : public PlacementPolicy {
     double last_budget = 0.0;      // the TCO cap handed to the solver
     double last_tco_min = 0.0;
     double last_tco_max = 0.0;
+    // Last Decide's solver path (DESIGN.md §4e). last_solver_used is false
+    // for the alpha-endpoint fast paths, which never touch the MCKP solver —
+    // the fields below are only meaningful when it is true.
+    bool last_solver_used = false;
+    bool last_warm = false;              // delta-repair produced the plan
+    bool last_warm_fallback = false;     // incumbent present but full solve ran
+    std::size_t last_groups_changed = 0;  // churn the solver saw this window
+    int last_shards = 1;
   };
 
   // alpha = 1: maximum performance (all DRAM); alpha = 0: maximum TCO savings.
@@ -41,12 +49,31 @@ class AnalyticalPolicy : public PlacementPolicy {
   // DESIGN.md §4d); TsDaemon wires this from its assembly's injector.
   void set_fault_injector(FaultInjector* fault) { solver_.set_fault_injector(fault); }
 
+  // Warm-start incremental solving (DESIGN.md §4e): when enabled, Decide
+  // carries an MckpIncrementalState across windows and passes the caller's
+  // PlacementInput::changed_hint through to the solver. Disabling drops the
+  // incumbent.
+  void set_incremental(bool enabled) {
+    incremental_ = enabled;
+    if (!enabled) {
+      state_.Reset();
+    }
+  }
+  bool incremental() const { return incremental_; }
+
+  // Sharded solving (DESIGN.md §4e); TsDaemon wires the engine's pool.
+  void set_solver_shards(int shards, ThreadPool* pool) { solver_.set_shards(shards, pool); }
+
   const Stats& stats() const { return stats_; }
+  // The underlying solver's per-solve counters for the last Solve call.
+  const MckpSolver::SolveStats& solver_stats() const { return solver_.stats(); }
 
  private:
   double alpha_;
   std::string name_;
   MckpSolver solver_;
+  bool incremental_ = false;
+  MckpIncrementalState state_;
   Stats stats_;
 };
 

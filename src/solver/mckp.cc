@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <functional>
 #include <limits>
 #include <numeric>
 #include <queue>
 
 #include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/fault/fault_injector.h"
 
 namespace tierscape {
@@ -35,6 +39,37 @@ struct MckpPruning {
   std::vector<std::vector<int>> dominant;
   std::vector<std::vector<int>> hull;
 };
+
+// Warm-start carry-over (DESIGN.md §4e): everything the delta-repair needs to
+// re-solve only the changed groups. `digest` detects change; `pruning` is
+// reused verbatim for unchanged groups; `choice` plus the per-group chosen
+// contributions let the repair subtract a changed group's old footprint in
+// O(1) without keeping the previous window's rows.
+struct MckpIncrementalState::Impl {
+  bool valid = false;
+  bool prune = true;  // pruning mode the cached lists were built with
+  std::vector<std::uint64_t> digest;  // per-group row digest
+  MckpPruning pruning;
+  std::vector<int> choice;  // the incumbent plan
+  std::vector<double> chosen_cost;
+  std::vector<double> chosen_weight;
+  // min_gain_dw[g]: the smallest weight increase any cost-gaining exchange
+  // from the incumbent choice could cost (+inf when none exists). Lets the
+  // warm improvement pass reject a group on one sequential array read instead
+  // of a row scan — at 10⁶ groups the full-scan round costs ~75 ms to commit
+  // a handful of moves. Exact filter: every gain candidate is strictly
+  // heavier than the incumbent (a no-heavier cheaper sibling would dominate
+  // it), so "even the lightest gain does not fit" rules the group out.
+  std::vector<double> min_gain_dw;
+  double total_cost = 0.0;
+  double total_weight = 0.0;
+  double capacity = 0.0;
+};
+
+MckpIncrementalState::MckpIncrementalState() : impl_(std::make_unique<Impl>()) {}
+MckpIncrementalState::~MckpIncrementalState() = default;
+bool MckpIncrementalState::valid() const { return impl_->valid; }
+void MckpIncrementalState::Reset() { impl_->valid = false; }
 
 namespace {
 
@@ -67,98 +102,358 @@ Status CheckProblem(const MckpProblem& problem) {
   return OkStatus();
 }
 
-// O(m log m) per group. With `enabled` false both lists are the identity, so
-// the solve paths stay branch-free over a single representation.
+// Order-independent work counters a shard worker fills locally; folded into
+// SolveStats on the submitting thread in submission order (thread_pool.h).
+struct PruneCounts {
+  std::size_t choices_total = 0;
+  std::size_t dominated = 0;
+  std::size_t off_hull = 0;
+};
+
+// Reusable PruneGroup workspace: a caller pruning many groups (the cold
+// build, a shard, the warm repair loop) allocates one and the per-call
+// vectors keep their capacity instead of round-tripping the allocator — at
+// 10⁶ groups the mallocs, not the sorts, dominate the build.
+struct PrunePoint {
+  double weight;
+  double cost;
+};
+struct PruneScratch {
+  std::vector<int> order;
+  std::vector<PrunePoint> chain;
+};
+
+// O(m log m). With `enabled` false both lists are the identity, so the solve
+// paths stay branch-free over a single representation. Pure function of the
+// group — safe for pool workers writing disjoint per-group slots (the
+// scratch must then be worker-local).
+void PruneGroup(const std::vector<MckpChoice>& group, bool enabled, std::vector<int>& dominant,
+                std::vector<int>& hull, PruneCounts& counts, PruneScratch& scratch) {
+  counts.choices_total += group.size();
+  dominant.clear();
+  hull.clear();
+  if (!enabled || group.size() <= 2) {
+    dominant.resize(group.size());
+    std::iota(dominant.begin(), dominant.end(), 0);
+    hull = dominant;
+    return;
+  }
+  std::vector<int>& order = scratch.order;
+  order.resize(group.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (group[a].weight != group[b].weight) {
+      return group[a].weight < group[b].weight;
+    }
+    if (group[a].cost != group[b].cost) {
+      return group[a].cost < group[b].cost;
+    }
+    return a < b;
+  });
+
+  // Dominance sweep in ascending weight: everything already seen is
+  // lighter-or-equal, so k survives iff nothing seen is strictly cheaper or
+  // equally cheap with a smaller index.
+  double best_cost = kInf;
+  int best_index = -1;
+  for (const int k : order) {
+    const double cost = group[k].cost;
+    if (cost < best_cost || (cost == best_cost && k < best_index)) {
+      best_cost = cost;
+      best_index = k;
+    }
+    // After the update best_cost <= cost; k survives iff it is itself the
+    // (cost, index)-lexicographic minimum of everything seen so far.
+    if (cost == best_cost && best_index >= k) {
+      dominant.push_back(k);
+    }
+  }
+  std::sort(dominant.begin(), dominant.end());
+
+  // Lower convex hull over the distinct-weight minima (the first entry of
+  // each weight run in `order` is that weight's cheapest choice). Pops use
+  // a strict test so colinear points stay on the hull — they tie the
+  // adjacent vertex's efficiency and the unpruned walk may pick them.
+  std::vector<PrunePoint>& chain = scratch.chain;
+  chain.clear();
+  for (const int k : order) {
+    const PrunePoint p{group[k].weight, group[k].cost};
+    if (!chain.empty() && chain.back().weight == p.weight) {
+      continue;  // heavier-cost duplicate weight: strictly above the hull
+    }
+    while (chain.size() >= 2) {
+      const PrunePoint& a = chain[chain.size() - 2];
+      const PrunePoint& b = chain.back();
+      // b is strictly above segment a->p iff slope(a,b) > slope(b,p).
+      if ((b.cost - a.cost) * (p.weight - b.weight) > (p.cost - b.cost) * (b.weight - a.weight)) {
+        chain.pop_back();
+      } else {
+        break;
+      }
+    }
+    chain.push_back(p);
+  }
+  std::size_t at = 0;
+  for (const int k : order) {
+    while (at < chain.size() && chain[at].weight < group[k].weight) {
+      ++at;
+    }
+    if (at < chain.size() && chain[at].weight == group[k].weight &&
+        chain[at].cost == group[k].cost) {
+      hull.push_back(k);
+    }
+  }
+  std::sort(hull.begin(), hull.end());
+
+  counts.dominated += group.size() - dominant.size();
+  counts.off_hull += group.size() - hull.size();
+}
+
+void FoldCounts(const PruneCounts& counts, MckpSolver::SolveStats& stats) {
+  stats.choices_total += counts.choices_total;
+  stats.pruned_dominated += counts.dominated;
+  stats.pruned_off_hull += counts.off_hull;
+}
+
 MckpPruning BuildPruning(const MckpProblem& problem, bool enabled,
                          MckpSolver::SolveStats& stats) {
   MckpPruning pruning;
   pruning.dominant.resize(problem.groups.size());
   pruning.hull.resize(problem.groups.size());
+  PruneCounts counts;
+  PruneScratch scratch;
   for (std::size_t g = 0; g < problem.groups.size(); ++g) {
+    PruneGroup(problem.groups[g], enabled, pruning.dominant[g], pruning.hull[g], counts, scratch);
+  }
+  FoldCounts(counts, stats);
+  return pruning;
+}
+
+// 64-bit digest of a group's choice list (bitwise over the doubles): equal
+// rows hash equal, and a changed hotness bucket or pruned choice list flips
+// it with collision probability ~2^-64 — the change detector of the warm
+// path (DESIGN.md §4e).
+std::uint64_t HashGroup(const std::vector<MckpChoice>& group) {
+  std::uint64_t h = SplitMix64(group.size());
+  for (const MckpChoice& choice : group) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &choice.cost, sizeof(bits));
+    h = SplitMix64(h ^ bits);
+    std::memcpy(&bits, &choice.weight, sizeof(bits));
+    h = SplitMix64(h ^ bits);
+  }
+  return h;
+}
+
+// Starts every group in [lo, hi) at its minimum-cost choice (never
+// dominance-pruned: a dominator would have to be at least as cheap with a
+// smaller index) and accumulates the range's totals.
+void SeedMinCost(const MckpProblem& problem, const MckpPruning& pruning, std::size_t lo,
+                 std::size_t hi, std::vector<int>& choice, double& total_weight,
+                 double& total_cost) {
+  for (std::size_t g = lo; g < hi; ++g) {
     const auto& group = problem.groups[g];
-    stats.choices_total += group.size();
-    auto& dominant = pruning.dominant[g];
-    auto& hull = pruning.hull[g];
-    if (!enabled || group.size() <= 2) {
-      dominant.resize(group.size());
-      std::iota(dominant.begin(), dominant.end(), 0);
-      hull = dominant;
+    const std::vector<int>& keep = pruning.dominant[g];
+    int best = keep.front();
+    for (const int k : keep) {
+      if (group[k].cost < group[best].cost) {
+        best = k;
+      }
+    }
+    choice[g] = best;
+    total_weight += group[best].weight;
+    total_cost += group[best].cost;
+  }
+}
+
+// The smallest weight increase that buys any cost gain from `cur` (+inf when
+// no dominant sibling is cheaper). See Impl::min_gain_dw.
+double MinGainDw(const std::vector<MckpChoice>& group, const std::vector<int>& dominant,
+                 int cur) {
+  const MckpChoice& chosen = group[cur];
+  double min_dw = kInf;
+  for (const int k : dominant) {
+    if (group[k].cost < chosen.cost) {
+      min_dw = std::min(min_dw, group[k].weight - chosen.weight);
+    }
+  }
+  return min_dw;
+}
+
+// A weight-reduction move down the group's hull.
+struct Move {
+  double efficiency;  // delta cost / delta weight
+  std::size_t group;
+  int to;
+  bool operator>(const Move& other) const { return efficiency > other.efficiency; }
+};
+
+// Weight-reduction walk, cheapest marginal cost per unit of weight first
+// (the convex-hull walk of the LP relaxation). Groups eligible to move are
+// [lo, hi), or exactly `only` when non-null (the warm path's changed set —
+// budget slack from unchanged groups is carried over because `total_weight`
+// includes their standing contributions). Stops once total_weight fits
+// `capacity` or no eligible move remains; `choice` and the running totals
+// are updated in place and `moves` counts committed moves. `touched`, when
+// non-null, records every group a commit moved (possibly repeated) so the
+// warm path can refresh its carry-over for exactly those.
+void WalkDown(const MckpProblem& problem, const MckpPruning& pruning, std::size_t lo,
+              std::size_t hi, const std::vector<std::size_t>* only, double capacity,
+              std::vector<int>& choice, double& total_weight, double& total_cost,
+              std::size_t& moves, std::vector<std::size_t>* touched) {
+  auto next_move = [&](std::size_t g) -> Move {
+    const auto& group = problem.groups[g];
+    const auto& cur = group[choice[g]];
+    Move best{kInf, g, -1};
+    // The walk starts on the hull (min-cost choices are hull points) and
+    // stays there, so off-hull choices can never be the efficiency minimum —
+    // skipping them reproduces the full scan.
+    for (const int k : pruning.hull[g]) {
+      const double dw = cur.weight - group[k].weight;
+      if (dw <= 1e-12) {
+        continue;
+      }
+      const double dc = group[k].cost - cur.cost;
+      const double eff = dc / dw;
+      if (eff < best.efficiency) {
+        best = Move{eff, g, k};
+      }
+    }
+    return best;
+  };
+
+  std::priority_queue<Move, std::vector<Move>, std::greater<Move>> heap;
+  auto push_group = [&](std::size_t g) {
+    const Move m = next_move(g);
+    if (m.to >= 0) {
+      heap.push(m);
+    }
+  };
+  if (only != nullptr) {
+    for (const std::size_t g : *only) {
+      push_group(g);
+    }
+  } else {
+    for (std::size_t g = lo; g < hi; ++g) {
+      push_group(g);
+    }
+  }
+  while (total_weight > capacity && !heap.empty()) {
+    const Move m = heap.top();
+    heap.pop();
+    // The stored move may be stale if the group has moved since; recompute.
+    const Move fresh = next_move(m.group);
+    if (fresh.to < 0) {
       continue;
     }
-    std::vector<int> order(group.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](int a, int b) {
-      if (group[a].weight != group[b].weight) {
-        return group[a].weight < group[b].weight;
-      }
-      if (group[a].cost != group[b].cost) {
-        return group[a].cost < group[b].cost;
-      }
-      return a < b;
-    });
-
-    // Dominance sweep in ascending weight: everything already seen is
-    // lighter-or-equal, so k survives iff nothing seen is strictly cheaper or
-    // equally cheap with a smaller index.
-    double best_cost = kInf;
-    int best_index = -1;
-    for (const int k : order) {
-      const double cost = group[k].cost;
-      if (cost < best_cost || (cost == best_cost && k < best_index)) {
-        best_cost = cost;
-        best_index = k;
-      }
-      // After the update best_cost <= cost; k survives iff it is itself the
-      // (cost, index)-lexicographic minimum of everything seen so far.
-      if (cost == best_cost && best_index >= k) {
-        dominant.push_back(k);
-      }
+    if (fresh.to != m.to || std::abs(fresh.efficiency - m.efficiency) > 1e-12) {
+      heap.push(fresh);
+      continue;
     }
-    std::sort(dominant.begin(), dominant.end());
+    const auto& group = problem.groups[m.group];
+    total_weight -= group[choice[m.group]].weight - group[m.to].weight;
+    total_cost += group[m.to].cost - group[choice[m.group]].cost;
+    choice[m.group] = m.to;
+    ++moves;
+    if (touched != nullptr) {
+      touched->push_back(m.group);
+    }
+    const Move again = next_move(m.group);
+    if (again.to >= 0) {
+      heap.push(again);
+    }
+  }
+}
 
-    // Lower convex hull over the distinct-weight minima (the first entry of
-    // each weight run in `order` is that weight's cheapest choice). Pops use
-    // a strict test so colinear points stay on the hull — they tie the
-    // adjacent vertex's efficiency and the unpruned walk may pick them.
-    struct Point {
-      double weight;
-      double cost;
-    };
-    std::vector<Point> chain;
-    for (const int k : order) {
-      const Point p{group[k].weight, group[k].cost};
-      if (!chain.empty() && chain.back().weight == p.weight) {
-        continue;  // heavier-cost duplicate weight: strictly above the hull
+// Local improvement: spend leftover budget on cost reductions, best gain
+// first per group, until a full pass makes no change or `max_rounds` passes
+// ran. Returns the number of committed improvement (exchange) moves. The
+// warm path bounds this (Options::warm_exchange_rounds) — its incumbent
+// already sits near the efficiency frontier, so a short repair reconverges.
+std::size_t ImprovementPass(const MckpProblem& problem, const MckpPruning& pruning,
+                            std::vector<int>& choice, double& total_weight, double& total_cost,
+                            double capacity, int max_rounds, std::vector<double>* min_gain_dw,
+                            std::vector<std::size_t>* touched) {
+  std::size_t moves = 0;
+  // Rounds after the first revisit only the groups that moved last round (a
+  // dirty worklist). This is exactly the full re-scan: every committed move
+  // strictly *consumes* budget slack (a cheaper no-heavier sibling would
+  // dominate the current choice, so any gain candidate is strictly heavier),
+  // so a group left untouched at some visit — no feasible gain under the
+  // then-larger slack — can never acquire one until its own choice changes.
+  //
+  // `min_gain_dw` (the warm path's carry, see Impl::min_gain_dw) sharpens the
+  // first round the same way: a group whose lightest gain candidate does not
+  // fit the current slack is rejected on one array read, no row scan. The
+  // caller guarantees it is current for every group; commits keep it so.
+  // `touched` records committed groups for the caller's carry refresh.
+  std::vector<std::size_t> dirty;
+  std::vector<std::size_t> next_dirty;
+  for (int round = 0; round < max_rounds; ++round) {
+    next_dirty.clear();
+    auto visit = [&](std::size_t g) {
+      if (min_gain_dw != nullptr &&
+          total_weight + (*min_gain_dw)[g] > capacity * (1.0 + 1e-12)) {
+        return;
       }
-      while (chain.size() >= 2) {
-        const Point& a = chain[chain.size() - 2];
-        const Point& b = chain.back();
-        // b is strictly above segment a->p iff slope(a,b) > slope(b,p).
-        if ((b.cost - a.cost) * (p.weight - b.weight) >
-            (p.cost - b.cost) * (b.weight - a.weight)) {
-          chain.pop_back();
-        } else {
-          break;
+      const auto& group = problem.groups[g];
+      const auto& cur = group[choice[g]];
+      int best = -1;
+      double best_gain = 0.0;
+      // Dominated candidates are safe to skip: the dominator fits whenever
+      // they do and gains at least as much (hull restriction would NOT be —
+      // a budget cutting mid-segment can make an interior point the best
+      // feasible gain).
+      for (const int k : pruning.dominant[g]) {
+        const double dc = cur.cost - group[k].cost;
+        const double dw = group[k].weight - cur.weight;
+        if (dc > best_gain && total_weight + dw <= capacity * (1.0 + 1e-12)) {
+          best = k;
+          best_gain = dc;
         }
       }
-      chain.push_back(p);
-    }
-    std::size_t at = 0;
-    for (const int k : order) {
-      while (at < chain.size() && chain[at].weight < group[k].weight) {
-        ++at;
+      if (best >= 0) {
+        total_weight += group[best].weight - cur.weight;
+        total_cost -= best_gain;
+        choice[g] = best;
+        if (min_gain_dw != nullptr) {
+          (*min_gain_dw)[g] = MinGainDw(group, pruning.dominant[g], best);
+        }
+        if (touched != nullptr) {
+          touched->push_back(g);
+        }
+        next_dirty.push_back(g);  // ascending: g visits are in ascending order
+        ++moves;
       }
-      if (at < chain.size() && chain[at].weight == group[k].weight &&
-          chain[at].cost == group[k].cost) {
-        hull.push_back(k);
+    };
+    if (round == 0) {
+      for (std::size_t g = 0; g < problem.groups.size(); ++g) {
+        visit(g);
+      }
+    } else {
+      for (const std::size_t g : dirty) {
+        visit(g);
       }
     }
-    std::sort(hull.begin(), hull.end());
-
-    stats.pruned_dominated += group.size() - dominant.size();
-    stats.pruned_off_hull += group.size() - hull.size();
+    if (next_dirty.empty()) {
+      break;
+    }
+    dirty.swap(next_dirty);
   }
-  return pruning;
+  return moves;
+}
+
+// Recomputes the solution's totals as fresh group-order sums — kills the
+// floating-point drift incremental updates would otherwise accumulate across
+// warm windows, and makes ValidateSolution's reported-cost check exact.
+void FreshTotals(const MckpProblem& problem, MckpSolution& solution) {
+  solution.total_cost = 0.0;
+  solution.total_weight = 0.0;
+  for (std::size_t g = 0; g < problem.groups.size(); ++g) {
+    const auto& choice = problem.groups[g][solution.choice[g]];
+    solution.total_cost += choice.cost;
+    solution.total_weight += choice.weight;
+  }
 }
 
 }  // namespace
@@ -187,6 +482,10 @@ Status ValidateSolution(const MckpProblem& problem, const MckpSolution& solution
 }
 
 StatusOr<MckpSolution> MckpSolver::Solve(const MckpProblem& problem) {
+  // Per-solve stats: reset before anything can fail, so back-to-back windows
+  // — including ones whose solve is rejected or times out — never report the
+  // previous solve's dp_cells/greedy_moves (MckpSolverTest.StatsResetPerSolve).
+  stats_ = SolveStats{};
   // Injected faults fire before any solving work, modeling the solve being
   // abandoned at the window boundary (§8.4) rather than mid-DP.
   if (ShouldInjectFault(fault_, FaultSite::kSolverTimeout)) {
@@ -196,6 +495,65 @@ StatusOr<MckpSolution> MckpSolver::Solve(const MckpProblem& problem) {
     return ResourceExhausted("mckp: no feasible placement (injected)");
   }
   TS_RETURN_IF_ERROR(CheckProblem(problem));
+  stats_.groups_total = problem.groups.size();
+  return SolveCold(problem, nullptr);
+}
+
+StatusOr<MckpSolution> MckpSolver::Solve(const MckpProblem& problem, MckpIncrementalState* state,
+                                         const std::vector<std::uint8_t>* changed_hint) {
+  stats_ = SolveStats{};
+  if (ShouldInjectFault(fault_, FaultSite::kSolverTimeout)) {
+    return DeadlineExceeded("mckp: solve exceeded its window budget (injected)");
+  }
+  if (ShouldInjectFault(fault_, FaultSite::kSolverInfeasible)) {
+    return ResourceExhausted("mckp: no feasible placement (injected)");
+  }
+  stats_.groups_total = problem.groups.size();
+  if (state == nullptr) {
+    TS_RETURN_IF_ERROR(CheckProblem(problem));
+    return SolveCold(problem, nullptr);
+  }
+  MckpIncrementalState::Impl& carry = *state->impl_;
+  const bool compatible = carry.valid && carry.choice.size() == problem.groups.size() &&
+                          carry.prune == options_.prune;
+  if (compatible) {
+    // The full CheckProblem sweep is deferred to the cold path: unchanged
+    // groups carry rows a previous checked solve validated, and SolveWarm
+    // re-validates the changed groups' rows itself. Any problem it cannot
+    // vouch for (bad rows, infeasible budget) aborts into the fallback
+    // below, where CheckProblem reports the canonical error. At 10⁶ groups
+    // the sweep costs more than a quarter of the whole warm window (§6.4).
+    // Capacity must be vetted here: NaN compares false against every running
+    // total, so the warm gates alone would wave it through.
+    if (!(problem.capacity >= 0.0)) {
+      return InvalidArgument("mckp: negative capacity");
+    }
+    auto warm = SolveWarm(problem, *state, changed_hint);
+    if (warm.ok()) {
+      return warm;
+    }
+    // Delta-repair declined (churn, lying hint, or failed validation): run
+    // the full solve. Re-reset the work counters the aborted attempt
+    // accumulated so the reported stats describe the solve that produced the
+    // returned plan, keeping only the churn measurement.
+    const std::size_t groups_changed = stats_.groups_changed;
+    stats_ = SolveStats{};
+    stats_.groups_total = problem.groups.size();
+    stats_.groups_changed = groups_changed;
+    stats_.warm_fallback = true;
+  }
+  TS_RETURN_IF_ERROR(CheckProblem(problem));
+  MckpPruning pruning;
+  auto solution = SolveCold(problem, &pruning);
+  if (solution.ok()) {
+    RefreshState(problem, *solution, &pruning, *state);
+  } else {
+    state->Reset();
+  }
+  return solution;
+}
+
+StatusOr<MckpSolution> MckpSolver::SolveCold(const MckpProblem& problem, MckpPruning* keep) {
   std::size_t pairs = 0;
   for (const auto& group : problem.groups) {
     pairs += group.size();
@@ -210,27 +568,33 @@ StatusOr<MckpSolution> MckpSolver::Solve(const MckpProblem& problem) {
                    ? Strategy::kDp
                    : Strategy::kGreedy;
   }
-  stats_ = SolveStats{};
   stats_.used = strategy;
-  const MckpPruning pruning = BuildPruning(problem, options_.prune, stats_);
-  if (strategy == Strategy::kDp) {
-    auto solution = SolveDp(problem, pruning);
-    if (solution.ok() || solution.status().code() != StatusCode::kResourceExhausted) {
-      return solution;
-    }
-    // The DP rounds weights up; an exact-fit budget can become infeasible at
-    // the chosen resolution. The greedy path uses exact arithmetic.
-    stats_.used = Strategy::kGreedy;
-    return SolveGreedy(problem, pruning);
+  if (strategy == Strategy::kGreedy && options_.shards > 1) {
+    return SolveGreedySharded(problem, keep);
   }
-  return SolveGreedy(problem, pruning);
+  MckpPruning pruning = BuildPruning(problem, options_.prune, stats_);
+  StatusOr<MckpSolution> solution = OkStatus();
+  if (strategy == Strategy::kDp) {
+    solution = SolveDp(problem, pruning);
+    if (!solution.ok() && solution.status().code() == StatusCode::kResourceExhausted) {
+      // The DP rounds weights up; an exact-fit budget can become infeasible
+      // at the chosen resolution. The greedy path uses exact arithmetic.
+      stats_.used = Strategy::kGreedy;
+      solution = SolveGreedy(problem, pruning);
+    }
+  } else {
+    solution = SolveGreedy(problem, pruning);
+  }
+  if (keep != nullptr) {
+    *keep = std::move(pruning);
+  }
+  return solution;
 }
 
 int MckpSolver::EffectiveBuckets(std::size_t n_groups) const {
   const std::size_t scaled = 16 * n_groups;
   const auto wanted = std::max<std::size_t>(scaled, options_.dp_buckets);
-  return static_cast<int>(
-      std::min<std::size_t>(wanted, options_.dp_buckets_max));
+  return static_cast<int>(std::min<std::size_t>(wanted, options_.dp_buckets_max));
 }
 
 StatusOr<MckpSolution> MckpSolver::SolveDp(const MckpProblem& problem,
@@ -238,9 +602,8 @@ StatusOr<MckpSolution> MckpSolver::SolveDp(const MckpProblem& problem,
   const std::size_t n_groups = problem.groups.size();
   const int buckets = EffectiveBuckets(n_groups);
   // Bucket width; capacity 0 degenerates to "all weights must be 0".
-  const double width = problem.capacity > 0.0
-                           ? problem.capacity / static_cast<double>(buckets)
-                           : 1.0;
+  const double width =
+      problem.capacity > 0.0 ? problem.capacity / static_cast<double>(buckets) : 1.0;
   auto quantize = [&](double weight) -> int {
     if (weight <= 0.0) {
       return 0;
@@ -302,11 +665,7 @@ StatusOr<MckpSolution> MckpSolver::SolveDp(const MckpProblem& problem,
     solution.choice[g] = k;
     b -= quantize(problem.groups[g][k].weight);
   }
-  for (std::size_t g = 0; g < n_groups; ++g) {
-    const auto& choice = problem.groups[g][solution.choice[g]];
-    solution.total_cost += choice.cost;
-    solution.total_weight += choice.weight;
-  }
+  FreshTotals(problem, solution);
   solution.optimal = true;
   return solution;
 }
@@ -316,124 +675,303 @@ StatusOr<MckpSolution> MckpSolver::SolveGreedy(const MckpProblem& problem,
   const std::size_t n_groups = problem.groups.size();
   MckpSolution solution;
   solution.choice.assign(n_groups, 0);
-
-  // Start each group at its minimum-cost choice (never dominance-pruned: a
-  // dominator would have to be at least as cheap with a smaller index).
   double total_weight = 0.0;
   double total_cost = 0.0;
-  for (std::size_t g = 0; g < n_groups; ++g) {
-    const auto& group = problem.groups[g];
-    const std::vector<int>& keep = pruning.dominant[g];
-    int best = keep.front();
-    for (const int k : keep) {
-      if (group[k].cost < group[best].cost) {
-        best = k;
-      }
-    }
-    solution.choice[g] = best;
-    total_weight += group[best].weight;
-    total_cost += group[best].cost;
-  }
-
-  // Weight-reduction moves, cheapest marginal cost per unit of weight first
-  // (the convex-hull walk of the LP relaxation).
-  struct Move {
-    double efficiency;  // delta cost / delta weight
-    std::size_t group;
-    int to;
-    bool operator>(const Move& other) const { return efficiency > other.efficiency; }
-  };
-  auto next_move = [&](std::size_t g) -> Move {
-    const auto& group = problem.groups[g];
-    const auto& cur = group[solution.choice[g]];
-    Move best{kInf, g, -1};
-    // The walk starts on the hull (min-cost choices are hull points) and
-    // stays there, so off-hull choices can never be the efficiency minimum —
-    // skipping them reproduces the full scan.
-    for (const int k : pruning.hull[g]) {
-      const double dw = cur.weight - group[k].weight;
-      if (dw <= 1e-12) {
-        continue;
-      }
-      const double dc = group[k].cost - cur.cost;
-      const double eff = dc / dw;
-      if (eff < best.efficiency) {
-        best = Move{eff, g, k};
-      }
-    }
-    return best;
-  };
-
-  std::priority_queue<Move, std::vector<Move>, std::greater<Move>> heap;
-  for (std::size_t g = 0; g < n_groups; ++g) {
-    const Move m = next_move(g);
-    if (m.to >= 0) {
-      heap.push(m);
-    }
-  }
-  while (total_weight > problem.capacity && !heap.empty()) {
-    const Move m = heap.top();
-    heap.pop();
-    // The stored move may be stale if the group has moved since; recompute.
-    const Move fresh = next_move(m.group);
-    if (fresh.to < 0) {
-      continue;
-    }
-    if (fresh.to != m.to || std::abs(fresh.efficiency - m.efficiency) > 1e-12) {
-      heap.push(fresh);
-      continue;
-    }
-    const auto& group = problem.groups[m.group];
-    total_weight -= group[solution.choice[m.group]].weight - group[m.to].weight;
-    total_cost += group[m.to].cost - group[solution.choice[m.group]].cost;
-    solution.choice[m.group] = m.to;
-    ++stats_.greedy_moves;
-    const Move again = next_move(m.group);
-    if (again.to >= 0) {
-      heap.push(again);
-    }
-  }
+  SeedMinCost(problem, pruning, 0, n_groups, solution.choice, total_weight, total_cost);
+  WalkDown(problem, pruning, 0, n_groups, nullptr, problem.capacity, solution.choice,
+           total_weight, total_cost, stats_.greedy_moves, nullptr);
   if (total_weight > problem.capacity * (1.0 + 1e-9)) {
     return ResourceExhausted("mckp: greedy could not meet capacity");
   }
-
-  // Local improvement: spend leftover budget on cost reductions, best
-  // cost-per-weight first, until a full pass makes no change.
-  for (int round = 0; round < 8; ++round) {
-    bool changed = false;
-    for (std::size_t g = 0; g < n_groups; ++g) {
-      const auto& group = problem.groups[g];
-      const auto& cur = group[solution.choice[g]];
-      int best = -1;
-      double best_gain = 0.0;
-      // Dominated candidates are safe to skip: the dominator fits whenever
-      // they do and gains at least as much (hull restriction would NOT be —
-      // a budget cutting mid-segment can make an interior point the best
-      // feasible gain).
-      for (const int k : pruning.dominant[g]) {
-        const double dc = cur.cost - group[k].cost;
-        const double dw = group[k].weight - cur.weight;
-        if (dc > best_gain && total_weight + dw <= problem.capacity * (1.0 + 1e-12)) {
-          best = k;
-          best_gain = dc;
-        }
-      }
-      if (best >= 0) {
-        total_weight += group[best].weight - cur.weight;
-        total_cost -= best_gain;
-        solution.choice[g] = best;
-        changed = true;
-      }
-    }
-    if (!changed) {
-      break;
-    }
-  }
-
+  ImprovementPass(problem, pruning, solution.choice, total_weight, total_cost, problem.capacity,
+                  8, nullptr, nullptr);
   solution.total_cost = total_cost;
   solution.total_weight = total_weight;
   solution.optimal = false;
   return solution;
+}
+
+StatusOr<MckpSolution> MckpSolver::SolveGreedySharded(const MckpProblem& problem,
+                                                      MckpPruning* keep) {
+  const std::size_t n_groups = problem.groups.size();
+  const std::size_t n_shards =
+      std::min<std::size_t>(std::max(options_.shards, 1), n_groups);
+  stats_.shards_used = static_cast<int>(n_shards);
+
+  MckpPruning pruning;
+  pruning.dominant.resize(n_groups);
+  pruning.hull.resize(n_groups);
+  MckpSolution solution;
+  solution.choice.assign(n_groups, 0);
+
+  // Per-shard slots: workers compute pure results into their own Shard (and
+  // into the disjoint [lo, hi) slices of `pruning` and `solution.choice`);
+  // every fold into stats_/totals happens below on the submitting thread in
+  // ascending shard order (thread_pool.h invariant), so the result is a
+  // function of the shard count, never the pool size.
+  struct Shard {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    PruneCounts counts;
+    double min_weight = 0.0;   // sum of per-group minimum weights
+    double seed_weight = 0.0;  // totals at the min-cost seed
+    double seed_cost = 0.0;
+    double weight = 0.0;  // totals after the shard-local walk
+    double cost = 0.0;
+    std::size_t moves = 0;
+  };
+  std::vector<Shard> shards(n_shards);
+  for (std::size_t i = 0; i < n_shards; ++i) {
+    shards[i].lo = n_groups * i / n_shards;
+    shards[i].hi = n_groups * (i + 1) / n_shards;
+  }
+  auto for_each_shard = [&](const std::function<void(std::size_t)>& fn) {
+    if (options_.pool != nullptr && n_shards > 1) {
+      options_.pool->ParallelFor(n_shards, fn);
+    } else {
+      for (std::size_t i = 0; i < n_shards; ++i) {
+        fn(i);
+      }
+    }
+  };
+
+  // Phase 1 (parallel, pure): prune and seed each shard, and collect the
+  // terms of the budget split.
+  for_each_shard([&](std::size_t i) {
+    Shard& shard = shards[i];
+    PruneScratch scratch;  // worker-local: PruneGroup stays a pure per-slot computation
+    for (std::size_t g = shard.lo; g < shard.hi; ++g) {
+      const auto& group = problem.groups[g];
+      PruneGroup(group, options_.prune, pruning.dominant[g], pruning.hull[g], shard.counts,
+                 scratch);
+      double min_weight = kInf;
+      for (const auto& choice : group) {
+        min_weight = std::min(min_weight, choice.weight);
+      }
+      shard.min_weight += min_weight;
+    }
+    SeedMinCost(problem, pruning, shard.lo, shard.hi, solution.choice, shard.seed_weight,
+                shard.seed_cost);
+  });
+
+  // Top-level budget split (sequential, ascending): every shard keeps its
+  // mandatory minimum and receives the global slack in proportion to how
+  // much weight its seed could shed — a uniform cut of the LP-relaxation
+  // frontier when shards are statistically similar; the global repair below
+  // absorbs the imbalance when they are not.
+  double min_total = 0.0;
+  double span_total = 0.0;
+  for (const Shard& shard : shards) {
+    FoldCounts(shard.counts, stats_);
+    min_total += shard.min_weight;
+    span_total += shard.seed_weight - shard.min_weight;
+  }
+  const double slack = problem.capacity - min_total;
+  const double frac = span_total > 0.0 ? std::clamp(slack / span_total, 0.0, 1.0) : 1.0;
+
+  // Phase 2 (parallel, pure): walk each shard down to its budget share.
+  for_each_shard([&](std::size_t i) {
+    Shard& shard = shards[i];
+    shard.weight = shard.seed_weight;
+    shard.cost = shard.seed_cost;
+    const double sub_capacity = shard.min_weight + frac * (shard.seed_weight - shard.min_weight);
+    WalkDown(problem, pruning, shard.lo, shard.hi, nullptr, sub_capacity, solution.choice,
+             shard.weight, shard.cost, shard.moves, nullptr);
+  });
+
+  // Sequential merge in submission order, then top-level repair: a residual
+  // overshoot (float edges of the split) continues the walk globally, and
+  // the improvement pass re-spends slack across shard boundaries.
+  double total_weight = 0.0;
+  double total_cost = 0.0;
+  for (const Shard& shard : shards) {
+    total_weight += shard.weight;
+    total_cost += shard.cost;
+    stats_.greedy_moves += shard.moves;
+  }
+  if (total_weight > problem.capacity) {
+    WalkDown(problem, pruning, 0, n_groups, nullptr, problem.capacity, solution.choice,
+             total_weight, total_cost, stats_.greedy_moves, nullptr);
+  }
+  if (total_weight > problem.capacity * (1.0 + 1e-9)) {
+    return ResourceExhausted("mckp: sharded greedy could not meet capacity");
+  }
+  ImprovementPass(problem, pruning, solution.choice, total_weight, total_cost, problem.capacity,
+                  8, nullptr, nullptr);
+  FreshTotals(problem, solution);
+  solution.optimal = false;
+  if (keep != nullptr) {
+    *keep = std::move(pruning);
+  }
+  return solution;
+}
+
+StatusOr<MckpSolution> MckpSolver::SolveWarm(const MckpProblem& problem,
+                                             MckpIncrementalState& state,
+                                             const std::vector<std::uint8_t>* changed_hint) {
+  MckpIncrementalState::Impl& carry = *state.impl_;
+  const std::size_t n_groups = problem.groups.size();
+
+  // Changed-group detection: the caller's bitmap when provided (with a
+  // deterministic sampled digest cross-check), per-group digests otherwise.
+  std::vector<std::size_t> changed_list;
+  const bool hinted = changed_hint != nullptr && changed_hint->size() == n_groups;
+  if (hinted) {
+    const std::size_t stride = options_.warm_check_stride;
+    if (stride > 0) {
+      for (std::size_t g = stride - 1; g < n_groups; g += stride) {
+        if ((*changed_hint)[g] == 0 && HashGroup(problem.groups[g]) != carry.digest[g]) {
+          // The hint claims this group is unchanged but its rows moved:
+          // discard the hint entirely (it cannot be trusted for any group)
+          // and let the caller's full solve refresh the state.
+          return InvalidArgument("mckp: changed-group hint contradicts group digest");
+        }
+      }
+    }
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      if ((*changed_hint)[g] != 0) {
+        changed_list.push_back(g);
+      }
+    }
+  } else {
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      if (HashGroup(problem.groups[g]) != carry.digest[g]) {
+        changed_list.push_back(g);
+      }
+    }
+  }
+  stats_.groups_changed = changed_list.size();
+  if (static_cast<double>(changed_list.size()) >
+      options_.warm_churn_fallback * static_cast<double>(n_groups)) {
+    return ResourceExhausted("mckp: churn above warm-start threshold");
+  }
+
+  // Delta repair on the incumbent: re-prune and re-seed only the changed
+  // groups; unchanged groups keep their plan, pruning, and contributions.
+  // Every per-group carry slot is refreshed the moment that group's rows or
+  // choice move (and only then): the window's total work — including the
+  // carry-over bookkeeping — is proportional to churn, never to n_groups.
+  double total_weight = carry.total_weight;
+  double total_cost = carry.total_cost;
+  std::vector<int> choice = carry.choice;
+  PruneCounts counts;
+  PruneScratch scratch;
+  for (const std::size_t g : changed_list) {
+    // Changed rows are new to the solver: apply CheckProblem's per-row
+    // validation here (unchanged groups already passed it when the carry-over
+    // was built; Solve skips the full sweep on the warm path).
+    if (problem.groups[g].empty()) {
+      return InvalidArgument("mckp: empty group");
+    }
+    for (const auto& row : problem.groups[g]) {
+      if (row.weight < 0.0 || !std::isfinite(row.cost)) {
+        return InvalidArgument("mckp: bad choice");
+      }
+    }
+    PruneGroup(problem.groups[g], options_.prune, carry.pruning.dominant[g],
+               carry.pruning.hull[g], counts, scratch);
+    carry.digest[g] = HashGroup(problem.groups[g]);
+    total_weight -= carry.chosen_weight[g];
+    total_cost -= carry.chosen_cost[g];
+    SeedMinCost(problem, carry.pruning, g, g + 1, choice, total_weight, total_cost);
+  }
+  FoldCounts(counts, stats_);
+
+  // Hull walk over the changed set first (unchanged groups' budget slack is
+  // carried over in the running totals); only if that cannot reach the new
+  // capacity — shrunk budget, heavy churn — are unchanged groups mobilized.
+  std::vector<std::size_t> walked;
+  if (total_weight > problem.capacity) {
+    WalkDown(problem, carry.pruning, 0, n_groups, &changed_list, problem.capacity, choice,
+             total_weight, total_cost, stats_.greedy_moves, &walked);
+  }
+  if (total_weight > problem.capacity) {
+    WalkDown(problem, carry.pruning, 0, n_groups, nullptr, problem.capacity, choice,
+             total_weight, total_cost, stats_.greedy_moves, &walked);
+  }
+  if (total_weight > problem.capacity * (1.0 + 1e-9)) {
+    return ResourceExhausted("mckp: warm repair could not meet capacity");
+  }
+
+  // Refresh the carry slots of everything the seed/walk moved before the
+  // exchange pass reads min_gain_dw (ImprovementPass requires it current).
+  for (const std::size_t g : changed_list) {
+    const auto& chosen = problem.groups[g][choice[g]];
+    carry.chosen_cost[g] = chosen.cost;
+    carry.chosen_weight[g] = chosen.weight;
+    carry.min_gain_dw[g] = MinGainDw(problem.groups[g], carry.pruning.dominant[g], choice[g]);
+  }
+  for (const std::size_t g : walked) {
+    const auto& chosen = problem.groups[g][choice[g]];
+    carry.chosen_cost[g] = chosen.cost;
+    carry.chosen_weight[g] = chosen.weight;
+    carry.min_gain_dw[g] = MinGainDw(problem.groups[g], carry.pruning.dominant[g], choice[g]);
+  }
+
+  // Bounded exchange repair restores the efficiency frontier across the
+  // changed/unchanged boundary and spends any slack the churn freed.
+  std::vector<std::size_t> improved;
+  stats_.exchange_moves = ImprovementPass(problem, carry.pruning, choice, total_weight,
+                                          total_cost, problem.capacity,
+                                          options_.warm_exchange_rounds, &carry.min_gain_dw,
+                                          &improved);
+  for (const std::size_t g : improved) {
+    const auto& chosen = problem.groups[g][choice[g]];
+    carry.chosen_cost[g] = chosen.cost;
+    carry.chosen_weight[g] = chosen.weight;
+  }
+
+  // The running totals ARE the solution totals: every update above was a
+  // paired subtract/add of exact row values, so their drift off the fresh
+  // ascending-order sum is ~machine-epsilon × ops — orders of magnitude
+  // inside ValidateSolution's reported-cost tolerance (IncrementalSolveTest
+  // cross-checks every warm window with the public ValidateSolution). The
+  // capacity gate below is ValidateSolution's, inlined; choice indices come
+  // from the pruned lists so the bounds check is structural. An O(n)
+  // re-validation sweep here would cost more than the whole repair.
+  MckpSolution solution;
+  solution.choice = std::move(choice);
+  solution.total_cost = total_cost;
+  solution.total_weight = total_weight;
+  solution.optimal = false;
+  if (solution.total_weight > problem.capacity * (1.0 + 1e-9) + 1e-9) {
+    // Caller falls back to the full solve, which rebuilds the carry-over.
+    return FailedPrecondition("mckp: warm repair exceeds capacity");
+  }
+  stats_.used = Strategy::kGreedy;
+  stats_.warm = true;
+
+  // Digests, pruning, and per-group slots for the moved groups were updated
+  // in place above.
+  carry.choice = solution.choice;
+  carry.total_cost = solution.total_cost;
+  carry.total_weight = solution.total_weight;
+  carry.capacity = problem.capacity;
+  return solution;
+}
+
+void MckpSolver::RefreshState(const MckpProblem& problem, const MckpSolution& solution,
+                              MckpPruning* pruning, MckpIncrementalState& state) {
+  MckpIncrementalState::Impl& carry = *state.impl_;
+  const std::size_t n_groups = problem.groups.size();
+  carry.pruning = std::move(*pruning);
+  carry.digest.resize(n_groups);
+  carry.chosen_cost.resize(n_groups);
+  carry.chosen_weight.resize(n_groups);
+  carry.min_gain_dw.resize(n_groups);
+  carry.choice = solution.choice;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    carry.digest[g] = HashGroup(problem.groups[g]);
+    const auto& chosen = problem.groups[g][solution.choice[g]];
+    carry.chosen_cost[g] = chosen.cost;
+    carry.chosen_weight[g] = chosen.weight;
+    carry.min_gain_dw[g] = MinGainDw(problem.groups[g], carry.pruning.dominant[g], solution.choice[g]);
+  }
+  carry.total_cost = solution.total_cost;
+  carry.total_weight = solution.total_weight;
+  carry.capacity = problem.capacity;
+  carry.prune = options_.prune;
+  carry.valid = true;
 }
 
 }  // namespace tierscape

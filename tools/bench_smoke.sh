@@ -10,9 +10,10 @@
 #   - BENCH_grid.json            per-cell wall-time records
 #   - micro_migration.stdout     prints wall-clock speedups by design
 #   - micro_grid.stdout          prints wall-clock speedups by design
-# (their artifacts ARE still compared). The gbench trio
-# (micro_solver/micro_compress/micro_zpool) reports wall time only and is not
-# a grid bench, so it is out of scope here.
+# (their artifacts ARE still compared). micro_solver keeps its wall-clock
+# speedups on stderr, so its stdout table IS part of the diff. The gbench
+# pair (micro_compress/micro_zpool) reports wall time only and is not a grid
+# bench, so it is out of scope here.
 #
 # Usage: tools/bench_smoke.sh [BUILD_DIR] [OUT_DIR]
 set -eu
@@ -25,7 +26,7 @@ fig07_standard_mix fig08_waterfall_trace fig09_am_tco_trace fig10_knob_sweep \
 fig11_tail_latency fig12_spectrum_placement fig13_spectrum fig14_daemon_tax \
 fig15_resilience \
 ablation_cxl_backing ablation_filter ablation_tier_sets micro_migration \
-micro_grid"
+micro_grid micro_solver"
 
 rm -rf "$OUT"
 for threads in 1 4; do
@@ -50,5 +51,14 @@ diff -r \
 # Wall-time records must exist and carry one entry per run (content differs).
 test -s "$OUT/t1/BENCH_grid.json"
 test -s "$OUT/t4/BENCH_grid.json"
+
+# The solver scaling curve must emit a per-cell wall/solver/solve_ms record
+# (the across-PR perf trajectory, EXPERIMENTS.md "Solver scaling curve").
+for threads in 1 4; do
+  grep -q '"bench":"micro_solver","cell":"cold/n1000","metric":"wall/solver/solve_ms"' \
+    "$OUT/t$threads/BENCH_grid.json"
+  grep -q '"bench":"micro_solver","cell":"warm/n1000","metric":"wall/solver/warm_ms"' \
+    "$OUT/t$threads/BENCH_grid.json"
+done
 
 echo "[bench_smoke] OK: all grid benches byte-identical across thread counts"
