@@ -19,6 +19,18 @@ constexpr std::uint64_t SplitMix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// Derives the `index`-th child seed of `base`: the canonical way to split one
+// experiment seed into independent streams (per-tenant seeds, per-site fault
+// streams, a workload's secondary generators). Two SplitMix64 rounds keep
+// children decorrelated even for adjacent (base, index) pairs — unlike the
+// `base + index` arithmetic this replaces, where child i of base b collides
+// with child i-1 of base b+1. A child is never equal to common sentinel
+// values' trivial transforms; callers that reserve 0 as "disabled" should
+// still check, since any 64-bit value is reachable in principle.
+constexpr std::uint64_t SplitSeed(std::uint64_t base, std::uint64_t index) {
+  return SplitMix64(base ^ SplitMix64(index + 0x9e3779b97f4a7c15ULL));
+}
+
 // xoshiro256++ — fast, high-quality, deterministic PRNG.
 class Rng {
  public:

@@ -6,6 +6,26 @@
 #include "src/common/logging.h"
 
 namespace tierscape {
+namespace {
+
+// Steepest perf-per-TCO-dollar slope still available to `group` after
+// choosing `chosen`: max over alternatives that cost more TCO but less perf.
+// This is the group's contribution to the LP shadow price of Eq. 2's budget
+// constraint — the gradient a global arbiter compares across tenants.
+double GroupMarginalSlope(const std::vector<MckpChoice>& group, int chosen) {
+  const MckpChoice& current = group[chosen];
+  double best = 0.0;
+  for (const MckpChoice& alt : group) {
+    const double extra_weight = alt.weight - current.weight;
+    const double saved_cost = current.cost - alt.cost;
+    if (extra_weight > 1e-12 && saved_cost > 0.0) {
+      best = std::max(best, saved_cost / extra_weight);
+    }
+  }
+  return best;
+}
+
+}  // namespace
 
 AnalyticalPolicy::AnalyticalPolicy(double alpha, MckpSolver::Options solver_options)
     : alpha_(std::clamp(alpha, 0.0, 1.0)), solver_(solver_options) {
@@ -27,9 +47,11 @@ StatusOr<PlacementDecision> AnalyticalPolicy::Decide(const PlacementInput& input
   stats_.last_warm_fallback = false;
   stats_.last_groups_changed = 0;
   stats_.last_shards = 1;
+  stats_.last_marginal_gradient = 0.0;
 
   // Knob endpoints have exact answers (Fig. 5): alpha = 1 keeps everything in
-  // DRAM; alpha = 0 takes every region's cheapest tier.
+  // DRAM (the budget constraint is slack, so the marginal gradient is zero);
+  // alpha = 0 takes every region's cheapest tier.
   if (alpha_ >= 1.0) {
     ++stats_.solves;
     return PlacementDecision(input.regions.size(), 0);
@@ -37,19 +59,22 @@ StatusOr<PlacementDecision> AnalyticalPolicy::Decide(const PlacementInput& input
   if (alpha_ <= 0.0) {
     PlacementDecision decision;
     decision.reserve(input.regions.size());
+    double gradient = 0.0;
+    std::vector<MckpChoice> choices(n_tiers);
     for (const RegionProfile& region : input.regions) {
       int best = 0;
-      double best_weight = model.RegionTcoCost(region.region, 0);
-      for (int tier = 1; tier < n_tiers; ++tier) {
-        const double weight = model.RegionTcoCost(region.region, tier);
-        if (weight < best_weight - 1e-15) {
+      for (int tier = 0; tier < n_tiers; ++tier) {
+        choices[tier].cost = model.RegionPerfCost(region.region, region.hotness, tier);
+        choices[tier].weight = model.RegionTcoCost(region.region, tier);
+        if (tier > 0 && choices[tier].weight < choices[best].weight - 1e-15) {
           best = tier;
-          best_weight = weight;
         }
       }
       decision.push_back(best);
+      gradient = std::max(gradient, GroupMarginalSlope(choices, best));
     }
     ++stats_.solves;
+    stats_.last_marginal_gradient = gradient;
     return decision;
   }
 
@@ -86,6 +111,12 @@ StatusOr<PlacementDecision> AnalyticalPolicy::Decide(const PlacementInput& input
     return solution.status();
   }
   TS_CHECK(ValidateSolution(problem, *solution).ok());
+
+  double gradient = 0.0;
+  for (std::size_t g = 0; g < problem.groups.size(); ++g) {
+    gradient = std::max(gradient, GroupMarginalSlope(problem.groups[g], solution->choice[g]));
+  }
+  stats_.last_marginal_gradient = gradient;
 
   const auto elapsed = std::chrono::steady_clock::now() - start;
   ++stats_.solves;

@@ -33,6 +33,14 @@ class AnalyticalPolicy : public PlacementPolicy {
     bool last_warm_fallback = false;     // incumbent present but full solve ran
     std::size_t last_groups_changed = 0;  // churn the solver saw this window
     int last_shards = 1;
+    // Marginal TCO-vs-performance gradient of the last plan: the steepest
+    // perf_ovh reduction (Eq. 7 ns) available per extra normalized TCO
+    // dollar, maximized over every region's unchosen upgrades — the LP
+    // shadow price of the budget constraint (Eq. 2). Zero when no region can
+    // buy performance with more budget (e.g. everything already in DRAM).
+    // The multi-tenant utility arbiter reads this as each tenant's bid for
+    // additional capacity (DESIGN.md §4f).
+    double last_marginal_gradient = 0.0;
   };
 
   // alpha = 1: maximum performance (all DRAM); alpha = 0: maximum TCO savings.

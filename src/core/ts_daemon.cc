@@ -70,6 +70,7 @@ TsDaemon::TsDaemon(TieringEngine& engine, PlacementPolicy* policy, DaemonConfig 
   m_last_tco_ = &metrics.GetGauge("daemon/last/tco");
   m_last_tco_savings_ = &metrics.GetGauge("daemon/last/tco_savings");
   m_last_threshold_ = &metrics.GetGauge("daemon/last/hotness_threshold");
+  m_marginal_gradient_ = &metrics.GetGauge("solver/marginal_gradient");
   m_wall_last_solve_ms_ = &metrics.GetGauge("wall/solver/last_solve_ms");
   m_wall_total_solve_ms_ = &metrics.GetGauge("wall/solver/total_solve_ms");
   // Window-shape distributions: pages repacked and samples drained per window.
@@ -144,6 +145,8 @@ Status TsDaemon::OnWindowEnd() {
       record.solver_warm = analytical->stats().last_warm;
       record.solver_warm_fallback = analytical->stats().last_warm_fallback;
       record.solver_groups_changed = analytical->stats().last_groups_changed;
+      record.marginal_gradient = analytical->stats().last_marginal_gradient;
+      m_marginal_gradient_->Set(record.marginal_gradient);
       Nanos solve_cost = 0;
       if (config_.remote_solver) {
         solve_cost = config_.remote_rpc_latency;

@@ -103,6 +103,12 @@ class TsDaemon {
     bool solver_warm = false;                 // delta-repair produced the plan
     bool solver_warm_fallback = false;        // incumbent dropped; full solve ran
     std::uint64_t solver_groups_changed = 0;  // churn the solver saw
+    // Marginal TCO-vs-perf gradient of this window's plan (Eq. 2 shadow
+    // price, AnalyticalPolicy::Stats): the perf this tenant could still buy
+    // per extra TCO dollar. The multi-tenant utility arbiter reads it as the
+    // tenant's bid for more capacity (DESIGN.md §4f). Zero for non-AM
+    // policies and slack-budget windows.
+    double marginal_gradient = 0.0;
   };
 
   // `policy` may be null: profiling-only mode.
@@ -170,6 +176,7 @@ class TsDaemon {
   Gauge* m_last_tco_ = nullptr;
   Gauge* m_last_tco_savings_ = nullptr;
   Gauge* m_last_threshold_ = nullptr;
+  Gauge* m_marginal_gradient_ = nullptr;
   Gauge* m_wall_last_solve_ms_ = nullptr;   // wall/: excluded from determinism
   Gauge* m_wall_total_solve_ms_ = nullptr;  // comparisons (metrics.h)
   FixedHistogram* m_window_migrated_ = nullptr;

@@ -8,17 +8,12 @@
 namespace tierscape {
 namespace {
 
-// Distinct per-site salts so two sites with equal draw indices never share a
-// Bernoulli stream (golden-ratio multiples, same family as SplitMix64).
-constexpr std::array<std::uint64_t, kFaultSiteCount> kSiteSalt = {
-    0x9e3779b97f4a7c15ULL * 1, 0x9e3779b97f4a7c15ULL * 2, 0x9e3779b97f4a7c15ULL * 3,
-    0x9e3779b97f4a7c15ULL * 4, 0x9e3779b97f4a7c15ULL * 5, 0x9e3779b97f4a7c15ULL * 6,
-};
-
-// Top 53 bits of a SplitMix64 output, mapped to [0, 1).
+// Top 53 bits of a SplitMix64 output, mapped to [0, 1). Each site draws from
+// its own SplitSeed-derived child stream (src/common/rng.h), so two sites
+// with equal draw indices never share a Bernoulli sequence.
 double UnitDraw(std::uint64_t seed, FaultSite site, std::uint64_t index) {
-  const std::uint64_t x =
-      SplitMix64(seed ^ kSiteSalt[static_cast<int>(site)] ^ SplitMix64(index));
+  const std::uint64_t site_seed = SplitSeed(seed, static_cast<std::uint64_t>(site));
+  const std::uint64_t x = SplitMix64(site_seed ^ SplitMix64(index));
   return static_cast<double>(x >> 11) * 0x1.0p-53;
 }
 

@@ -52,11 +52,16 @@ MediumSpec CxlSpec(std::size_t capacity_bytes) {
 }
 
 Medium::Medium(MediumSpec spec, FaultInjector* fault)
-    : spec_(std::move(spec)), fault_(fault), allocator_(spec_.capacity_bytes / kPageSize) {}
+    : spec_(std::move(spec)), fault_(fault), allocator_(spec_.capacity_bytes / kPageSize) {
+  grant_frames_ = total_frames();  // no partition until an arbiter says so
+}
 
 StatusOr<std::uint64_t> Medium::AllocFrame() {
   if (ShouldInjectFault(fault_, FaultSite::kMediumExhausted)) {
     return OutOfMemory(spec_.name + ": out of frames (injected)");
+  }
+  if (ExceedsGrant(1)) {
+    return OutOfMemory(spec_.name + ": grant exhausted");
   }
   auto frame = allocator_.Alloc(0);
   if (!frame.ok()) {
@@ -70,6 +75,9 @@ Status Medium::FreeFrame(std::uint64_t frame) { return allocator_.Free(frame, 0)
 StatusOr<std::uint64_t> Medium::AllocBackedRun(int order) {
   if (ShouldInjectFault(fault_, FaultSite::kMediumExhausted)) {
     return OutOfMemory(spec_.name + ": out of pool pages (injected)");
+  }
+  if (ExceedsGrant(std::uint64_t{1} << order)) {
+    return OutOfMemory(spec_.name + ": grant exhausted");
   }
   auto frame = allocator_.Alloc(order);
   if (!frame.ok()) {

@@ -12,6 +12,7 @@
 #ifndef SRC_MEM_MEDIUM_H_
 #define SRC_MEM_MEDIUM_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -80,6 +81,18 @@ class Medium {
   std::uint64_t free_frames() const { return allocator_.free_frames(); }
   std::size_t used_bytes() const { return used_frames() * kPageSize; }
   std::size_t capacity_bytes() const { return spec_.capacity_bytes; }
+
+  // --- Grant cap (multi-tenant arbitration, DESIGN.md §4f) -----------------
+  // A soft capacity partition: allocations that would push used_bytes() above
+  // the grant fail with kOutOfMemory exactly like genuine exhaustion, so
+  // every caller's spill/degradation path already handles it. Shrinking the
+  // grant below current usage never reclaims — it only gates future
+  // allocations (the arbiter relies on natural drain via migration/eviction).
+  // Defaults to the full capacity (no partition).
+  void set_grant_bytes(std::size_t bytes) {
+    grant_frames_ = std::min<std::uint64_t>(bytes / kPageSize, total_frames());
+  }
+  std::size_t grant_bytes() const { return grant_frames_ * kPageSize; }
   double utilization() const {
     return total_frames() == 0
                ? 0.0
@@ -90,9 +103,15 @@ class Medium {
   double UsedCost() const { return BytesToGiB(used_bytes()) * spec_.cost_per_gib; }
 
  private:
+  // True when allocating `frames` more frames would exceed the current grant.
+  bool ExceedsGrant(std::uint64_t frames) const {
+    return used_frames() + frames > grant_frames_;
+  }
+
   MediumSpec spec_;
   FaultInjector* fault_ = nullptr;
   BuddyAllocator allocator_;
+  std::uint64_t grant_frames_ = 0;  // set to total_frames() at construction
   // Real backing for pool pages, keyed by first frame of the run.
   std::unordered_map<std::uint64_t, std::unique_ptr<std::byte[]>> backing_;
 };

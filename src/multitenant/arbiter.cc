@@ -1,0 +1,166 @@
+#include "src/multitenant/arbiter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace tierscape {
+namespace {
+
+// Splits `pool_bytes` across tenants proportionally to `shares` (which sum to
+// 1), at frame granularity, with largest-remainder rounding so the grants sum
+// exactly to the pool. Ties go to the lower tenant index (deterministic).
+std::vector<std::size_t> SplitPool(std::size_t pool_bytes, const std::vector<double>& shares) {
+  const std::size_t n = shares.size();
+  const std::uint64_t total_frames = pool_bytes / kPageSize;
+  std::vector<std::size_t> frames(n, 0);
+  std::vector<double> remainder(n, 0.0);
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double target = shares[i] * static_cast<double>(total_frames);
+    frames[i] = static_cast<std::size_t>(target);
+    remainder[i] = target - static_cast<double>(frames[i]);
+    assigned += frames[i];
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return remainder[a] > remainder[b]; });
+  for (std::size_t k = 0; assigned < total_frames; ++k, ++assigned) {
+    ++frames[order[k % n]];
+  }
+  std::vector<std::size_t> bytes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bytes[i] = frames[i] * kPageSize;
+  }
+  return bytes;
+}
+
+// Raw (unnormalized) weight of one tenant under `policy`. A weight of zero is
+// legal — the anti-starvation floor still guarantees a minimum share.
+double RawWeight(ArbiterPolicy policy, const TenantDemand& d) {
+  switch (policy) {
+    case ArbiterPolicy::kStaticShares:
+      return 1.0;
+    case ArbiterPolicy::kFairShare:
+      return static_cast<double>(d.footprint_bytes);
+    case ArbiterPolicy::kPriorityWeighted:
+      return d.priority;
+    case ArbiterPolicy::kUtility:
+      return d.marginal_gradient;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+std::string_view ArbiterPolicyName(ArbiterPolicy policy) {
+  switch (policy) {
+    case ArbiterPolicy::kStaticShares:
+      return "static";
+    case ArbiterPolicy::kFairShare:
+      return "fair";
+    case ArbiterPolicy::kPriorityWeighted:
+      return "priority";
+    case ArbiterPolicy::kUtility:
+      return "utility";
+  }
+  return "unknown";
+}
+
+Status ArbiterConfig::Validate() const {
+  if (dram_pool_bytes < kPageSize) {
+    return InvalidArgument("ArbiterConfig: dram_pool_bytes must be at least one frame");
+  }
+  if (fair_share_floor < 0.0 || fair_share_floor > 1.0) {
+    return InvalidArgument("ArbiterConfig: fair_share_floor must be in [0, 1], got " +
+                           std::to_string(fair_share_floor));
+  }
+  if (share_smoothing <= 0.0 || share_smoothing > 1.0) {
+    return InvalidArgument("ArbiterConfig: share_smoothing must be in (0, 1], got " +
+                           std::to_string(share_smoothing));
+  }
+  return OkStatus();
+}
+
+GlobalArbiter::GlobalArbiter(ArbiterConfig config, Observability& obs)
+    : config_(std::move(config)) {
+  const Status valid = config_.Validate();
+  TS_CHECK(valid.ok()) << valid.ToString();
+  m_decisions_ = &obs.metrics.GetCounter("arbiter/decisions");
+  m_rebalanced_bytes_ = &obs.metrics.GetCounter("arbiter/rebalanced_bytes");
+  m_last_rebalanced_ = &obs.metrics.GetGauge("arbiter/last_rebalanced_bytes");
+}
+
+StatusOr<std::vector<TenantGrant>> GlobalArbiter::Divide(
+    const std::vector<TenantDemand>& demands) {
+  if (demands.empty()) {
+    return InvalidArgument("GlobalArbiter::Divide: no tenants");
+  }
+  const std::size_t n = demands.size();
+
+  // Normalized weights. When every raw weight is ~0 (e.g. utility arbitration
+  // before any solve, or all budgets slack) fall back to fault pressure, then
+  // to an equal split — never divide by zero, never starve.
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = std::max(0.0, RawWeight(config_.policy, demands[i]));
+  }
+  double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (config_.policy == ArbiterPolicy::kUtility && sum <= 1e-12) {
+    for (std::size_t i = 0; i < n; ++i) {
+      weights[i] = static_cast<double>(demands[i].window_faults);
+    }
+    sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  }
+  if (sum <= 1e-12) {
+    std::fill(weights.begin(), weights.end(), 1.0);
+    sum = static_cast<double>(n);
+  }
+
+  // share_i = floor + (1 - n*floor) * w_i / sum: every tenant keeps at least
+  // `fair_share_floor` of an equal split, the rest follows the weights.
+  const double floor_share = config_.fair_share_floor / static_cast<double>(n);
+  std::vector<double> shares(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shares[i] =
+        floor_share + (1.0 - static_cast<double>(n) * floor_share) * weights[i] / sum;
+  }
+
+  // Damp window-to-window oscillation: both vectors sum to 1, so the blend
+  // does too and SplitPool still hands out the whole pool.
+  if (config_.share_smoothing < 1.0 && last_shares_.size() == n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      shares[i] = config_.share_smoothing * shares[i] +
+                  (1.0 - config_.share_smoothing) * last_shares_[i];
+    }
+  }
+  last_shares_ = shares;
+
+  const std::vector<std::size_t> dram = SplitPool(config_.dram_pool_bytes, shares);
+  const std::vector<std::size_t> ct = SplitPool(config_.ct_pool_bytes, shares);
+  std::vector<TenantGrant> grants(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    grants[i].dram_bytes = dram[i];
+    grants[i].ct_bytes = ct[i];
+  }
+
+  std::size_t rebalanced = 0;
+  if (last_grants_.size() == n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto delta = [](std::size_t a, std::size_t b) { return a > b ? a - b : b - a; };
+      rebalanced += delta(grants[i].dram_bytes, last_grants_[i].dram_bytes) +
+                    delta(grants[i].ct_bytes, last_grants_[i].ct_bytes);
+    }
+  }
+  last_rebalanced_bytes_ = rebalanced;
+  last_grants_ = grants;
+  m_decisions_->Add();
+  m_rebalanced_bytes_->Add(rebalanced);
+  m_last_rebalanced_->Set(static_cast<double>(rebalanced));
+  return grants;
+}
+
+}  // namespace tierscape

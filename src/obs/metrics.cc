@@ -159,8 +159,10 @@ RegistrySnapshot MetricsRegistry::Delta(const RegistrySnapshot& before,
   return delta;
 }
 
-RegistrySnapshot MergeSnapshots(const std::vector<LabeledSnapshot>& cells) {
+RegistrySnapshot MergeSnapshots(const std::vector<LabeledSnapshot>& cells,
+                                std::string_view scope) {
   RegistrySnapshot merged;
+  TS_CHECK(!scope.empty()) << "merge: scope must be non-empty";
   std::size_t total = 0;
   for (const LabeledSnapshot& cell : cells) {
     total += cell.snapshot.metrics.size();
@@ -168,7 +170,7 @@ RegistrySnapshot MergeSnapshots(const std::vector<LabeledSnapshot>& cells) {
   merged.metrics.reserve(total);
   for (const LabeledSnapshot& cell : cells) {
     TS_CHECK(!cell.label.empty()) << "merge: cell label must be non-empty";
-    const std::string prefix = "cell/" + cell.label + "/";
+    const std::string prefix = std::string(scope) + "/" + cell.label + "/";
     for (const MetricSnapshot& metric : cell.snapshot.metrics) {
       MetricSnapshot renamed = metric;
       if (IsWallMetric(metric.name)) {

@@ -123,14 +123,17 @@ struct LabeledSnapshot {
   RegistrySnapshot snapshot;
 };
 
-// Deterministic multi-registry merge for the bench experiment grid
-// (DESIGN.md §4b): every metric of cell `label` is renamed under the
-// `cell/<label>/` prefix and the union is re-sorted by name. The wall/
-// quarantine survives the rename — "wall/x" becomes "wall/cell/<label>/x",
-// never "cell/<label>/wall/x" — so WallMetrics::kExclude exports of a merged
-// snapshot stay a pure function of the virtual execution. Labels must be
-// unique; the result is independent of the order cells are passed in.
-RegistrySnapshot MergeSnapshots(const std::vector<LabeledSnapshot>& cells);
+// Deterministic multi-registry merge (DESIGN.md §4b): every metric of cell
+// `label` is renamed under the `<scope>/<label>/` prefix and the union is
+// re-sorted by name. `scope` defaults to "cell" (the bench experiment grid);
+// the multi-tenant daemon merges per-tenant registries under "tenant". The
+// wall/ quarantine survives the rename — "wall/x" becomes
+// "wall/<scope>/<label>/x", never "<scope>/<label>/wall/x" — so
+// WallMetrics::kExclude exports of a merged snapshot stay a pure function of
+// the virtual execution. Labels must be unique; the result is independent of
+// the order cells are passed in.
+RegistrySnapshot MergeSnapshots(const std::vector<LabeledSnapshot>& cells,
+                                std::string_view scope = "cell");
 
 class MetricsRegistry {
  public:

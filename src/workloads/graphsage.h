@@ -31,7 +31,7 @@ class GraphSageWorkload : public Workload {
       : config_(config),
         rng_(config.seed),
         zipf_(std::make_unique<ZipfianGenerator>(config.nodes, config.zipf_theta,
-                                                 config.seed + 1)) {}
+                                                 SplitSeed(config.seed, 1))) {}
 
   std::string_view name() const override { return "graphsage"; }
   void Reserve(AddressSpace& space) override;

@@ -41,12 +41,15 @@ KvConfig RedisYcsbConfig() {
 }
 
 KvWorkload::KvWorkload(KvConfig config) : config_(std::move(config)), rng_(config_.seed) {
+  // The key-pattern generator gets its own SplitSeed child stream so it never
+  // correlates with rng_ (value sizes / read-write mix) or a sibling
+  // workload seeded one apart (src/common/rng.h).
   if (config_.key_dist == KvConfig::KeyDist::kZipfian) {
     zipf_ = std::make_unique<ZipfianGenerator>(config_.items, config_.zipf_theta,
-                                               config_.seed + 1);
+                                               SplitSeed(config_.seed, 1));
   } else {
     gaussian_ = std::make_unique<GaussianGenerator>(
-        config_.items, config_.gaussian_stddev_fraction, config_.seed + 1);
+        config_.items, config_.gaussian_stddev_fraction, SplitSeed(config_.seed, 1));
   }
 }
 

@@ -1,0 +1,69 @@
+#include "src/workloads/tenant_mix.h"
+
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/workloads/graph.h"
+#include "src/workloads/graphsage.h"
+#include "src/workloads/kv_store.h"
+#include "src/workloads/masim.h"
+#include "src/workloads/xsbench.h"
+
+namespace tierscape {
+namespace {
+
+std::unique_ptr<Workload> MakeSeededWorkload(const std::string& name, double scale,
+                                             std::uint64_t seed) {
+  if (name == "memcached-ycsb" || name == "memcached-memtier-1k" ||
+      name == "memcached-memtier-4k" || name == "redis-ycsb") {
+    KvConfig config = name == "memcached-ycsb"        ? MemcachedYcsbConfig()
+                      : name == "memcached-memtier-1k" ? MemcachedMemtier1kConfig()
+                      : name == "memcached-memtier-4k" ? MemcachedMemtier4kConfig()
+                                                       : RedisYcsbConfig();
+    config.items = static_cast<std::uint64_t>(config.items * scale);
+    config.seed = seed;
+    return std::make_unique<KvWorkload>(config);
+  }
+  if (name == "bfs" || name == "pagerank") {
+    GraphWorkloadConfig config;
+    config.rmat.vertices = static_cast<std::uint64_t>((1 << 18) * scale);
+    // The graph's shape and the traversal order get decorrelated streams.
+    config.rmat.seed = SplitSeed(seed, 1);
+    config.seed = seed;
+    if (name == "bfs") {
+      return std::make_unique<BfsWorkload>(config);
+    }
+    return std::make_unique<PageRankWorkload>(config);
+  }
+  if (name == "xsbench") {
+    XsBenchConfig config;
+    config.gridpoints = static_cast<std::uint64_t>(config.gridpoints * scale);
+    config.seed = seed;
+    return std::make_unique<XsBenchWorkload>(config);
+  }
+  if (name == "graphsage") {
+    GraphSageConfig config;
+    config.nodes = static_cast<std::uint64_t>(config.nodes * scale);
+    config.seed = seed;
+    return std::make_unique<GraphSageWorkload>(config);
+  }
+  if (name == "masim") {
+    MasimConfig config = DefaultMasimConfig(static_cast<std::size_t>(96 * kMiB * scale));
+    config.seed = seed;
+    return std::make_unique<MasimWorkload>(config);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<TenantApp>> MakeTenantApp(const std::string& name, double scale,
+                                                   std::uint64_t seed) {
+  auto workload = MakeSeededWorkload(name, scale, seed);
+  if (workload == nullptr) {
+    return InvalidArgument("MakeTenantApp: unknown workload \"" + name + "\"");
+  }
+  return std::unique_ptr<TenantApp>(std::make_unique<WorkloadTenantApp>(std::move(workload)));
+}
+
+}  // namespace tierscape

@@ -1,0 +1,40 @@
+// Adapters from the Table-2 workload generators to the multi-tenant
+// colocation subsystem (DESIGN.md §4f): WorkloadTenantApp wraps any Workload
+// as a TenantApp, and MakeTenantApp builds a named workload with its
+// generator seeded from the tenant's SplitSeed-derived seed — two tenants
+// running the same workload name produce decorrelated access streams.
+#ifndef SRC_WORKLOADS_TENANT_MIX_H_
+#define SRC_WORKLOADS_TENANT_MIX_H_
+
+#include <memory>
+#include <string>
+
+#include "src/multitenant/multi_tenant_daemon.h"
+#include "src/workloads/workload.h"
+
+namespace tierscape {
+
+class WorkloadTenantApp : public TenantApp {
+ public:
+  explicit WorkloadTenantApp(std::unique_ptr<Workload> workload)
+      : workload_(std::move(workload)) {}
+
+  std::string_view name() const override { return workload_->name(); }
+  void Reserve(AddressSpace& space) override { workload_->Reserve(space); }
+  void Populate(TieringEngine& engine) override { workload_->Populate(engine); }
+  Nanos Op(TieringEngine& engine) override { return workload_->Op(engine); }
+
+ private:
+  std::unique_ptr<Workload> workload_;
+};
+
+// Builds a tenant application by workload name ("masim", "memcached-ycsb",
+// "redis-ycsb", "graphsage", "bfs", "pagerank", "xsbench", ...) at `scale`
+// (1.0 ~ the workload's default simulated footprint), with every internal
+// generator reseeded from `seed`. Unknown names return InvalidArgument.
+StatusOr<std::unique_ptr<TenantApp>> MakeTenantApp(const std::string& name, double scale,
+                                                   std::uint64_t seed);
+
+}  // namespace tierscape
+
+#endif  // SRC_WORKLOADS_TENANT_MIX_H_

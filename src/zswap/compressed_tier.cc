@@ -86,6 +86,11 @@ StatusOr<CompressedTier::StoreResult> CompressedTier::StoreCompressed(
     m_rejects_->Add();
     return Rejected(config_.label + ": page not compressible enough");
   }
+  // Multi-tenant grant partition (DESIGN.md §4f): a pool already at its
+  // grant behaves exactly like a full backing medium.
+  if (pool_bytes() >= grant_bytes_ || grant_bytes_ - pool_bytes() < compressed.size()) {
+    return OutOfMemory(config_.label + ": grant exhausted");
+  }
   auto handle = pool_->Alloc(compressed.size());
   if (!handle.ok()) {
     return handle.status();

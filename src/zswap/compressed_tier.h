@@ -112,6 +112,16 @@ class CompressedTier {
     m_faults_->Add();
   }
 
+  // --- Grant cap (multi-tenant arbitration, DESIGN.md §4f) -----------------
+  // Soft high-water partition of this tier's pool footprint: a store that
+  // finds pool_bytes() at or above the grant fails with kOutOfMemory — the
+  // same status genuine medium exhaustion produces, so the migration
+  // pipeline's partial-placement path absorbs it. Existing entries are never
+  // evicted by shrinking the grant; the cap only gates new stores. Defaults
+  // to no cap.
+  void set_grant_bytes(std::size_t bytes) { grant_bytes_ = bytes; }
+  std::size_t grant_bytes() const { return grant_bytes_; }
+
   // Normalized dollars for the pool's current footprint.
   double UsedCost() const { return BytesToGiB(pool_bytes()) * medium_.cost_per_gib(); }
 
@@ -122,6 +132,7 @@ class CompressedTier {
   CompressedTierConfig config_;
   Medium& medium_;
   FaultInjector* fault_;
+  std::size_t grant_bytes_ = ~std::size_t{0};  // no cap until an arbiter says so
   const Compressor* compressor_;
   std::unique_ptr<ZPool> pool_;
   Stats stats_;

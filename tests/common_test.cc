@@ -1,8 +1,10 @@
 // Unit tests for src/common: status, RNG distributions, histograms.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
+#include <vector>
 
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
@@ -53,6 +55,32 @@ TEST(RngTest, SeedsDiffer) {
     same += a.Next() == b.Next();
   }
   EXPECT_LT(same, 3);
+}
+
+TEST(SplitSeedTest, DeterministicAndDecorrelated) {
+  EXPECT_EQ(SplitSeed(42, 7), SplitSeed(42, 7));
+  // Adjacent indices and adjacent bases must not collide or correlate the
+  // way `base + index` does (SplitSeed(s, 1) vs SplitSeed(s + 1, 0)).
+  EXPECT_NE(SplitSeed(42, 0), SplitSeed(42, 1));
+  EXPECT_NE(SplitSeed(42, 1), SplitSeed(43, 0));
+  EXPECT_NE(SplitSeed(0, 0), SplitSeed(0, 1));
+  // Streams seeded from adjacent indices diverge immediately.
+  Rng a(SplitSeed(5, 0));
+  Rng b(SplitSeed(5, 1));
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.Next() == b.Next();
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(SplitSeedTest, IndexFanOutIsCollisionFreeAtSmallScale) {
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    seeds.push_back(SplitSeed(0xF16, i));
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_TRUE(std::adjacent_find(seeds.begin(), seeds.end()) == seeds.end());
 }
 
 TEST(RngTest, NextDoubleInUnitInterval) {

@@ -134,6 +134,24 @@ TEST(MediumTest, FrameAccounting) {
   EXPECT_EQ(medium.used_frames(), 0u);
 }
 
+TEST(MediumTest, GrantCapsAllocations) {
+  Medium medium(DramSpec(kMiB));  // 256 frames
+  EXPECT_EQ(medium.grant_bytes(), kMiB);  // construction: grant == capacity
+  medium.set_grant_bytes(2 * kPageSize);
+  ASSERT_TRUE(medium.AllocFrame().ok());
+  ASSERT_TRUE(medium.AllocFrame().ok());
+  auto over = medium.AllocFrame();
+  EXPECT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfMemory);
+  // Runs respect the grant too, and widening it restores capacity.
+  EXPECT_FALSE(medium.AllocBackedRun(1).ok());
+  medium.set_grant_bytes(8 * kPageSize);
+  EXPECT_TRUE(medium.AllocBackedRun(1).ok());
+  // A grant beyond the medium clamps to its real capacity.
+  medium.set_grant_bytes(kGiB);
+  EXPECT_EQ(medium.grant_bytes(), kMiB);
+}
+
 TEST(MediumTest, BackedRunsCarryZeroedData) {
   Medium medium(DramSpec(kMiB));
   auto run = medium.AllocBackedRun(2);  // 4 pages

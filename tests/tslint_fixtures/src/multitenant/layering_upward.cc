@@ -1,0 +1,10 @@
+// tslint-fixture: layering
+// Upward edge: multitenant (layer 9) may not include workloads (layer 10) —
+// tenant applications adapt downward via TenantApp, never the reverse.
+#include "src/workloads/tenant_api.h"
+
+namespace fixture {
+
+int UseUpperLayer() { return 9; }
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// tslint-fixture: none
+// Exists only as the upward-include target for
+// src/multitenant/layering_upward.cc; clean on its own.
+#ifndef SRC_WORKLOADS_TENANT_API_H_
+#define SRC_WORKLOADS_TENANT_API_H_
+
+namespace fixture {
+
+inline int TenantApi() { return 10; }
+
+}  // namespace fixture
+
+#endif  // SRC_WORKLOADS_TENANT_API_H_

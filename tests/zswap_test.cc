@@ -102,6 +102,24 @@ TEST_F(ZswapTest, InvalidateFreesPoolSpace) {
   EXPECT_FALSE(backend_.tier(lz4_tier_).Load(stored->handle, scratch).ok());
 }
 
+TEST_F(ZswapTest, GrantCapsPoolGrowth) {
+  CompressedTier& tier = backend_.tier(lz4_tier_);
+  // No cap until an arbiter says so.
+  auto first = tier.Store(Page(CorpusProfile::kDickens, 40));
+  ASSERT_TRUE(first.ok());
+  const std::size_t occupied = tier.pool_bytes();
+  ASSERT_GT(occupied, 0u);
+  // A grant at the current occupancy behaves like a full backing medium...
+  tier.set_grant_bytes(occupied);
+  auto over = tier.Store(Page(CorpusProfile::kDickens, 41));
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(tier.stored_pages(), 1u);
+  // ...and widening it restores service.
+  tier.set_grant_bytes(occupied + kPageSize);
+  EXPECT_TRUE(tier.Store(Page(CorpusProfile::kDickens, 41)).ok());
+}
+
 TEST_F(ZswapTest, MigrationMovesDataBetweenTiers) {
   const auto page = Page(CorpusProfile::kDickens, 6);
   auto stored = backend_.tier(lz4_tier_).Store(page);

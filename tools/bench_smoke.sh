@@ -24,7 +24,7 @@ OUT=${2:-bench_smoke}
 GRID_BENCHES="fig01_motivation fig02_characterization tab01_tier_space \
 fig07_standard_mix fig08_waterfall_trace fig09_am_tco_trace fig10_knob_sweep \
 fig11_tail_latency fig12_spectrum_placement fig13_spectrum fig14_daemon_tax \
-fig15_resilience \
+fig15_resilience fig16_colocation \
 ablation_cxl_backing ablation_filter ablation_tier_sets micro_migration \
 micro_grid micro_solver"
 
@@ -51,6 +51,16 @@ diff -r \
 # Wall-time records must exist and carry one entry per run (content differs).
 test -s "$OUT/t1/BENCH_grid.json"
 test -s "$OUT/t4/BENCH_grid.json"
+
+# The colocation sweep must emit a wall record for every (policy, tenants)
+# cell — the serial run also flexes the MultiTenantDaemon's own 4-thread pool,
+# so a missing record means a cell silently died (DESIGN.md §4f).
+for threads in 1 4; do
+  grep -q '"bench":"fig16_colocation","cell":"utility@16","wall_ms"' \
+    "$OUT/t$threads/BENCH_grid.json"
+  grep -q '"bench":"fig16_colocation","cell":"static@2","wall_ms"' \
+    "$OUT/t$threads/BENCH_grid.json"
+done
 
 # The solver scaling curve must emit a per-cell wall/solver/solve_ms record
 # (the across-PR perf trajectory, EXPERIMENTS.md "Solver scaling curve").

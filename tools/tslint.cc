@@ -307,7 +307,8 @@ int LayerOf(const std::string& path) {
   if (starts("src/telemetry/") || starts("src/solver/")) return 6;
   if (starts("src/tiering/")) return 7;
   if (starts("src/core/")) return 8;
-  if (starts("src/workloads/")) return 9;
+  if (starts("src/multitenant/")) return 9;
+  if (starts("src/workloads/")) return 10;
   if (starts("tests/") || starts("bench/") || starts("examples/") || starts("tools/")) return 100;
   return -1;
 }

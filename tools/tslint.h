@@ -106,7 +106,8 @@ inline constexpr const char* kRuleAllowlist = "allowlist";  // tool hygiene
 
 // Layer indices of the DAG (CLAUDE.md "Layering"): common → obs → fault →
 // mem → {compress, zpool} → zswap → telemetry/solver → tiering → core →
-// workloads → {tests, bench, examples, tools}. Returns -1 for paths outside
+// multitenant → workloads → {tests, bench, examples, tools}. Returns -1 for
+// paths outside
 // the DAG (non-repo-relative), which the layering rule reports as a style
 // violation.
 int LayerOf(const std::string& repo_relative_path);
