@@ -9,6 +9,11 @@
 #include <string_view>
 #include <utility>
 
+// Discarding a Status silently swallows an error; the compiler warns on it
+// and tslint's status-discard rule (DESIGN.md §4c) flags call sites whose
+// result is neither assigned, returned, checked, nor explicitly (void)-cast.
+#define TS_NODISCARD [[nodiscard]]
+
 namespace tierscape {
 
 enum class StatusCode {
@@ -27,7 +32,7 @@ enum class StatusCode {
 
 std::string_view StatusCodeName(StatusCode code);
 
-class Status {
+class TS_NODISCARD Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
@@ -85,7 +90,7 @@ inline Status Internal(std::string msg) { return Status(StatusCode::kInternal, s
 
 // Minimal StatusOr: either a value or a non-OK status.
 template <typename T>
-class StatusOr {
+class TS_NODISCARD StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
     assert(!status_.ok() && "StatusOr constructed from OK status without a value");

@@ -143,13 +143,8 @@ FilterStats MigrationFilter::Apply(const PlacementInput& input, PlacementDecisio
     ++stats.kept;
   }
 
-  // Filters run once per window — registry lookups here are off the hot path.
-  MetricsRegistry& metrics = engine.obs().metrics;
-  metrics.GetCounter("filter/kept").Add(stats.kept);
-  metrics.GetCounter("filter/dropped_capacity").Add(stats.dropped_capacity);
-  metrics.GetCounter("filter/dropped_pressure").Add(stats.dropped_pressure);
-  metrics.GetCounter("filter/dropped_benefit").Add(stats.dropped_benefit);
-  metrics.GetCounter("filter/dropped_hysteresis").Add(stats.dropped_hysteresis);
+  // The "filter/..." counters are recorded by the caller (TsDaemon) from the
+  // returned stats: handles resolve once at daemon construction, never here.
   TS_TRACE_INSTANT(&engine.obs().trace, "filter/apply",
                    "\"kept\":" + std::to_string(stats.kept) + ",\"dropped\":" +
                        std::to_string(stats.dropped_capacity + stats.dropped_pressure +

@@ -67,6 +67,11 @@ TsDaemon::TsDaemon(TieringEngine& engine, PlacementPolicy* policy, DaemonConfig 
   m_solver_fallbacks_ = &metrics.GetCounter("fault/daemon/solver_fallbacks");
   m_unrealized_pages_ = &metrics.GetCounter("fault/daemon/unrealized_pages");
   m_migrate_retries_ = &metrics.GetCounter("fault/daemon/migrate_retries");
+  m_filter_kept_ = &metrics.GetCounter("filter/kept");
+  m_filter_dropped_capacity_ = &metrics.GetCounter("filter/dropped_capacity");
+  m_filter_dropped_pressure_ = &metrics.GetCounter("filter/dropped_pressure");
+  m_filter_dropped_benefit_ = &metrics.GetCounter("filter/dropped_benefit");
+  m_filter_dropped_hysteresis_ = &metrics.GetCounter("filter/dropped_hysteresis");
   m_last_tco_ = &metrics.GetGauge("daemon/last/tco");
   m_last_tco_savings_ = &metrics.GetGauge("daemon/last/tco_savings");
   m_last_threshold_ = &metrics.GetGauge("daemon/last/hotness_threshold");
@@ -188,6 +193,11 @@ Status TsDaemon::OnWindowEnd() {
     // region on its current tier.
     if (decision.ok()) {
       record.filter = filter_.Apply(input, *decision, cost_model_, engine_);
+      m_filter_kept_->Add(record.filter.kept);
+      m_filter_dropped_capacity_->Add(record.filter.dropped_capacity);
+      m_filter_dropped_pressure_->Add(record.filter.dropped_pressure);
+      m_filter_dropped_benefit_->Add(record.filter.dropped_benefit);
+      m_filter_dropped_hysteresis_->Add(record.filter.dropped_hysteresis);
       last_plan_ = std::move(*decision);
     } else {
       record.solver_fallback = true;

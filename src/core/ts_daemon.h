@@ -173,6 +173,14 @@ class TsDaemon {
   Counter* m_solver_fallbacks_ = nullptr;
   Counter* m_unrealized_pages_ = nullptr;
   Counter* m_migrate_retries_ = nullptr;
+  // "filter/..." outcomes, recorded here from the FilterStats Apply returns so
+  // MigrationFilter itself stays registry-free (handle resolution belongs at
+  // construction, DESIGN.md §4b).
+  Counter* m_filter_kept_ = nullptr;
+  Counter* m_filter_dropped_capacity_ = nullptr;
+  Counter* m_filter_dropped_pressure_ = nullptr;
+  Counter* m_filter_dropped_benefit_ = nullptr;
+  Counter* m_filter_dropped_hysteresis_ = nullptr;
   Gauge* m_last_tco_ = nullptr;
   Gauge* m_last_tco_savings_ = nullptr;
   Gauge* m_last_threshold_ = nullptr;

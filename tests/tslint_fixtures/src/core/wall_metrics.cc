@@ -7,7 +7,9 @@
 
 namespace fixture {
 
-void RecordSolveTime(MetricsRegistry& metrics) {
+void RegisterSolveMetrics(MetricsRegistry& metrics) {
+  // Register*-style helper, so resolving handles by string here is legal
+  // (handle-resolution-at-construction) — only the bare name is wrong.
   const auto start = std::chrono::steady_clock::now();  // allowlisted
   (void)start;
   metrics.GetGauge("wall/solver/fixture_ms").Set(1.5);  // correct: wall/

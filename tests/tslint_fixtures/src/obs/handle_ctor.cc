@@ -1,0 +1,23 @@
+// tslint-fixture: none
+// The legal dual of handle_hot_path.cc: handles resolve by string only in
+// the constructor (member-initializer list included) and in Init*-style
+// methods; the hot path mutates stored handles.
+namespace fixture {
+
+class FaultCounter {
+ public:
+  explicit FaultCounter(MetricsRegistry& metrics)
+      : m_hits_(&metrics.GetCounter("fixture/hits")) {}
+
+  void InitSlowPath(MetricsRegistry& metrics) {
+    m_slow_ = &metrics.GetCounter("fixture/slow");  // Init-style: legal
+  }
+
+  void Record() { m_hits_->Add(1); }  // hot path: stored handle only
+
+ private:
+  Counter* m_hits_;
+  Counter* m_slow_ = nullptr;
+};
+
+}  // namespace fixture

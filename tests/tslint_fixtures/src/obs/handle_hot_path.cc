@@ -1,0 +1,19 @@
+// tslint-fixture: handle-resolution-at-construction
+// Resolving a metric handle by string on every call re-hashes the name on
+// the hot path. Handles resolve once at construction or in an Init*-style
+// method, and hot paths mutate the stored handle (DESIGN.md §4b).
+namespace fixture {
+
+class FaultCounter {
+ public:
+  explicit FaultCounter(MetricsRegistry& metrics) : metrics_(metrics) {}
+
+  void Record() {
+    metrics_.GetCounter("fixture/hits").Add(1);  // WRONG: per-call resolution
+  }
+
+ private:
+  MetricsRegistry& metrics_;
+};
+
+}  // namespace fixture

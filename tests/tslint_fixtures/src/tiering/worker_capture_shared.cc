@@ -1,0 +1,29 @@
+// tslint-fixture: worker-capture-purity
+// Inside a lambda handed to ThreadPool::Submit/ParallelFor, by-reference
+// captures may only be written through a subscripted (slot-owned) receiver,
+// and virtual time may not be charged at all — both depend on wall-clock
+// scheduling order (thread_pool.h, DESIGN.md §4c). Three constructs below
+// must trip; the slot write and everything after the barrier must not.
+namespace fixture {
+
+void SumShards(ThreadPool& pool, TieringEngine& engine, const Shard* in, Slot* slots,
+               std::size_t n) {
+  double total = 0.0;
+  std::size_t done = 0;
+  pool.ParallelFor(n, [&](std::size_t i) {
+    slots[i].sum = Score(in[i]);    // correct: disjoint per-index slot
+    total += slots[i].sum;          // WRONG: shared accumulator
+    ++done;                         // WRONG: shared counter
+    engine.Compute(in[i].cost_ns);  // WRONG: virtual-time charge in a worker
+  });
+  // Correct placement: merge and charge on the submitting thread, in
+  // submission order, after the barrier.
+  for (std::size_t i = 0; i < n; ++i) {
+    total += slots[i].sum;
+  }
+  engine.Compute(static_cast<Nanos>(n));
+  (void)total;
+  (void)done;
+}
+
+}  // namespace fixture

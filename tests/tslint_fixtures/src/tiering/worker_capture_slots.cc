@@ -1,0 +1,26 @@
+// tslint-fixture: none
+// The slots-only dual of worker_capture_shared.cc: every worker write lands
+// in a disjoint per-index slot (slot-owned observability included), locals
+// and value captures stay freely writable, and all shared mutation plus
+// virtual-time charging happens after the barrier on the submitting thread.
+namespace fixture {
+
+void SumShards(ThreadPool& pool, TieringEngine& engine, const Shard* in, Slot* slots,
+               std::size_t n) {
+  const double bias = 1.0;
+  pool.ParallelFor(n, [&, bias](std::size_t i) {
+    double acc = bias;          // worker-local declaration
+    acc += Score(in[i]);        // local write
+    slots[i].sum = acc;         // disjoint slot
+    slots[i].obs.samples += 1;  // slot-owned observability (slots[i]->obs...)
+    ++slots[i].obs.calls;       // slot-owned increment
+  });
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += slots[i].sum;
+  }
+  engine.Compute(static_cast<Nanos>(n));
+  (void)total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// tslint-fixture: none
+// The consuming dual of status_discard.cc: every Status result below is
+// assigned, returned, checked, propagated by TS_RETURN_IF_ERROR, or
+// explicitly (void)-cast.
+namespace fixture {
+
+Status Flush(Sink& sink);
+
+Status DrainAll(Sink& sink) {
+  const Status first = Flush(sink);
+  if (!first.ok()) {
+    return first;
+  }
+  TS_RETURN_IF_ERROR(Flush(sink));
+  if (Flush(sink).ok()) {
+    (void)Flush(sink);  // justified: best-effort second pass
+  }
+  return Flush(sink);
+}
+
+}  // namespace fixture

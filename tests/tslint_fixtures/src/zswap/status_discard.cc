@@ -1,0 +1,13 @@
+// tslint-fixture: status-discard
+// `Flush` returns Status; calling it as a bare statement silently swallows
+// the error and skips the degradation ladder (TS_NODISCARD,
+// src/common/status.h). The declaration itself must not trip.
+namespace fixture {
+
+Status Flush(Sink& sink);
+
+void Drain(Sink& sink) {
+  Flush(sink);  // WRONG: result discarded
+}
+
+}  // namespace fixture

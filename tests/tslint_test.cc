@@ -7,10 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "tools/tslint_syntax.h"
 
 namespace tierscape {
 namespace tslint {
@@ -263,7 +266,10 @@ TEST(FaultHook, CleanHookFileStaysClean) {
 // --- wall-prefix ----------------------------------------------------------
 
 TEST(WallPrefix, ArmedOnlyByDeterminismAllowlistEntry) {
-  const std::string body = "void f(MetricsRegistry& m) { m.GetCounter(\"engine/ops\").Add(1); }\n";
+  // Register*-named so handle-resolution-at-construction stays quiet: this
+  // test isolates the arming behavior of wall-prefix.
+  const std::string body =
+      "void RegisterOps(MetricsRegistry& m) { m.GetCounter(\"engine/ops\").Add(1); }\n";
   // Unarmed: registering a bare-name metric is fine.
   EXPECT_TRUE(LintOne("src/tiering/a.cc", body).empty());
   // Armed via a determinism entry: the bare name now trips wall-prefix.
@@ -282,7 +288,8 @@ TEST(WallPrefix, WallPrefixedRegistrationsPass) {
                                     parse_diags);
   const auto diags = LintOne(
       "src/tiering/a.cc",
-      "void f(MetricsRegistry& m) { m.GetGauge(\"wall/engine/solve_ms\").Set(2.0); }\n", allow);
+      "void RegisterWall(MetricsRegistry& m) { m.GetGauge(\"wall/engine/solve_ms\").Set(2.0); }\n",
+      allow);
   EXPECT_TRUE(diags.empty());
 }
 
@@ -416,6 +423,469 @@ TEST(NoExceptions, TryEmplaceIsOneIdentifier) {
   const auto diags = LintOne("src/telemetry/hotness_aux.cc",
                              "void f(M& m) { m.try_emplace(1, 0.0); }\n");
   EXPECT_TRUE(diags.empty());
+}
+
+// --- syntactic layer (tools/tslint_syntax.h) ------------------------------
+
+TEST(Syntax, FunctionsMethodsAndConstructors) {
+  const LexedFile file = Lex("src/core/a.cc",
+                             "class TS_NODISCARD Daemon {\n"
+                             " public:\n"
+                             "  Daemon(Engine& e) : engine_(e), window_(e.now() + 5) {}\n"
+                             "  void InitMetrics(Registry& r);\n"
+                             "  double Rate() const { return 0.0; }\n"
+                             "};\n"
+                             "Daemon::Daemon(Engine& e, int n) : engine_(e) { Track(n); }\n"
+                             "Status Daemon::Flush() { return OkStatus(); }\n");
+  const SyntaxInfo syntax = ScanSyntax(file);
+  std::map<std::string, FunctionKind> kinds;
+  for (const FunctionInfo& fn : syntax.functions) kinds[fn.name] = fn.kind;
+  // The macro in the class head must not steal the class name, and init-list
+  // members (`window_(...)`) must not be recorded as function definitions.
+  ASSERT_EQ(syntax.functions.size(), 4u);  // both Daemon ctors, Rate, Flush
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds.count("engine_") + kinds.count("window_"), 0u);
+  EXPECT_EQ(kinds["Daemon"], FunctionKind::kConstructor);
+  EXPECT_EQ(kinds["Rate"], FunctionKind::kOther);
+  EXPECT_EQ(kinds["Flush"], FunctionKind::kOther);
+  // `InitMetrics` is a declaration (no body): recorded only as a decl token.
+  EXPECT_EQ(kinds.count("InitMetrics"), 0u);
+  EXPECT_EQ(syntax.status_functions, std::vector<std::string>{"Flush"});
+}
+
+TEST(Syntax, LambdaCapturesParamsAndNesting) {
+  const LexedFile file = Lex(
+      "src/core/a.cc",
+      "void f(Pool& pool, Slot* slots, std::size_t n, double bias) {\n"
+      "  auto body = [&, bias, k = n * 2](std::size_t i, int depth) mutable {\n"
+      "    auto inner = [this, &slots](int j) { return slots[j]; };\n"
+      "    (void)inner;\n"
+      "  };\n"
+      "  int arr[3];\n"
+      "  (void)arr[1];  // subscript, not a lambda introducer\n"
+      "  [[maybe_unused]] int x = 0;  // attribute, not a lambda\n"
+      "}\n");
+  const SyntaxInfo syntax = ScanSyntax(file);
+  ASSERT_EQ(syntax.lambdas.size(), 2u);
+  const LambdaInfo& outer = syntax.lambdas[0];
+  EXPECT_TRUE(outer.default_ref);
+  EXPECT_FALSE(outer.default_copy);
+  ASSERT_EQ(outer.captures.size(), 3u);
+  EXPECT_EQ(outer.captures[1].name, "bias");
+  EXPECT_FALSE(outer.captures[1].by_ref);
+  EXPECT_EQ(outer.captures[2].name, "k");
+  EXPECT_TRUE(outer.captures[2].has_init);
+  EXPECT_EQ(outer.params, (std::vector<std::string>{"i", "depth"}));
+  const LambdaInfo& inner = syntax.lambdas[1];
+  EXPECT_TRUE(inner.captures_this);
+  ASSERT_EQ(inner.captures.size(), 2u);
+  EXPECT_EQ(inner.captures[1].name, "slots");
+  EXPECT_TRUE(inner.captures[1].by_ref);
+  EXPECT_GT(inner.intro, outer.body_begin);
+  EXPECT_LT(inner.body_end, outer.body_end);
+}
+
+TEST(Syntax, MacroBodyBracesDoNotCorruptSpans) {
+  const LexedFile file = Lex("src/core/a.cc",
+                             "#define OPEN_SCOPE {\n"
+                             "void f() { int x = 0; (void)x; }\n");
+  const SyntaxInfo syntax = ScanSyntax(file);
+  ASSERT_EQ(syntax.functions.size(), 1u);
+  EXPECT_EQ(syntax.functions[0].name, "f");
+  EXPECT_LT(syntax.functions[0].body_end, file.tokens.size());
+}
+
+TEST(Syntax, WorkerCallSpansCoverOnlyArguments) {
+  const LexedFile file = Lex("src/core/a.cc",
+                             "void f(Pool& pool, std::size_t n) {\n"
+                             "  Before();\n"
+                             "  pool.ParallelFor(n, [&](std::size_t i) { Work(i); });\n"
+                             "  After();\n"
+                             "}\n"
+                             "void ParallelFor(int n);  // free fn, not a worker call\n");
+  const auto spans = WorkerCallSpans(file.tokens);
+  ASSERT_EQ(spans.size(), 1u);
+  std::set<std::string> inside;
+  for (std::size_t k = spans[0].first; k < spans[0].second; ++k) {
+    if (file.tokens[k].kind == TokenKind::kIdentifier) inside.insert(file.tokens[k].text);
+  }
+  EXPECT_EQ(inside.count("Work"), 1u);
+  EXPECT_EQ(inside.count("Before") + inside.count("After"), 0u);
+}
+
+// --- worker-capture-purity ------------------------------------------------
+
+TEST(WorkerCapture, SharedAccumulatorAndChargeFlagged) {
+  const auto diags = LintOne("src/solver/a.cc",
+                             "void f(Pool& pool, Engine& engine, Slot* slots, std::size_t n) {\n"
+                             "  double total = 0.0;\n"
+                             "  pool.ParallelFor(n, [&](std::size_t i) {\n"
+                             "    slots[i].sum = Score(i);\n"
+                             "    total += slots[i].sum;\n"
+                             "    engine.Compute(5);\n"
+                             "  });\n"
+                             "}\n");
+  EXPECT_EQ(diags.size(), 2u);
+  EXPECT_EQ(Rules(diags), std::set<std::string>{kRuleWorkerCapture});
+}
+
+TEST(WorkerCapture, SlotWritesLocalsAndValueCapturesPass) {
+  const auto diags = LintOne("src/solver/a.cc",
+                             "void f(Pool& pool, Slot* slots, std::size_t n, double bias) {\n"
+                             "  pool.ParallelFor(n, [&, bias](std::size_t i) {\n"
+                             "    double acc = bias;\n"
+                             "    acc += 1.0;\n"
+                             "    bias = 0.0;\n"  // value capture: worker-local copy
+                             "    slots[i].sum = acc;\n"
+                             "    slots[i].obs.calls++;\n"
+                             "    ++slots[i].obs.calls;\n"
+                             "  });\n"
+                             "}\n");
+  EXPECT_TRUE(diags.empty()) << diags.front().message;
+}
+
+TEST(WorkerCapture, ExplicitByRefCaptureWriteFlagged) {
+  const auto diags = LintOne("src/solver/a.cc",
+                             "void f(Pool& pool, std::size_t n) {\n"
+                             "  std::size_t done = 0;\n"
+                             "  pool.ParallelFor(n, [&done](std::size_t i) { ++done; });\n"
+                             "}\n");
+  EXPECT_EQ(diags.size(), 1u);
+  EXPECT_EQ(Rules(diags), std::set<std::string>{kRuleWorkerCapture});
+}
+
+TEST(WorkerCapture, MemberWriteThroughCapturedThisFlagged) {
+  const auto diags = LintOne("src/solver/a.cc",
+                             "void C::Run(Pool& pool, std::size_t n) {\n"
+                             "  pool.Submit([this](std::size_t i) { this->count_ = i; });\n"
+                             "  pool.Submit([=](std::size_t i) { count_ = i; });\n"
+                             "}\n");
+  EXPECT_EQ(diags.size(), 2u);
+  EXPECT_EQ(Rules(diags), std::set<std::string>{kRuleWorkerCapture});
+}
+
+TEST(WorkerCapture, NestedLambdaInsideWorkerUsesOuterLocals) {
+  // The inner [&] captures the worker's own local by reference — that is
+  // still worker-local state, not shared across workers.
+  const auto diags = LintOne("src/solver/a.cc",
+                             "void f(Pool& pool, Slot* slots, std::size_t n) {\n"
+                             "  pool.ParallelFor(n, [&](std::size_t i) {\n"
+                             "    double acc = 0.0;\n"
+                             "    auto add = [&](double v) { acc += v; };\n"
+                             "    add(1.0);\n"
+                             "    slots[i].sum = acc;\n"
+                             "  });\n"
+                             "}\n");
+  EXPECT_TRUE(diags.empty()) << diags.front().message;
+}
+
+TEST(WorkerCapture, ComparisonsAndDeclarationsNotWrites) {
+  const auto diags = LintOne("src/solver/a.cc",
+                             "void f(Pool& pool, Slot* slots, std::size_t n, int limit) {\n"
+                             "  pool.ParallelFor(n, [&](std::size_t i) {\n"
+                             "    if (slots[i].sum == 0.0 && limit <= 4) { slots[i].hit = true; }\n"
+                             "    const Slot& s = slots[i];\n"
+                             "    slots[i].copy = s.sum;\n"
+                             "  });\n"
+                             "}\n");
+  EXPECT_TRUE(diags.empty()) << diags.front().message;
+}
+
+// --- status-discard -------------------------------------------------------
+
+TEST(StatusDiscard, BareCallToIncludedStatusSymbolFlagged) {
+  std::map<std::string, std::string> sources;
+  sources["src/zswap/sink.h"] = "Status Flush(Sink& sink);\n";
+  sources["src/zswap/drain.cc"] =
+      "#include \"src/zswap/sink.h\"\n"
+      "void Drain(Sink& sink) { Flush(sink); }\n";
+  const auto diags = LintTree(sources, {}, "tools/tslint_allow.txt");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleStatusDiscard);
+  EXPECT_EQ(diags[0].file, "src/zswap/drain.cc");
+}
+
+TEST(StatusDiscard, SymbolNotVisibleWithoutInclude) {
+  std::map<std::string, std::string> sources;
+  sources["src/zswap/sink.h"] = "Status Flush(Sink& sink);\n";
+  sources["src/zswap/drain.cc"] = "void Drain(Sink& sink) { Flush(sink); }\n";
+  EXPECT_TRUE(LintTree(sources, {}, "tools/tslint_allow.txt").empty());
+}
+
+TEST(StatusDiscard, VisibilityIsTransitiveThroughIncludes) {
+  std::map<std::string, std::string> sources;
+  sources["src/zswap/sink.h"] = "StatusOr<int> Count(Sink& sink);\n";
+  sources["src/zswap/pool.h"] = "#include \"src/zswap/sink.h\"\n";
+  sources["src/zswap/drain.cc"] =
+      "#include \"src/zswap/pool.h\"\n"
+      "void Drain(Sink& sink) { Count(sink); }\n";
+  const auto diags = LintTree(sources, {}, "tools/tslint_allow.txt");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleStatusDiscard);
+}
+
+TEST(StatusDiscard, ConsumedResultsPass) {
+  const auto diags = LintOne("src/zswap/a.cc",
+                             "Status Flush(Sink& sink);\n"
+                             "Status DrainAll(Sink& sink) {\n"
+                             "  const Status first = Flush(sink);\n"
+                             "  if (!first.ok()) return first;\n"
+                             "  TS_RETURN_IF_ERROR(Flush(sink));\n"
+                             "  if (Flush(sink).ok()) { (void)Flush(sink); }\n"
+                             "  return sink.dirty() ? Flush(sink) : OkStatus();\n"
+                             "}\n");
+  EXPECT_TRUE(diags.empty()) << diags.front().message;
+}
+
+TEST(StatusDiscard, LowercaseDirectInitIsNotASymbol) {
+  // `Status s(...)` declares a variable; `s` must not enter the symbol index.
+  const auto diags = LintOne("src/zswap/a.cc",
+                             "void f() { Status s(StatusCode::kOk, \"\"); (void)s; }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- handle-resolution-at-construction ------------------------------------
+
+TEST(HandleResolution, PlainMethodResolutionFlagged) {
+  const auto diags = LintOne("src/obs/a.cc",
+                             "void C::Record(MetricsRegistry& m) {\n"
+                             "  m.GetCounter(\"c/hits\").Add(1);\n"
+                             "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleHandleResolution);
+}
+
+TEST(HandleResolution, ConstructorInitListAndInitMethodsPass) {
+  const auto diags = LintOne("src/obs/a.cc",
+                             "C::C(MetricsRegistry& m) : m_hits_(&m.GetCounter(\"c/hits\")) {\n"
+                             "  m_miss_ = &m.GetCounter(\"c/miss\");\n"
+                             "}\n"
+                             "void C::InitSlow(MetricsRegistry& m) {\n"
+                             "  m_slow_ = &m.GetGauge(\"c/slow\");\n"
+                             "}\n"
+                             "void C::RegisterAll(MetricsRegistry& m) {\n"
+                             "  m_all_ = &m.GetHistogram(\"c/all\", kBounds);\n"
+                             "}\n");
+  EXPECT_TRUE(diags.empty()) << diags.front().message;
+}
+
+TEST(HandleResolution, OnlyProductionCodeConstrained) {
+  const auto diags = LintOne("bench/a.cc",
+                             "void Cell::Run(MetricsRegistry& m) {\n"
+                             "  m.GetCounter(\"cell/ops\").Add(1);\n"
+                             "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(HandleResolution, WorkerSpansBelongToPoolRules) {
+  // Inside a worker lambda the pool rules own registrar calls — the same
+  // construct must not double-report under handle-resolution.
+  const auto diags = LintOne("src/solver/a.cc",
+                             "void C::Run(Pool& pool, Obs& obs, std::size_t n) {\n"
+                             "  pool.ParallelFor(n, [&](std::size_t i) {\n"
+                             "    obs.metrics.GetCounter(\"x\")->Add(1);\n"
+                             "  });\n"
+                             "}\n");
+  EXPECT_EQ(Rules(diags), std::set<std::string>{kRulePoolPurity});
+}
+
+TEST(HandleResolution, NamespaceScopeRegistrationAllowed) {
+  const auto diags =
+      LintOne("src/obs/a.cc", "Counter& g_hits = Default().metrics.GetCounter(\"g/hits\");\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- allowlist hygiene ----------------------------------------------------
+
+TEST(AllowHygiene, UnknownRuleNameFails) {
+  std::vector<Diagnostic> parse_diags;
+  const auto allow =
+      ParseAllowlist("tools/tslint_allow.txt",
+                     "determinizm-quarantine src/core/a.cc typo in the rule name\n", parse_diags);
+  const auto diags = LintOne("src/core/a.cc", "int x = 1;\n", allow);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleAllowlist);
+  EXPECT_NE(diags[0].message.find("unknown rule"), std::string::npos);
+}
+
+TEST(AllowHygiene, UnusedEntryFails) {
+  std::vector<Diagnostic> parse_diags;
+  const auto allow = ParseAllowlist("tools/tslint_allow.txt",
+                                    "determinism-quarantine src/core/a.cc nothing to suppress\n",
+                                    parse_diags);
+  const auto diags = LintOne("src/core/a.cc", "int x = 1;\n", allow);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleAllowlist);
+  EXPECT_NE(diags[0].message.find("unused"), std::string::npos);
+}
+
+TEST(AllowHygiene, EntriesOutsideScannedTopDirsIgnored) {
+  // A run without --self never scans tools/, so tools/ entries are neither
+  // stale nor unused — they are simply out of scope.
+  std::vector<Diagnostic> parse_diags;
+  const auto allow = ParseAllowlist("tools/tslint_allow.txt",
+                                    "determinism-quarantine tools/tslint_main.cc bench timing\n",
+                                    parse_diags);
+  EXPECT_TRUE(LintOne("src/core/a.cc", "int x = 1;\n", allow).empty());
+}
+
+// --- parallel + incremental runs (LintTreeEx) -----------------------------
+
+std::string JoinDiags(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += ToJsonl(d);
+    out += '\n';
+  }
+  return out;
+}
+
+std::map<std::string, std::string> DirtyTree() {
+  std::map<std::string, std::string> sources;
+  sources["src/zswap/sink.h"] = "Status Flush(Sink& sink);\n";
+  sources["src/zswap/drain.cc"] =
+      "#include \"src/zswap/sink.h\"\n"
+      "void Drain(Sink& sink) { Flush(sink); }\n";
+  sources["src/core/daemon.cc"] =
+      "void C::Record(MetricsRegistry& m) { m.GetCounter(\"c/hits\").Add(1); }\n";
+  sources["src/mem/up.cc"] = "#include \"src/core/api.h\"\n";
+  sources["src/core/api.h"] = "int kApi = 1;\n";
+  sources["src/solver/worker.cc"] =
+      "void f(Pool& pool, std::size_t n) {\n"
+      "  int total = 0;\n"
+      "  pool.ParallelFor(n, [&](std::size_t i) { total += 1; });\n"
+      "}\n";
+  return sources;
+}
+
+TEST(LintTreeExTest, FindingsByteIdenticalAcrossJobCounts) {
+  const auto sources = DirtyTree();
+  LintOptions serial;
+  LintOptions parallel;
+  parallel.jobs = 4;
+  const auto a = LintTreeEx(sources, {}, "tools/tslint_allow.txt", serial, nullptr);
+  const auto b = LintTreeEx(sources, {}, "tools/tslint_allow.txt", parallel, nullptr);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(JoinDiags(a), JoinDiags(b));
+}
+
+TEST(LintTreeExTest, IncrementalRunOnUnchangedTreeAnalyzesNothing) {
+  const auto sources = DirtyTree();
+  const std::string cache = ::testing::TempDir() + "/tslint_cache_unchanged.txt";
+  std::remove(cache.c_str());
+  LintOptions options;
+  options.cache_path = cache;
+  options.incremental = true;
+  LintRunStats first_stats;
+  const auto first = LintTreeEx(sources, {}, "tools/tslint_allow.txt", options, &first_stats);
+  EXPECT_EQ(first_stats.analyzed_files, sources.size());
+  EXPECT_FALSE(first_stats.used_cache);
+  LintRunStats second_stats;
+  const auto second = LintTreeEx(sources, {}, "tools/tslint_allow.txt", options, &second_stats);
+  EXPECT_TRUE(second_stats.used_cache);
+  EXPECT_EQ(second_stats.analyzed_files, 0u);
+  EXPECT_FALSE(second_stats.full_cross_tu);
+  EXPECT_EQ(JoinDiags(first), JoinDiags(second));
+}
+
+TEST(LintTreeExTest, EditedFileIsReanalyzedAlone) {
+  auto sources = DirtyTree();
+  const std::string cache = ::testing::TempDir() + "/tslint_cache_edit.txt";
+  std::remove(cache.c_str());
+  LintOptions options;
+  options.cache_path = cache;
+  options.incremental = true;
+  (void)LintTreeEx(sources, {}, "tools/tslint_allow.txt", options, nullptr);
+  // An edit that changes neither the status-symbol index nor include edges
+  // re-analyzes only the touched file.
+  sources["src/core/daemon.cc"] =
+      "void C::Record(MetricsRegistry& m) { m.GetCounter(\"c/miss\").Add(1); }\n";
+  LintRunStats stats;
+  const auto diags = LintTreeEx(sources, {}, "tools/tslint_allow.txt", options, &stats);
+  EXPECT_TRUE(stats.used_cache);
+  EXPECT_EQ(stats.analyzed_files, 1u);
+  EXPECT_FALSE(stats.full_cross_tu);
+  const LintOptions full;
+  EXPECT_EQ(JoinDiags(diags),
+            JoinDiags(LintTreeEx(sources, {}, "tools/tslint_allow.txt", full, nullptr)));
+}
+
+TEST(LintTreeExTest, SymbolIndexChangeEscalatesToFullCrossTu) {
+  auto sources = DirtyTree();
+  const std::string cache = ::testing::TempDir() + "/tslint_cache_symbols.txt";
+  std::remove(cache.c_str());
+  LintOptions options;
+  options.cache_path = cache;
+  options.incremental = true;
+  (void)LintTreeEx(sources, {}, "tools/tslint_allow.txt", options, nullptr);
+  // A new Status-returning symbol changes the cross-TU index: every cached
+  // file must be re-checked, and the new bare call in sink.h's includers is
+  // found even though drain.cc itself did not change.
+  sources["src/zswap/sink.h"] = "Status Flush(Sink& sink);\nStatus Seal(Sink& sink);\n";
+  LintRunStats stats;
+  const auto diags = LintTreeEx(sources, {}, "tools/tslint_allow.txt", options, &stats);
+  EXPECT_TRUE(stats.full_cross_tu);
+  const LintOptions full;
+  EXPECT_EQ(JoinDiags(diags),
+            JoinDiags(LintTreeEx(sources, {}, "tools/tslint_allow.txt", full, nullptr)));
+}
+
+TEST(LintTreeExTest, AllowlistChangeInvalidatesCache) {
+  const auto sources = DirtyTree();
+  const std::string cache = ::testing::TempDir() + "/tslint_cache_allow.txt";
+  std::remove(cache.c_str());
+  LintOptions options;
+  options.cache_path = cache;
+  options.incremental = true;
+  (void)LintTreeEx(sources, {}, "tools/tslint_allow.txt", options, nullptr);
+  std::vector<Diagnostic> parse_diags;
+  const auto allow = ParseAllowlist(
+      "tools/tslint_allow.txt",
+      "status-discard src/zswap/drain.cc fixture: best-effort drain, error is expected\n",
+      parse_diags);
+  LintRunStats stats;
+  const auto diags = LintTreeEx(sources, allow, "tools/tslint_allow.txt", options, &stats);
+  EXPECT_FALSE(stats.used_cache);
+  EXPECT_EQ(stats.analyzed_files, sources.size());
+  for (const Diagnostic& d : diags) {
+    EXPECT_NE(d.rule, kRuleStatusDiscard) << d.message;
+  }
+}
+
+// --- SARIF ----------------------------------------------------------------
+
+TEST(Sarif, StructureAndRuleIndices) {
+  const std::vector<Diagnostic> diags = {
+      {kRuleLayering, "src/mem/up.cc", 1, 10, "layer \"mem\" may not include \"core\""},
+      {kRuleStatusDiscard, "src/zswap/drain.cc", 2, 26, "result of `Flush(...)` discarded"},
+  };
+  const std::string sarif = ToSarif(diags);
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"tslint\""), std::string::npos);
+  // Every rule is declared once, in AllRuleNames() order, and results carry
+  // the matching ruleIndex.
+  for (const std::string& rule : AllRuleNames()) {
+    EXPECT_NE(sarif.find("\"id\":\"" + rule + "\""), std::string::npos) << rule;
+  }
+  std::size_t layering_index = 0;
+  std::size_t discard_index = 0;
+  for (std::size_t i = 0; i < AllRuleNames().size(); ++i) {
+    if (AllRuleNames()[i] == kRuleLayering) layering_index = i;
+    if (AllRuleNames()[i] == kRuleStatusDiscard) discard_index = i;
+  }
+  EXPECT_NE(sarif.find("\"ruleIndex\":" + std::to_string(layering_index)), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleIndex\":" + std::to_string(discard_index)), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\":\"src/mem/up.cc\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":2"), std::string::npos);
+  // Escaping: the quoted layer names must be escaped in the message text.
+  EXPECT_NE(sarif.find("layer \\\"mem\\\""), std::string::npos);
+}
+
+TEST(Sarif, EmptyRunStillDeclaresTool) {
+  const std::string sarif = ToSarif({});
+  EXPECT_NE(sarif.find("\"results\":[]"), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"tslint\""), std::string::npos);
 }
 
 // --- driver helpers -------------------------------------------------------

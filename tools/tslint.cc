@@ -3,14 +3,20 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <tuple>
+
+#include "src/common/thread_pool.h"
+#include "tools/tslint_cache.h"
+#include "tools/tslint_syntax.h"
 
 namespace tierscape {
 namespace tslint {
@@ -27,6 +33,16 @@ std::string Lower(std::string s) {
 }
 
 }  // namespace
+
+const std::vector<std::string>& AllRuleNames() {
+  static const std::vector<std::string> kRules = {
+      kRuleDeterminism,   kRuleLayering,      kRuleNoExceptions,
+      kRuleWallPrefix,    kRuleCiteConstants, kRulePoolPurity,
+      kRuleFaultHook,     kRuleWorkerCapture, kRuleStatusDiscard,
+      kRuleHandleResolution, kRuleAllowlist,
+  };
+  return kRules;
+}
 
 // ---------------------------------------------------------------------------
 // Tokenizer
@@ -347,6 +363,16 @@ bool HasAllowEntry(const std::string& rule, const std::string& file,
   return false;
 }
 
+// Marks a (rule, file) entry consumed without suppressing anything: used by
+// side effects of an entry's *presence* (arming wall-prefix, the fault-hook
+// entry-is-a-violation case), so unused-entry hygiene doesn't double-report.
+void MarkUsed(const std::string& rule, const std::string& file,
+              const std::vector<AllowEntry>& allow, std::vector<bool>& used_allow) {
+  for (std::size_t k = 0; k < allow.size(); ++k) {
+    if (allow[k].rule == rule && allow[k].path == file) used_allow[k] = true;
+  }
+}
+
 // Previous token is a member-access operator ('.' or '->').
 bool PrevIsMemberAccess(const std::vector<Token>& toks, std::size_t idx) {
   if (idx == 0) return false;
@@ -403,6 +429,7 @@ void CheckDeterminism(const LexedFile& file, const std::vector<AllowEntry>& allo
   // "reporting-only" reading sitting next to injection hooks invites faults
   // whose timing depends on the host. The allow entry itself is the bug.
   if (fault_hook && HasAllowEntry(kRuleDeterminism, file.path, allow)) {
+    MarkUsed(kRuleDeterminism, file.path, allow, used_allow);  // consumed as a violation
     diags.push_back({kRuleFaultHook, file.path, 1, 1,
                      "determinism-quarantine allowlist entry on a fault-injection hook file: "
                          "fault hooks must derive entirely from the seeded injector and may "
@@ -475,6 +502,9 @@ void CheckWallPrefix(const LexedFile& file, const std::vector<AllowEntry>& allow
     if (toks[k].kind != TokenKind::kIdentifier || kRegistrars.count(toks[k].text) == 0) continue;
     if (toks[k + 1].kind != TokenKind::kPunct || toks[k + 1].text != "(") continue;
     if (toks[k + 2].kind != TokenKind::kString) continue;
+    // The determinism entry did real work here — it armed this rule for a
+    // registering TU — so it counts as used even when it suppressed nothing.
+    MarkUsed(kRuleDeterminism, file.path, allow, used_allow);
     const std::string& name = toks[k + 2].text;
     if (name.rfind("wall/", 0) == 0) continue;
     if (Allowed(kRuleWallPrefix, file.path, allow, used_allow)) continue;
@@ -615,15 +645,314 @@ void CheckPoolPurity(const LexedFile& file, const std::vector<AllowEntry>& allow
   }
 }
 
+// For `++x.y[i]`-style prefix increments starting at `first` (an identifier),
+// returns the index of the chain's last identifier (so WalkChainBack can
+// classify the whole receiver).
+std::size_t ForwardChainLastIdent(const std::vector<Token>& toks, std::size_t first) {
+  std::size_t last = first;
+  std::size_t k = first + 1;
+  while (k < toks.size() && toks[k].kind == TokenKind::kPunct) {
+    if (toks[k].text == "." || toks[k].text == "->" || toks[k].text == "::") {
+      if (k + 1 < toks.size() && toks[k + 1].kind == TokenKind::kIdentifier) {
+        last = k + 1;
+        k += 2;
+        continue;
+      }
+      break;
+    }
+    if (toks[k].text == "[") {
+      k = MatchForward(toks, k) + 1;
+      continue;
+    }
+    break;
+  }
+  return last;
+}
+
 }  // namespace
 
-void CheckFile(const LexedFile& file, const std::vector<AllowEntry>& allow,
-               std::vector<bool>& used_allow, std::vector<Diagnostic>& diags) {
+void CheckWorkerCapture(const LexedFile& file, const SyntaxInfo& syntax,
+                        const std::vector<AllowEntry>& allow, std::vector<bool>& used_allow,
+                        std::vector<Diagnostic>& diags) {
+  // Flow-aware companion to pool-purity: inside a lambda passed to
+  // ThreadPool::Submit/ParallelFor, by-reference captures may only be written
+  // through a subscripted (slot-owned) receiver, and virtual time may not be
+  // charged at all — both would make results depend on wall-clock scheduling
+  // (thread_pool.h, DESIGN.md §4c).
+  const std::vector<Token>& toks = file.tokens;
+  const auto spans = WorkerCallSpans(toks);
+  if (spans.empty()) return;
+
+  for (const LambdaInfo& lam : syntax.lambdas) {
+    if (!InAnySpan(spans, lam.intro)) continue;
+    // Nested lambdas are scanned as part of their outermost worker lambda so
+    // worker-local state they capture by reference is recognized as local.
+    bool nested = false;
+    for (const LambdaInfo& outer : syntax.lambdas) {
+      if (&outer != &lam && InAnySpan(spans, outer.intro) &&
+          lam.intro > outer.body_begin && lam.intro < outer.body_end) {
+        nested = true;
+        break;
+      }
+    }
+    if (nested) continue;
+
+    std::set<std::string> by_ref;
+    std::set<std::string> by_value;
+    for (const Capture& c : lam.captures) {
+      if (c.is_this || c.is_default || c.name.empty()) continue;
+      if (c.by_ref && !c.has_init) {
+        by_ref.insert(c.name);
+      } else {
+        by_value.insert(c.name);  // value captures and init-captures: local
+      }
+    }
+    const bool shares_this = lam.captures_this || lam.default_ref || lam.default_copy;
+    std::set<std::string> locals(lam.params.begin(), lam.params.end());
+    for (const LambdaInfo& inner : syntax.lambdas) {
+      if (&inner == &lam || inner.intro <= lam.body_begin || inner.intro >= lam.body_end) {
+        continue;
+      }
+      locals.insert(inner.params.begin(), inner.params.end());
+      for (const Capture& c : inner.captures) {
+        if (c.has_init && !c.by_ref && !c.name.empty()) locals.insert(c.name);
+      }
+    }
+
+    // True when a write through this receiver chain lands on state shared
+    // with other workers or the submitting thread.
+    auto shared_write = [&](const ChainInfo& chain) {
+      if (chain.subscript) return false;  // disjoint-slot receiver
+      if (chain.base.empty()) return false;
+      if (chain.starts_with_this) return true;  // explicit this-> member write
+      if (locals.count(chain.base) != 0) return false;
+      if (by_value.count(chain.base) != 0) return false;  // worker-local copy
+      if (by_ref.count(chain.base) != 0) return true;
+      if (lam.default_ref) return true;  // [&]: every unlisted name is shared
+      // [=] / [this] still share members (style: trailing underscore).
+      if (shares_this && chain.base.back() == '_') return true;
+      return false;
+    };
+    auto report = [&](const Token& at, const std::string& why) {
+      if (Allowed(kRuleWorkerCapture, file.path, allow, used_allow)) return;
+      diags.push_back({kRuleWorkerCapture, file.path, at.line, at.col, why});
+    };
+
+    for (std::size_t j = lam.body_begin + 1; j < lam.body_end && j < toks.size(); ++j) {
+      const Token& t = toks[j];
+      if (t.in_preprocessor) continue;
+
+      // Virtual-time charges: member `.Compute(...)` on an unsubscripted
+      // receiver, or any `Charge*`-named call.
+      if (t.kind == TokenKind::kIdentifier && j + 1 < toks.size() &&
+          toks[j + 1].kind == TokenKind::kPunct && toks[j + 1].text == "(") {
+        const bool is_compute = t.text == "Compute" && PrevIsMemberAccess(toks, j);
+        const bool is_charge = t.text.rfind("Charge", 0) == 0;
+        if ((is_compute || is_charge) && !ReceiverChainHasSubscript(toks, j)) {
+          report(t, "virtual-time charge `" + t.text +
+                        "(...)` inside a ThreadPool worker lambda: workers compute pure "
+                        "results; charge virtual time on the submitting thread in "
+                        "submission order (thread_pool.h, DESIGN.md §4c)");
+        }
+        continue;
+      }
+      if (t.kind != TokenKind::kPunct) continue;
+
+      // Increment / decrement.
+      if ((t.text == "+" || t.text == "-") && j + 1 < lam.body_end &&
+          toks[j + 1].kind == TokenKind::kPunct && toks[j + 1].text == t.text) {
+        std::size_t target_last = toks.size();
+        if (j + 2 < lam.body_end && toks[j + 2].kind == TokenKind::kIdentifier) {
+          target_last = ForwardChainLastIdent(toks, j + 2);  // prefix ++x
+        } else if (j >= 1 && toks[j - 1].kind == TokenKind::kIdentifier) {
+          target_last = j - 1;  // postfix x++
+        } else if (j >= 1 && toks[j - 1].kind == TokenKind::kPunct && toks[j - 1].text == "]") {
+          ++j;
+          continue;  // postfix on a subscripted receiver: slot-owned
+        }
+        if (target_last < toks.size()) {
+          const ChainInfo chain = WalkChainBack(toks, target_last);
+          if (shared_write(chain)) {
+            report(toks[target_last],
+                   "write to shared captured state `" + chain.base +
+                       "` inside a ThreadPool worker lambda: workers may only write "
+                       "through their disjoint slot (`slots[i]->...`); commit shared "
+                       "mutations on the submitting thread in submission order "
+                       "(thread_pool.h, DESIGN.md §4c)");
+          }
+        }
+        ++j;
+        continue;
+      }
+
+      // Assignments: `=` and compound `+=`-style (two tokens).
+      if (t.text != "=") continue;
+      if (j + 1 < toks.size() && toks[j + 1].kind == TokenKind::kPunct &&
+          toks[j + 1].text == "=") {
+        ++j;  // `==`
+        continue;
+      }
+      if (j == 0) continue;
+      const Token& before = toks[j - 1];
+      bool compound = false;
+      if (before.kind == TokenKind::kPunct) {
+        const std::string& p = before.text;
+        if (p == "=" || p == "!" || p == "<" || p == ">") continue;  // comparisons
+        if (p == "+" || p == "-" || p == "*" || p == "/" || p == "%" || p == "&" ||
+            p == "|" || p == "^") {
+          compound = true;
+        } else if (p != "]" && p != ")") {
+          continue;  // `{`, `(`, `,`, ... — default args, designated init, etc.
+        }
+      }
+      std::size_t lhs_end = compound ? j - 2 : j - 1;
+      if (lhs_end >= toks.size()) continue;
+      if (toks[lhs_end].kind == TokenKind::kPunct && toks[lhs_end].text == "]") {
+        continue;  // subscripted LHS: slot-owned
+      }
+      if (toks[lhs_end].kind != TokenKind::kIdentifier) continue;
+      const ChainInfo chain = WalkChainBack(toks, lhs_end);
+      // A declaration with an initializer introduces a worker-local name:
+      // a type (identifier, `>`, `auto`) possibly followed by `&`/`*`
+      // immediately precedes the declared name.
+      if (!compound && chain.start == lhs_end && chain.start > 0) {
+        std::size_t p = chain.start - 1;
+        while (p > 0 && toks[p].kind == TokenKind::kPunct &&
+               (toks[p].text == "&" || toks[p].text == "*")) {
+          --p;
+        }
+        static const std::set<std::string> kNotTypes = {
+            "return", "delete", "else", "do",   "case",
+            "goto",   "new",    "throw", "co_return", "co_yield"};
+        const Token& before_decl = toks[p];
+        const bool type_precedes =
+            (before_decl.kind == TokenKind::kIdentifier &&
+             kNotTypes.count(before_decl.text) == 0) ||
+            (before_decl.kind == TokenKind::kPunct && before_decl.text == ">");
+        if (type_precedes) {
+          // `Type name = ...` / `Type& name = ...`: declares a worker-local.
+          locals.insert(chain.base);
+          continue;
+        }
+      }
+      if (shared_write(chain)) {
+        report(toks[lhs_end],
+               "write to shared captured state `" + chain.base +
+                   "` inside a ThreadPool worker lambda: workers may only write through "
+                   "their disjoint slot (`slots[i]->...`); commit shared mutations on the "
+                   "submitting thread in submission order (thread_pool.h, DESIGN.md §4c)");
+      }
+    }
+  }
+}
+
+void CheckHandleResolution(const LexedFile& file, const SyntaxInfo& syntax,
+                           const std::vector<AllowEntry>& allow, std::vector<bool>& used_allow,
+                           std::vector<Diagnostic>& diags) {
+  // DESIGN.md §4b: components resolve metric/trace handles by string once at
+  // construction and store them; hot paths only mutate stored handles. A
+  // registry lookup outside a constructor or Init-style method is a per-call
+  // string hash on a hot path. Only production code is constrained — bench
+  // and test scaffolding resolve ad hoc by design (per-cell registries).
+  if (file.path.rfind("src/", 0) != 0) return;
+  static const std::set<std::string> kRegistrars = {"GetCounter", "GetGauge", "GetHistogram"};
+  const std::vector<Token>& toks = file.tokens;
+  const auto worker_spans = WorkerCallSpans(toks);
+  for (std::size_t k = 0; k + 1 < toks.size(); ++k) {
+    const Token& t = toks[k];
+    if (t.kind != TokenKind::kIdentifier || t.in_preprocessor) continue;
+    if (kRegistrars.count(t.text) == 0 && t.text.rfind("Resolve", 0) != 0) continue;
+    if (toks[k + 1].kind != TokenKind::kPunct || toks[k + 1].text != "(") continue;
+    if (syntax.decl_name_tokens.count(k) != 0) continue;  // declaration/definition
+    if (InAnySpan(worker_spans, k)) continue;  // pool-purity owns worker bodies
+    const FunctionInfo* fn = EnclosingFunction(syntax, k);
+    if (fn == nullptr) continue;  // namespace-scope initialization
+    if (fn->kind != FunctionKind::kOther) continue;
+    if (Allowed(kRuleHandleResolution, file.path, allow, used_allow)) continue;
+    const std::string where =
+        fn->qualifier.empty() ? fn->name : fn->qualifier + "::" + fn->name;
+    diags.push_back({kRuleHandleResolution, file.path, t.line, t.col,
+                     "handle `" + t.text + "(...)` resolved by string inside `" + where +
+                         "`: resolve once at construction (or an Init*/Register*/Resolve*/"
+                         "Setup*/Build* method), store the handle, and mutate it on the hot "
+                         "path (DESIGN.md §4b)"});
+  }
+}
+
+void CheckStatusDiscard(const LexedFile& file, const SyntaxInfo& syntax,
+                        const std::set<std::string>& visible_status_symbols,
+                        const std::vector<AllowEntry>& allow, std::vector<bool>& used_allow,
+                        std::vector<Diagnostic>& diags) {
+  // TS_NODISCARD (src/common/status.h) makes the compiler warn on discarded
+  // Status results; this rule makes it a lint failure with cross-TU symbol
+  // knowledge: a call to a Status/StatusOr-returning function whose result is
+  // neither assigned, returned, checked, nor explicitly (void)-cast silently
+  // skips the degradation ladder (DESIGN.md §4d).
+  if (visible_status_symbols.empty()) return;
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t k = 0; k + 1 < toks.size(); ++k) {
+    const Token& t = toks[k];
+    if (t.kind != TokenKind::kIdentifier || t.in_preprocessor) continue;
+    if (visible_status_symbols.count(t.text) == 0) continue;
+    if (toks[k + 1].kind != TokenKind::kPunct || toks[k + 1].text != "(") continue;
+    if (syntax.decl_name_tokens.count(k) != 0) continue;  // declaration, not a call
+    const std::size_t close = MatchForward(toks, k + 1);
+    if (close + 1 >= toks.size()) continue;
+    const Token& after = toks[close + 1];
+    if (after.kind != TokenKind::kPunct || after.text != ";") continue;  // result consumed
+    const ChainInfo chain = WalkChainBack(toks, k);
+    const std::size_t s = chain.start;
+    // Explicit discard: `(void)Foo(...)`.
+    if (s >= 3 && toks[s - 1].kind == TokenKind::kPunct && toks[s - 1].text == ")" &&
+        toks[s - 2].kind == TokenKind::kIdentifier && toks[s - 2].text == "void" &&
+        toks[s - 3].kind == TokenKind::kPunct && toks[s - 3].text == "(") {
+      continue;
+    }
+    bool stmt_start = s == 0;
+    if (!stmt_start) {
+      const Token& prev = toks[s - 1];
+      // `:` is deliberately absent: a ternary's second arm (`c ? A() : B();`)
+      // is indistinguishable from a `case X:` label without expression
+      // parsing, and the ternary's value is consumed. Err toward silence.
+      if (prev.kind == TokenKind::kPunct &&
+          (prev.text == ";" || prev.text == "{" || prev.text == "}" || prev.text == ")")) {
+        stmt_start = true;
+      } else if (prev.kind == TokenKind::kIdentifier &&
+                 (prev.text == "else" || prev.text == "do")) {
+        stmt_start = true;
+      }
+    }
+    if (!stmt_start) continue;
+    if (Allowed(kRuleStatusDiscard, file.path, allow, used_allow)) continue;
+    diags.push_back({kRuleStatusDiscard, file.path, t.line, t.col,
+                     "result of Status/StatusOr call `" + t.text +
+                         "(...)` is discarded: assign, return, or check it — or cast to "
+                         "(void) with justification (TS_NODISCARD, src/common/status.h)"});
+  }
+}
+
+namespace {
+
+// All per-file rules except status-discard (which needs the cross-TU symbol
+// index). Shared by CheckFile and the LintTreeEx pipeline so the syntax scan
+// runs once per file.
+void RunPerFileRules(const LexedFile& file, const SyntaxInfo& syntax,
+                     const std::vector<AllowEntry>& allow, std::vector<bool>& used_allow,
+                     std::vector<Diagnostic>& diags) {
   CheckDeterminism(file, allow, used_allow, diags);
   CheckNoExceptions(file, allow, used_allow, diags);
   CheckWallPrefix(file, allow, used_allow, diags);
   CheckCiteConstants(file, allow, used_allow, diags);
   CheckPoolPurity(file, allow, used_allow, diags);
+  CheckWorkerCapture(file, syntax, allow, used_allow, diags);
+  CheckHandleResolution(file, syntax, allow, used_allow, diags);
+}
+
+}  // namespace
+
+void CheckFile(const LexedFile& file, const std::vector<AllowEntry>& allow,
+               std::vector<bool>& used_allow, std::vector<Diagnostic>& diags) {
+  RunPerFileRules(file, ScanSyntax(file), allow, used_allow, diags);
 }
 
 // ---------------------------------------------------------------------------
@@ -642,9 +971,9 @@ void CheckIncludeGraph(const std::map<std::string, LexedFile>& files,
                              "path from the repo root (CLAUDE.md)"});
         continue;
       }
-      // tools/ is outside the scanned DAG (the linter itself); style checked,
-      // existence and direction left to its own build.
-      if (inc.path.rfind("tools/", 0) == 0) continue;
+      // tools/ joins the scanned set only under --self; without it, existence
+      // and direction of tools/ includes are left to the linter's own build.
+      if (inc.path.rfind("tools/", 0) == 0 && files.find(inc.path) == files.end()) continue;
       if (files.find(inc.path) == files.end()) {
         diags.push_back({kRuleLayering, path, inc.line, 1,
                          "include \"" + inc.path + "\" does not resolve to a scanned file"});
@@ -704,29 +1033,295 @@ void CheckIncludeGraph(const std::map<std::string, LexedFile>& files,
 // ---------------------------------------------------------------------------
 // Whole-tree lint
 
-std::vector<Diagnostic> LintTree(const std::map<std::string, std::string>& sources,
-                                 const std::vector<AllowEntry>& allow,
-                                 const std::string& allow_path) {
+namespace {
+
+// Per-index slot for the parallel pipeline (§4c: workers write only here;
+// everything shared merges on the calling thread in ascending path order).
+struct PerFileResult {
+  std::uint64_t digest = 0;
+  std::vector<LexedFile::Include> includes;
+  std::vector<std::string> status_functions;  // sorted, unique
+  std::vector<std::size_t> used_allow;
   std::vector<Diagnostic> diags;
-  std::map<std::string, LexedFile> files;
+  bool from_cache = false;
+};
+
+// Lexed + syntax-scanned form of a freshly analyzed file, kept for phase C
+// (status-discard). Cached files never need it.
+struct AnalyzedFile {
+  LexedFile lexed;
+  SyntaxInfo syntax;
+};
+
+std::uint64_t DigestAllowlist(const std::vector<AllowEntry>& allow) {
+  std::uint64_t h = Fnv1a("allow");
+  for (const AllowEntry& e : allow) {
+    h = Fnv1a(e.rule, h);
+    h = Fnv1a("\x1f", h);
+    h = Fnv1a(e.path, h);
+    h = Fnv1a("\x1f", h);
+    h = Fnv1a(e.rationale, h);
+    h = Fnv1a("\x1f", h);
+    h = Fnv1a(std::to_string(e.line), h);
+    h = Fnv1a("\n", h);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> LintTreeEx(const std::map<std::string, std::string>& sources,
+                                   const std::vector<AllowEntry>& allow,
+                                   const std::string& allow_path, const LintOptions& options,
+                                   LintRunStats* stats_out) {
+  LintRunStats stats;
+  stats.total_files = sources.size();
+
+  std::vector<std::string> paths;
+  std::vector<const std::string*> contents;
+  paths.reserve(sources.size());
+  contents.reserve(sources.size());
   for (const auto& [path, content] : sources) {
-    files.emplace(path, Lex(path, content));
+    paths.push_back(path);
+    contents.push_back(&content);
   }
-  std::vector<bool> used_allow(allow.size(), false);
-  for (const auto& [path, file] : files) {
-    CheckFile(file, allow, used_allow, diags);
+  const std::size_t n = paths.size();
+
+  std::vector<std::uint64_t> digest(n, 0);
+  for (std::size_t i = 0; i < n; ++i) digest[i] = Fnv1a(*contents[i]);
+
+  const std::uint64_t allow_digest = DigestAllowlist(allow);
+  LintCache cache;
+  bool cache_ok = false;
+  if (options.incremental && !options.cache_path.empty()) {
+    cache_ok = LoadCache(options.cache_path, cache) && cache.allow_digest == allow_digest;
   }
-  CheckIncludeGraph(files, diags);
-  for (std::size_t k = 0; k < allow.size(); ++k) {
-    if (sources.find(allow[k].path) == sources.end()) {
-      diags.push_back({kRuleAllowlist, allow_path, allow[k].line, 1,
-                       "stale allowlist entry: `" + allow[k].path + "` was not scanned"});
+  stats.used_cache = cache_ok;
+
+  std::vector<PerFileResult> slots(n);
+  std::vector<std::unique_ptr<AnalyzedFile>> analyzed(n);
+  std::vector<char> needs(n, 1);
+  if (cache_ok) {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto it = cache.files.find(paths[i]);
+      if (it != cache.files.end() && it->second.digest == digest[i]) needs[i] = 0;
     }
   }
+
+  ThreadPool pool(std::max(1, options.jobs));
+
+  // Phase A: per-file analysis (lex, syntax scan, all per-file rules except
+  // status-discard) into disjoint per-index slots.
+  auto analyze_one = [&](std::size_t i) {
+    auto af = std::make_unique<AnalyzedFile>();
+    af->lexed = Lex(paths[i], *contents[i]);
+    af->syntax = ScanSyntax(af->lexed);
+    PerFileResult r;
+    r.digest = digest[i];
+    r.includes = af->lexed.includes;
+    const std::set<std::string> uniq(af->syntax.status_functions.begin(),
+                                     af->syntax.status_functions.end());
+    r.status_functions.assign(uniq.begin(), uniq.end());
+    std::vector<bool> local_used(allow.size(), false);
+    RunPerFileRules(af->lexed, af->syntax, allow, local_used, r.diags);
+    for (std::size_t k = 0; k < local_used.size(); ++k) {
+      if (local_used[k]) r.used_allow.push_back(k);
+    }
+    slots[i] = std::move(r);
+    analyzed[i] = std::move(af);
+  };
+  auto run_phase_a = [&](const std::vector<std::size_t>& work) {
+    pool.ParallelFor(work.size(), [&](std::size_t w) { analyze_one(work[w]); });
+  };
+  {
+    std::vector<std::size_t> work;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (needs[i]) work.push_back(i);
+    }
+    run_phase_a(work);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (needs[i]) continue;
+    const CachedFile& cf = cache.files.at(paths[i]);
+    PerFileResult r;
+    r.digest = cf.digest;
+    r.includes = cf.includes;
+    r.status_functions = cf.status_functions;
+    r.used_allow = cf.used_allow;
+    r.diags = cf.diags;
+    for (Diagnostic& d : r.diags) d.file = paths[i];
+    r.from_cache = true;
+    slots[i] = std::move(r);
+  }
+
+  // Cross-TU digests: the status-symbol index and the quoted-include edge
+  // set. A change in either invalidates cached status-discard findings in
+  // *unchanged* files, so it escalates to a full pass.
+  auto cross_digests = [&]() {
+    std::uint64_t sym = Fnv1a("symbols");
+    std::uint64_t inc = Fnv1a("includes");
+    for (std::size_t i = 0; i < n; ++i) {
+      sym = Fnv1a(paths[i], sym);
+      sym = Fnv1a("\x1f", sym);
+      for (const std::string& s : slots[i].status_functions) {
+        sym = Fnv1a(s, sym);
+        sym = Fnv1a(",", sym);
+      }
+      inc = Fnv1a(paths[i], inc);
+      inc = Fnv1a("\x1f", inc);
+      for (const LexedFile::Include& e : slots[i].includes) {
+        if (e.angled) continue;
+        inc = Fnv1a(e.path, inc);
+        inc = Fnv1a(",", inc);
+      }
+    }
+    return std::pair<std::uint64_t, std::uint64_t>{sym, inc};
+  };
+  auto [symbol_digest, include_digest] = cross_digests();
+  if (cache_ok &&
+      (symbol_digest != cache.symbol_digest || include_digest != cache.include_digest)) {
+    stats.full_cross_tu = true;
+    std::vector<std::size_t> rest;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!needs[i]) {
+        needs[i] = 1;
+        rest.push_back(i);
+      }
+    }
+    run_phase_a(rest);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (needs[i]) ++stats.analyzed_files;
+  }
+
+  // Visibility closure: symbols a file can see through transitive quoted
+  // includes (plus its own). Memoized DFS; include cycles (flagged by the
+  // layering rule anyway) degrade to a partial union, never an infinite loop.
+  std::map<std::string, std::size_t> index_of;
+  for (std::size_t i = 0; i < n; ++i) index_of.emplace(paths[i], i);
+  std::vector<std::set<std::string>> visible(n);
+  {
+    std::vector<int> state(n, 0);  // 0 = unvisited, 1 = in progress, 2 = done
+    std::function<void(std::size_t)> dfs = [&](std::size_t i) {
+      state[i] = 1;
+      visible[i].insert(slots[i].status_functions.begin(), slots[i].status_functions.end());
+      for (const LexedFile::Include& e : slots[i].includes) {
+        if (e.angled) continue;
+        auto it = index_of.find(e.path);
+        if (it == index_of.end()) continue;
+        const std::size_t dep = it->second;
+        if (state[dep] == 0) dfs(dep);
+        visible[i].insert(visible[dep].begin(), visible[dep].end());
+      }
+      state[i] = 2;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      if (state[i] == 0) dfs(i);
+    }
+  }
+
+  // Phase C: status-discard over freshly analyzed files (cached per-file
+  // diagnostics already contain their status-discard findings).
+  {
+    std::vector<std::size_t> work;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (needs[i]) work.push_back(i);
+    }
+    pool.ParallelFor(work.size(), [&](std::size_t w) {
+      const std::size_t i = work[w];
+      std::vector<bool> local_used(allow.size(), false);
+      CheckStatusDiscard(analyzed[i]->lexed, analyzed[i]->syntax, visible[i], allow,
+                         local_used, slots[i].diags);
+      for (std::size_t k = 0; k < local_used.size(); ++k) {
+        if (local_used[k]) slots[i].used_allow.push_back(k);
+      }
+    });
+  }
+
+  // Merge on the calling thread in ascending path order (§4c).
+  std::vector<Diagnostic> diags;
+  std::vector<bool> used(allow.size(), false);
+  for (std::size_t i = 0; i < n; ++i) {
+    diags.insert(diags.end(), slots[i].diags.begin(), slots[i].diags.end());
+    for (const std::size_t k : slots[i].used_allow) {
+      if (k < used.size()) used[k] = true;
+    }
+  }
+
+  // Include-graph rules need only paths + include lists; build stubs so
+  // cached files never re-lex.
+  {
+    std::map<std::string, LexedFile> stubs;
+    for (std::size_t i = 0; i < n; ++i) {
+      LexedFile f;
+      f.path = paths[i];
+      f.includes = slots[i].includes;
+      stubs.emplace(paths[i], std::move(f));
+    }
+    CheckIncludeGraph(stubs, diags);
+  }
+
+  // Allowlist hygiene: unknown rules, stale paths, unused entries. Scoped to
+  // top-level directories that were actually scanned so a run without --self
+  // never flags tools/ entries.
+  {
+    std::set<std::string> scanned_tops;
+    for (const std::string& p : paths) scanned_tops.insert(p.substr(0, p.find('/')));
+    const std::set<std::string> known(AllRuleNames().begin(), AllRuleNames().end());
+    for (std::size_t k = 0; k < allow.size(); ++k) {
+      const AllowEntry& e = allow[k];
+      if (scanned_tops.count(e.path.substr(0, e.path.find('/'))) == 0) continue;
+      if (known.count(e.rule) == 0) {
+        diags.push_back({kRuleAllowlist, allow_path, e.line, 1,
+                         "unknown rule `" + e.rule +
+                             "` in allowlist entry: the rule no longer exists (see "
+                             "tslint --list-rules)"});
+        continue;
+      }
+      if (sources.find(e.path) == sources.end()) {
+        diags.push_back({kRuleAllowlist, allow_path, e.line, 1,
+                         "stale allowlist entry: `" + e.path + "` was not scanned"});
+        continue;
+      }
+      if (!used[k]) {
+        diags.push_back({kRuleAllowlist, allow_path, e.line, 1,
+                         "unused allowlist entry: `" + e.path + "` tripped no [" + e.rule +
+                             "] diagnostics this run; remove the entry"});
+      }
+    }
+  }
+
   std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
     return std::tie(a.file, a.line, a.col, a.rule) < std::tie(b.file, b.line, b.col, b.rule);
   });
+
+  if (!options.cache_path.empty()) {
+    LintCache out_cache;
+    out_cache.allow_digest = allow_digest;
+    out_cache.symbol_digest = symbol_digest;
+    out_cache.include_digest = include_digest;
+    for (std::size_t i = 0; i < n; ++i) {
+      CachedFile cf;
+      cf.digest = slots[i].digest;
+      cf.includes = slots[i].includes;
+      cf.status_functions = slots[i].status_functions;
+      std::set<std::size_t> uniq(slots[i].used_allow.begin(), slots[i].used_allow.end());
+      cf.used_allow.assign(uniq.begin(), uniq.end());
+      cf.diags = slots[i].diags;
+      for (Diagnostic& d : cf.diags) d.file.clear();
+      out_cache.files.emplace(paths[i], std::move(cf));
+    }
+    SaveCache(options.cache_path, out_cache);
+  }
+
+  if (stats_out) *stats_out = stats;
   return diags;
+}
+
+std::vector<Diagnostic> LintTree(const std::map<std::string, std::string>& sources,
+                                 const std::vector<AllowEntry>& allow,
+                                 const std::string& allow_path) {
+  return LintTreeEx(sources, allow, allow_path, LintOptions{}, nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -817,7 +1412,7 @@ void WalkDir(const std::filesystem::path& dir, const std::filesystem::path& root
 
 }  // namespace
 
-TreeScan ScanTree(const std::string& root) {
+TreeScan ScanTree(const std::string& root, bool include_tools) {
   namespace fs = std::filesystem;
   TreeScan out;
   std::error_code ec;
@@ -841,7 +1436,9 @@ TreeScan ScanTree(const std::string& root) {
       }
     }
   }
-  for (const char* top : {"src", "bench", "tests", "examples"}) {
+  std::vector<const char*> tops = {"src", "bench", "tests", "examples"};
+  if (include_tools) tops.push_back("tools");
+  for (const char* top : tops) {
     const fs::path dir = root_path / top;
     if (fs::is_directory(dir)) WalkDir(dir, root_path, ignored, out);
   }
@@ -880,6 +1477,34 @@ std::string ToJsonl(const Diagnostic& d) {
 std::string ToText(const Diagnostic& d) {
   std::ostringstream out;
   out << d.file << ":" << d.line << ":" << d.col << ": [" << d.rule << "] " << d.message;
+  return out.str();
+}
+
+std::string ToSarif(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  out << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+      << "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"tslint\","
+      << "\"rules\":[";
+  const std::vector<std::string>& rules = AllRuleNames();
+  std::map<std::string, std::size_t> rule_index;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "{\"id\":\"" << JsonEscape(rules[i]) << "\"}";
+    rule_index.emplace(rules[i], i);
+  }
+  out << "]}},\"results\":[";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i != 0) out << ",";
+    out << "{\"ruleId\":\"" << JsonEscape(d.rule) << "\"";
+    const auto it = rule_index.find(d.rule);
+    if (it != rule_index.end()) out << ",\"ruleIndex\":" << it->second;
+    out << ",\"level\":\"error\",\"message\":{\"text\":\"" << JsonEscape(d.message)
+        << "\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\""
+        << JsonEscape(d.file) << "\"},\"region\":{\"startLine\":" << std::max(1, d.line)
+        << ",\"startColumn\":" << std::max(1, d.col) << "}}}]}";
+  }
+  out << "]}]}";
   return out.str();
 }
 

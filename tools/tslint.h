@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -102,7 +103,14 @@ inline constexpr const char* kRuleWallPrefix = "wall-prefix";
 inline constexpr const char* kRuleCiteConstants = "cite-constants";
 inline constexpr const char* kRulePoolPurity = "pool-purity";
 inline constexpr const char* kRuleFaultHook = "fault-hook-purity";
+inline constexpr const char* kRuleWorkerCapture = "worker-capture-purity";
+inline constexpr const char* kRuleStatusDiscard = "status-discard";
+inline constexpr const char* kRuleHandleResolution = "handle-resolution-at-construction";
 inline constexpr const char* kRuleAllowlist = "allowlist";  // tool hygiene
+
+// Every rule tslint enforces, in documentation order. Allowlist entries whose
+// rule is not in this list fail the run (`allowlist` diagnostic).
+const std::vector<std::string>& AllRuleNames();
 
 // Layer indices of the DAG (CLAUDE.md "Layering"): common → obs → fault →
 // mem → {compress, zpool} → zswap → telemetry/solver → tiering → core →
@@ -124,11 +132,27 @@ bool IsFaultHookFile(const LexedFile& file);
 // within ±3 lines (tier specs, cost model, media specs, telemetry).
 bool IsCiteDesignated(const std::string& repo_relative_path);
 
-// Per-file rules (everything except include-graph checks). `allow` is the
-// full allowlist; suppressed diagnostics mark their entry used via
-// `used_allow` (indices into `allow`).
+// Per-file rules (everything except include-graph checks and the cross-TU
+// status-discard rule). `allow` is the full allowlist; suppressed diagnostics
+// mark their entry used via `used_allow` (indices into `allow`).
 void CheckFile(const LexedFile& file, const std::vector<AllowEntry>& allow,
                std::vector<bool>& used_allow, std::vector<Diagnostic>& diags);
+
+// Flow-aware rules built on the syntactic layer (tools/tslint_syntax.h).
+// CheckFile runs the first two; status-discard additionally needs the set of
+// Status/StatusOr-returning function names visible to this file through its
+// transitive quoted includes (the cross-TU symbol index).
+struct SyntaxInfo;  // tools/tslint_syntax.h
+void CheckWorkerCapture(const LexedFile& file, const SyntaxInfo& syntax,
+                        const std::vector<AllowEntry>& allow, std::vector<bool>& used_allow,
+                        std::vector<Diagnostic>& diags);
+void CheckHandleResolution(const LexedFile& file, const SyntaxInfo& syntax,
+                           const std::vector<AllowEntry>& allow, std::vector<bool>& used_allow,
+                           std::vector<Diagnostic>& diags);
+void CheckStatusDiscard(const LexedFile& file, const SyntaxInfo& syntax,
+                        const std::set<std::string>& visible_status_symbols,
+                        const std::vector<AllowEntry>& allow, std::vector<bool>& used_allow,
+                        std::vector<Diagnostic>& diags);
 
 // Include-graph rules over the whole scanned set: upward edges, missing
 // repo-relative targets, and cycles (a cycle is reported once per
@@ -138,10 +162,40 @@ void CheckIncludeGraph(const std::map<std::string, LexedFile>& files,
 
 // Runs everything over an in-memory tree (path → content). Used by the
 // driver after walking the real tree and by unit tests directly. Appends
-// `allowlist` diagnostics for entries whose path matches no scanned file.
+// `allowlist` diagnostics for entries whose path matches no scanned file,
+// whose rule name does not exist, or which suppressed nothing (hygiene is
+// restricted to entries under top-level directories that were scanned, so a
+// run without --self never flags tools/ entries).
 std::vector<Diagnostic> LintTree(const std::map<std::string, std::string>& sources,
                                  const std::vector<AllowEntry>& allow,
                                  const std::string& allow_path);
+
+// Options for the full pipeline. `jobs` > 1 analyzes files in parallel on
+// src/common/thread_pool.h under its own §4c contract: workers write analysis
+// results only into their per-index slot; diagnostics, allowlist usage, and
+// the cross-TU indices merge on the calling thread in ascending path order,
+// so findings are byte-identical at every job count. `cache_path` names the
+// incremental sidecar (tools/tslint_cache.h); with `incremental` set, files
+// whose content digest matches the cache are not re-analyzed unless a
+// cross-TU index (status symbols, include edges) changed, which escalates to
+// a full pass. The cache is rewritten after every run.
+struct LintOptions {
+  int jobs = 1;
+  std::string cache_path;
+  bool incremental = false;
+};
+
+struct LintRunStats {
+  std::size_t total_files = 0;
+  std::size_t analyzed_files = 0;  // lexed + checked this run (cache misses)
+  bool used_cache = false;         // a valid, same-allowlist cache was loaded
+  bool full_cross_tu = false;      // cross-TU index changed → full re-analysis
+};
+
+std::vector<Diagnostic> LintTreeEx(const std::map<std::string, std::string>& sources,
+                                   const std::vector<AllowEntry>& allow,
+                                   const std::string& allow_path, const LintOptions& options,
+                                   LintRunStats* stats);
 
 // ---------------------------------------------------------------------------
 // Driver helpers (filesystem walk, output, self-test)
@@ -161,8 +215,10 @@ bool GlobMatch(const std::string& pattern, const std::string& name);
 std::vector<std::string> IgnoredDirPatterns(const std::string& root);
 
 // Walks {src, bench, tests, examples} under `root` collecting *.h/*.cc/*.cpp
-// (repo-relative keys).
-TreeScan ScanTree(const std::string& root);
+// (repo-relative keys). With `include_tools`, tools/ joins the walk so the
+// linter lints itself under the same rules (`tslint --self`, no
+// special-casing).
+TreeScan ScanTree(const std::string& root, bool include_tools = false);
 
 // JSON-escapes a string (no surrounding quotes).
 std::string JsonEscape(const std::string& s);
@@ -170,6 +226,10 @@ std::string JsonEscape(const std::string& s);
 std::string ToJsonl(const Diagnostic& d);
 // `file:line:col: [rule] message` for humans.
 std::string ToText(const Diagnostic& d);
+// The full run as a SARIF 2.1.0 log (single run, one reportingDescriptor per
+// rule in AllRuleNames() order, one result per diagnostic) so CI annotates
+// findings inline.
+std::string ToSarif(const std::vector<Diagnostic>& diags);
 
 // Self-test over a fixture tree: every scanned file must declare
 // `// tslint-fixture: <rule>|none` in its first 5 lines and trip exactly the

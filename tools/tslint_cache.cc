@@ -1,0 +1,172 @@
+#include "tools/tslint_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace tierscape {
+namespace tslint {
+
+namespace {
+
+constexpr const char* kMagic = "tslint-cache";
+constexpr int kVersion = 1;
+
+// Inverse of JsonEscape for the subset it emits (\" \\ \n \t \uXXXX).
+bool JsonUnescape(const std::string& in, std::string& out) {
+  out.clear();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] != '\\') {
+      out += in[i];
+      continue;
+    }
+    if (++i >= in.size()) return false;
+    switch (in[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 >= in.size()) return false;
+        unsigned value = 0;
+        if (std::sscanf(in.c_str() + i + 1, "%4x", &value) != 1) return false;
+        out += static_cast<char>(value & 0xff);
+        i += 4;
+        break;
+      }
+      default: return false;
+    }
+  }
+  return true;
+}
+
+bool ParseHex(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 16);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+bool LoadCache(const std::string& path, LintCache& cache) {
+  cache = LintCache{};
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  {
+    std::istringstream head(line);
+    std::string magic;
+    int version = 0;
+    std::string allow_hex;
+    std::string symbol_hex;
+    std::string include_hex;
+    head >> magic >> version >> allow_hex >> symbol_hex >> include_hex;
+    if (magic != kMagic || version != kVersion) return false;
+    if (!ParseHex(allow_hex, cache.allow_digest) || !ParseHex(symbol_hex, cache.symbol_digest) ||
+        !ParseHex(include_hex, cache.include_digest)) {
+      return false;
+    }
+  }
+  CachedFile* current = nullptr;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "file") {
+      std::string digest_hex;
+      std::string file_path;
+      fields >> digest_hex;
+      std::getline(fields, file_path);
+      file_path.erase(0, file_path.find_first_not_of(' '));
+      CachedFile entry;
+      if (!ParseHex(digest_hex, entry.digest) || file_path.empty()) {
+        cache = LintCache{};
+        return false;
+      }
+      current = &cache.files[file_path];
+      *current = std::move(entry);
+      continue;
+    }
+    if (current == nullptr) {
+      cache = LintCache{};
+      return false;
+    }
+    if (tag == "inc") {
+      LexedFile::Include inc;
+      int angled = 0;
+      fields >> inc.line >> angled;
+      std::getline(fields, inc.path);
+      inc.path.erase(0, inc.path.find_first_not_of(' '));
+      inc.angled = angled != 0;
+      if (inc.path.empty()) {
+        cache = LintCache{};
+        return false;
+      }
+      current->includes.push_back(std::move(inc));
+    } else if (tag == "sym") {
+      std::string name;
+      fields >> name;
+      if (name.empty()) {
+        cache = LintCache{};
+        return false;
+      }
+      current->status_functions.push_back(std::move(name));
+    } else if (tag == "use") {
+      std::size_t index = 0;
+      if (!(fields >> index)) {
+        cache = LintCache{};
+        return false;
+      }
+      current->used_allow.push_back(index);
+    } else if (tag == "diag") {
+      Diagnostic d;
+      std::string escaped;
+      fields >> d.rule >> d.line >> d.col;
+      std::getline(fields, escaped);
+      escaped.erase(0, escaped.find_first_not_of(' '));
+      if (d.rule.empty() || !JsonUnescape(escaped, d.message)) {
+        cache = LintCache{};
+        return false;
+      }
+      current->diags.push_back(std::move(d));
+    } else {
+      cache = LintCache{};
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SaveCache(const std::string& path, const LintCache& cache) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  char head[128];
+  std::snprintf(head, sizeof(head), "%s %d %016llx %016llx %016llx\n", kMagic, kVersion,
+                static_cast<unsigned long long>(cache.allow_digest),
+                static_cast<unsigned long long>(cache.symbol_digest),
+                static_cast<unsigned long long>(cache.include_digest));
+  out << head;
+  for (const auto& [file_path, entry] : cache.files) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(entry.digest));
+    out << "file " << buf << " " << file_path << "\n";
+    for (const LexedFile::Include& inc : entry.includes) {
+      out << "inc " << inc.line << " " << (inc.angled ? 1 : 0) << " " << inc.path << "\n";
+    }
+    for (const std::string& sym : entry.status_functions) out << "sym " << sym << "\n";
+    for (const std::size_t index : entry.used_allow) out << "use " << index << "\n";
+    for (const Diagnostic& d : entry.diags) {
+      out << "diag " << d.rule << " " << d.line << " " << d.col << " " << JsonEscape(d.message)
+          << "\n";
+    }
+  }
+  return out.good();
+}
+
+}  // namespace tslint
+}  // namespace tierscape

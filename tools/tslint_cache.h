@@ -1,0 +1,60 @@
+// tslint's incremental sidecar cache (DESIGN.md §4c): one record per scanned
+// file keyed by a content digest, holding everything the whole-tree pipeline
+// needs from an unchanged file — its quoted includes (for the include-graph
+// rules), its Status-returning symbols (for the cross-TU status-discard
+// index), its per-file diagnostics, and the allowlist entries it consumed.
+// A cache is only trusted when its format version, allowlist digest, and
+// cross-TU digests (symbol index + include edges) all match; any cross-TU
+// change escalates to a full re-analysis, so incremental runs are
+// byte-identical to full runs by construction (tools/bench_smoke.sh asserts
+// this on every CI run).
+#ifndef TOOLS_TSLINT_CACHE_H_
+#define TOOLS_TSLINT_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/tslint.h"
+
+namespace tierscape {
+namespace tslint {
+
+// FNV-1a 64-bit. Chainable: pass the previous digest as `h`.
+inline std::uint64_t Fnv1a(std::string_view s, std::uint64_t h = 1469598103934665603ull) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct CachedFile {
+  std::uint64_t digest = 0;  // Fnv1a over the file content
+  std::vector<LexedFile::Include> includes;
+  std::vector<std::string> status_functions;
+  std::vector<std::size_t> used_allow;  // indices into the allowlist
+  std::vector<Diagnostic> diags;        // all per-file rules, file field unset
+};
+
+struct LintCache {
+  std::uint64_t allow_digest = 0;
+  std::uint64_t symbol_digest = 0;   // cross-TU status-symbol index
+  std::uint64_t include_digest = 0;  // quoted include edges
+  std::map<std::string, CachedFile> files;
+};
+
+// Loads a cache file. Returns false (and leaves `cache` empty) on a missing
+// file, unknown format version, or any malformed line — the caller then runs
+// full analysis and rewrites the cache.
+bool LoadCache(const std::string& path, LintCache& cache);
+
+// Writes the cache deterministically (sorted by path).
+bool SaveCache(const std::string& path, const LintCache& cache);
+
+}  // namespace tslint
+}  // namespace tierscape
+
+#endif  // TOOLS_TSLINT_CACHE_H_
