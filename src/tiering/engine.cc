@@ -235,17 +235,21 @@ StatusOr<TieringEngine::MigrateOutcome> TieringEngine::MigrateRegion(std::uint64
     if (pages_[page].tier == dst || pages_[page].tier < 0) {
       continue;
     }
-    migrate_staged_.push_back(StagedPage{.page = page});
+    StagedPage staged;
+    staged.page = page;
+    migrate_staged_.push_back(staged);
   }
 
-  // Phase 1 — compression fan-out on the push threads (PT2, §7.2): byte-tier
-  // pages bound for a compressed destination are synthesized (contents are a
-  // pure function of page + version), probed against the compression cache
-  // (read-only here), and compressed into disjoint per-index scratch slots.
-  // Nothing shared is mutated, so the staged results — and therefore every
-  // virtual-time charge derived from them — are identical for any thread
-  // count. Compressed-tier sources are skipped: their decompression feeds
-  // source-pool statistics that must advance in page order (phase 2).
+  // Phase 1 — compression fan-out on the push threads (PT2, §7.2): pages
+  // bound for a compressed destination are read (byte-tier contents are
+  // synthesized — a pure function of page + version; compressed-tier sources
+  // are decompressed through the pure read path, PeekCompressed + the
+  // source's compressor, with no pool mutation and no statistics), probed
+  // against the compression cache (read-only here), and compressed into
+  // disjoint per-index scratch slots. Nothing shared is mutated, so the
+  // staged results — and therefore every virtual-time charge derived from
+  // them — are identical for any thread count; compressed-source load
+  // statistics and costs commit in page order in phase 2 (CommitLoads).
   constexpr std::size_t kSlotBytes = 2 * kPageSize;
   const bool compressed_dst = dref.kind == TierKind::kCompressed;
   if (compressed_dst && !migrate_staged_.empty()) {
@@ -254,9 +258,7 @@ StatusOr<TieringEngine::MigrateOutcome> TieringEngine::MigrateRegion(std::uint64
     migrate_scratch_.resize(migrate_staged_.size() * kSlotBytes);
     thread_pool_->ParallelFor(migrate_staged_.size(), [&](std::size_t i) {
       StagedPage& staged = migrate_staged_[i];
-      if (tiers_.tier(pages_[staged.page].tier).kind != TierKind::kByteAddressable) {
-        return;
-      }
+      const TierRef& src = tiers_.tier(pages_[staged.page].tier);
       if (compression_cache_ != nullptr) {
         const auto* entry = compression_cache_->Lookup(
             staged.page, space_.PageVersion(staged.page), algorithm);
@@ -269,7 +271,22 @@ StatusOr<TieringEngine::MigrateOutcome> TieringEngine::MigrateRegion(std::uint64
         }
       }
       std::byte contents[kPageSize];
-      space_.SynthesizePage(staged.page, contents);
+      if (src.kind == TierKind::kByteAddressable) {
+        space_.SynthesizePage(staged.page, contents);
+      } else {
+        // Pure concurrent read (safe: phase 2 owns every pool mutation, and
+        // it only starts after this barrier). Failures surface in page order.
+        auto peeked = src.compressed->PeekCompressed(pages_[staged.page].location);
+        if (!peeked.ok()) {
+          staged.source_status = peeked.status();
+          return;
+        }
+        auto size = src.compressed->compressor().Decompress(*peeked, contents);
+        if (!size.ok()) {
+          staged.source_status = size.status();
+          return;
+        }
+      }
       staged.checksum = PageChecksum(contents);
       const std::span<std::byte> slot(&migrate_scratch_[i * kSlotBytes], kSlotBytes);
       auto compressed = compressor.Compress(contents, slot);
@@ -282,9 +299,8 @@ StatusOr<TieringEngine::MigrateOutcome> TieringEngine::MigrateRegion(std::uint64
     });
   }
 
-  // Fan-out outcome of phase 1 (before phase 2 reuses the same flags for
-  // compressed-source pages): pages really compressed on the push threads vs.
-  // served from the cache.
+  // Fan-out outcome of phase 1: pages really compressed on the push threads
+  // (byte and compressed sources alike) vs. served from the cache.
   std::uint64_t fanout_compressed = 0;
   std::uint64_t fanout_cache_hits = 0;
   for (const StagedPage& staged : migrate_staged_) {
@@ -315,6 +331,13 @@ StatusOr<TieringEngine::MigrateOutcome> TieringEngine::MigrateRegion(std::uint64
     // phase 1 when needed), really decompressed for compressed tiers.
     if (byte_source) {
       load_ns += kPageSize / 64 * sref.medium->load_latency_ns();
+    } else if (compressed_dst) {
+      // The source entry was decompressed by the phase-1 fan-out through the
+      // pure read path (PeekCompressed); charge the load and commit its
+      // statistics here, in page order — byte-identical to a sequential Load.
+      TS_RETURN_IF_ERROR(staged.source_status);
+      sref.compressed->CommitLoads(1);
+      load_ns += sref.compressed->LoadCost(state.compressed_size);
     } else {
       TS_RETURN_IF_ERROR(sref.compressed->Load(state.location, buffer));
       load_ns += sref.compressed->LoadCost(state.compressed_size);
@@ -335,30 +358,6 @@ StatusOr<TieringEngine::MigrateOutcome> TieringEngine::MigrateRegion(std::uint64
       CompressedTier& ctier = *dref.compressed;
       const Algorithm algorithm = ctier.config().algorithm;
       const std::uint32_t version = space_.PageVersion(page);
-      if (!byte_source && !staged.compressed_ready && !staged.compress_failed) {
-        // Compressed source: the contents only became available with the Load
-        // above, so compress now — still through the cache.
-        if (compression_cache_ != nullptr) {
-          const auto* entry = compression_cache_->Lookup(page, version, algorithm);
-          if (entry != nullptr) {
-            staged.cache_hit = true;
-            staged.compressed_ready = true;
-            staged.checksum = entry->checksum;
-            staged.bytes = entry->bytes;
-          }
-        }
-        if (!staged.compressed_ready) {
-          staged.checksum = PageChecksum(buffer);
-          const std::span<std::byte> slot(&migrate_scratch_[i * kSlotBytes], kSlotBytes);
-          auto compressed = ctier.compressor().Compress(buffer, slot);
-          if (compressed.ok()) {
-            staged.compressed_ready = true;
-            staged.bytes = slot.first(*compressed);
-          } else {
-            staged.compress_failed = true;
-          }
-        }
-      }
       if (compression_cache_ != nullptr) {
         compression_cache_->RecordLookup(staged.cache_hit);
         if (!staged.cache_hit && staged.compressed_ready) {

@@ -192,6 +192,7 @@ class TieringEngine {
     bool compressed_ready = false;  // bytes/checksum below are valid
     bool cache_hit = false;
     bool compress_failed = false;  // output overflowed even the full scratch
+    Status source_status;  // phase-1 compressed-source read; checked in phase 2
     std::uint64_t checksum = 0;
     std::span<const std::byte> bytes;  // cache entry or per-slot scratch
   };

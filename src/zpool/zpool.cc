@@ -48,6 +48,12 @@ class InstrumentedZPool : public ZPool {
     return inner_->Map(handle);
   }
 
+  // Uncounted by design: Peek is the concurrent read primitive of the MPMC
+  // access path, and this decorator's counters are plain (orchestrator-only).
+  StatusOr<std::span<const std::byte>> Peek(ZPoolHandle handle) const override {
+    return inner_->Peek(handle);
+  }
+
   std::size_t pool_pages() const override { return inner_->pool_pages(); }
   std::size_t stored_bytes() const override { return inner_->stored_bytes(); }
   std::size_t object_count() const override { return inner_->object_count(); }

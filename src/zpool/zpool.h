@@ -53,6 +53,19 @@ class ZPool {
   // Returns the object's storage. The span stays valid until Free.
   virtual StatusOr<std::span<std::byte>> Map(ZPoolHandle handle) = 0;
 
+  // Read-only view of the object's storage. Identical lookup to Map — every
+  // manager's Map is logically const — but uncounted on instrumented pools:
+  // the MPMC access path (src/zswap/access_path.h) resolves spans under the
+  // per-medium allocation lock while the decorator's plain counters may only
+  // move on accounted sequential operations. The span stays valid until Free.
+  virtual StatusOr<std::span<const std::byte>> Peek(ZPoolHandle handle) const {
+    auto span = const_cast<ZPool*>(this)->Map(handle);
+    if (!span.ok()) {
+      return span.status();
+    }
+    return StatusOr<std::span<const std::byte>>(std::span<const std::byte>(*span));
+  }
+
   // --- statistics (used for TCO accounting and the Fig. 2 characterization) --
   // Pool pages currently held from the backing medium.
   virtual std::size_t pool_pages() const = 0;

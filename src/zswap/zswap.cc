@@ -1,27 +1,43 @@
 #include "src/zswap/zswap.h"
 
 #include "src/common/logging.h"
+#include "src/zswap/access_path.h"
 
 namespace tierscape {
 
+ZswapBackend::ZswapBackend() : ZswapBackend(Observability::Default()) {}
+
+ZswapBackend::ZswapBackend(Observability& obs, FaultInjector* fault)
+    : obs_(&obs), fault_(fault) {}
+
+ZswapBackend::~ZswapBackend() = default;
+
 StatusOr<int> ZswapBackend::AddTier(CompressedTierConfig config, Medium& medium) {
   TS_RETURN_IF_ERROR(config.Validate());
+  if (access_ != nullptr) {
+    return FailedPrecondition("zswap: AddTier after the access path was built (its shard and "
+                             "lock tables are resolved at construction, DESIGN.md §4g)");
+  }
   if (FindTier(config.label) != -1) {
     return InvalidArgument("zswap: duplicate tier label \"" + config.label + "\"");
   }
   const int tier_id = static_cast<int>(tiers_.size());
   tiers_.push_back(
       std::make_unique<CompressedTier>(tier_id, std::move(config), medium, *obs_, fault_));
+  tier_ids_.emplace(tiers_.back()->label(), tier_id);
   return tier_id;
 }
 
 int ZswapBackend::FindTier(const std::string& label) const {
-  for (const auto& tier : tiers_) {
-    if (tier->label() == label) {
-      return tier->tier_id();
-    }
+  const auto it = tier_ids_.find(label);
+  return it == tier_ids_.end() ? -1 : it->second;
+}
+
+ZswapAccessPath& ZswapBackend::AccessPath() {
+  if (access_ == nullptr) {
+    access_ = std::make_unique<ZswapAccessPath>(*this);
   }
-  return -1;
+  return *access_;
 }
 
 StatusOr<ZswapBackend::MigrateResult> ZswapBackend::Migrate(int from_tier, ZPoolHandle handle,

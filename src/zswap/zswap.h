@@ -10,11 +10,14 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/zswap/compressed_tier.h"
 
 namespace tierscape {
+
+class ZswapAccessPath;
 
 class ZswapBackend {
  public:
@@ -24,11 +27,12 @@ class ZswapBackend {
   // default constructor is the one factory overload for the common
   // process-wide case. `fault` (optional) is handed to every tier for store
   // fault injection (DESIGN.md §4d).
-  ZswapBackend() : ZswapBackend(Observability::Default()) {}
-  explicit ZswapBackend(Observability& obs, FaultInjector* fault = nullptr)
-      : obs_(&obs), fault_(fault) {}
+  ZswapBackend();
+  explicit ZswapBackend(Observability& obs, FaultInjector* fault = nullptr);
   ZswapBackend(const ZswapBackend&) = delete;
   ZswapBackend& operator=(const ZswapBackend&) = delete;
+  // Special members live out of line: ZswapAccessPath is incomplete here.
+  ~ZswapBackend();
 
   Observability& obs() const { return *obs_; }
   FaultInjector* fault() const { return fault_; }
@@ -42,8 +46,18 @@ class ZswapBackend {
   CompressedTier& tier(int tier_id) { return *tiers_.at(tier_id); }
   const CompressedTier& tier(int tier_id) const { return *tiers_.at(tier_id); }
 
-  // Finds a tier by label ("C7", "CT-1", ...); -1 if absent.
+  // Finds a tier by label ("C7", "CT-1", ...); -1 if absent. O(1): the
+  // label→id index is built at AddTier time (handle-resolution-at-
+  // construction spirit), not rescanned per lookup — policy code resolves
+  // tiers by label on per-window hot paths.
   int FindTier(const std::string& label) const;
+
+  // Builds (first call) and returns the concurrent MPMC access path over the
+  // currently registered tiers (src/zswap/access_path.h, DESIGN.md §4g).
+  // Call after tier registration is complete: AddTier refuses once the
+  // access path exists, so the path's shard/lock tables — resolved at its
+  // construction — can never go stale.
+  ZswapAccessPath& AccessPath();
 
   struct MigrateResult {
     CompressedTier::StoreResult store;
@@ -64,6 +78,8 @@ class ZswapBackend {
   Observability* obs_;
   FaultInjector* fault_;
   std::vector<std::unique_ptr<CompressedTier>> tiers_;
+  std::unordered_map<std::string, int> tier_ids_;  // label → tier id (FindTier)
+  std::unique_ptr<ZswapAccessPath> access_;        // built on first AccessPath()
 };
 
 }  // namespace tierscape

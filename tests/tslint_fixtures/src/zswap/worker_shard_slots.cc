@@ -1,0 +1,23 @@
+// tslint-fixture: none
+// Slot-owned shard writes (DESIGN.md §4g): inside a ThreadPool worker, a
+// subscripted receiver is legal when a worker-local index picks the slot —
+// the lambda parameter itself, an expression over it, or a local derived
+// from it. Everything below must lint clean.
+namespace fixture {
+
+void DrainShards(ThreadPool& pool, Shard* shards, Slot* slots, std::size_t n) {
+  pool.ParallelFor(n, [&](std::size_t i) {
+    slots[i].delta.stores = Count(shards[i]);   // param-indexed slot
+    slots[i].delta.loads += 1;                  // compound into the slot
+    ++slots[i].obs.commits;                     // slot-owned increment
+    slots[i].obs.flushes++;                     // postfix through the slot
+    const std::size_t stripe = i * kStride + 1; // worker-local index math
+    shards[stripe].scratch = 0;                 // local-derived subscript
+    slots[i * kSlotBytes] = Checksum(shards[i]);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    Commit(slots[i]);
+  }
+}
+
+}  // namespace fixture

@@ -579,6 +579,43 @@ TEST(WorkerCapture, NestedLambdaInsideWorkerUsesOuterLocals) {
   EXPECT_TRUE(diags.empty()) << diags.front().message;
 }
 
+TEST(WorkerCapture, SharedSubscriptWritesFlagged) {
+  // A subscript only makes a receiver slot-owned when a worker-local indexes
+  // it (DESIGN.md §4g): writing a captured shard map through a captured key
+  // or a fixed stripe is shared mutation, assignment and increment alike.
+  const auto diags = LintOne("src/zswap/a.cc",
+                             "void f(Pool& pool, Shard* shards, Slot* slots, std::size_t n,\n"
+                             "       std::size_t key) {\n"
+                             "  pool.ParallelFor(n, [&](std::size_t i) {\n"
+                             "    shards[key].entries = 0;\n"
+                             "    shards[kHot].hits += 1;\n"
+                             "    ++shards[key].pins;\n"
+                             "    shards[key].misses++;\n"
+                             "    slots[i].sum = 1.0;\n"
+                             "  });\n"
+                             "}\n");
+  EXPECT_EQ(diags.size(), 4u);
+  EXPECT_EQ(Rules(diags), std::set<std::string>{kRuleWorkerCapture});
+}
+
+TEST(WorkerCapture, LocalIndexedSubscriptWritesPass) {
+  // slots[i], scratch[i * kStride], and a local-derived stripe index are all
+  // slot-owned; a bare subscripted LHS (`slots[i * kStride] = ...`) too.
+  const auto diags = LintOne("src/zswap/a.cc",
+                             "void f(Pool& pool, Shard* shards, Slot* slots, double* scratch,\n"
+                             "       std::size_t n) {\n"
+                             "  pool.ParallelFor(n, [&](std::size_t i) {\n"
+                             "    const std::size_t stripe = i * kStride + 1;\n"
+                             "    shards[stripe].scratch = 0;\n"
+                             "    scratch[i * kStride] = 2.0;\n"
+                             "    slots[i].delta.loads += 1;\n"
+                             "    slots[i].obs.flushes++;\n"
+                             "    ++slots[i].obs.commits;\n"
+                             "  });\n"
+                             "}\n");
+  EXPECT_TRUE(diags.empty()) << diags.front().message;
+}
+
 TEST(WorkerCapture, ComparisonsAndDeclarationsNotWrites) {
   const auto diags = LintOne("src/solver/a.cc",
                              "void f(Pool& pool, Slot* slots, std::size_t n, int limit) {\n"

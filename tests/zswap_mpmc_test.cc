@@ -1,0 +1,281 @@
+// MPMC access-path tests (src/zswap/access_path.h, DESIGN.md §4g): sequential
+// semantics, concurrent stress on disjoint and overlapping key sets (the TSan
+// CI leg runs these under ThreadSanitizer, ctest -L "mpmc"), and the
+// determinism contract — metrics exports byte-identical across caller thread
+// counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/compress/corpus.h"
+#include "src/mem/medium.h"
+#include "src/obs/export.h"
+#include "src/zswap/access_path.h"
+#include "src/zswap/zswap.h"
+
+namespace tierscape {
+namespace {
+
+std::vector<std::byte> Page(CorpusProfile profile, std::uint64_t seed) {
+  std::vector<std::byte> page(kPageSize);
+  FillPage(profile, seed, page);
+  return page;
+}
+
+// Two tiers (zsmalloc + zbud) sharing one medium: the setup every test uses,
+// owning the obs scope so metric exports are test-private.
+struct Rig {
+  explicit Rig(std::size_t medium_bytes = 64 * kMiB)
+      : medium(NvmmSpec(medium_bytes)), backend(obs) {
+    CompressedTierConfig zs;
+    zs.label = "MZ";
+    zs.pool_manager = PoolManager::kZsmalloc;
+    CompressedTierConfig zb;
+    zb.label = "MB";
+    zb.pool_manager = PoolManager::kZbud;
+    tiers[0] = *backend.AddTier(zs, medium);
+    tiers[1] = *backend.AddTier(zb, medium);
+    path = &backend.AccessPath();
+  }
+  Observability obs;
+  Medium medium;
+  ZswapBackend backend;
+  ZswapAccessPath* path = nullptr;
+  int tiers[2] = {-1, -1};
+};
+
+TEST(ZswapAccessPathTest, StoreLoadInvalidateRoundTrip) {
+  Rig rig;
+  const auto page = Page(CorpusProfile::kDickens, 7);
+  auto stored = rig.path->Store(rig.tiers[0], 42, page);
+  ASSERT_TRUE(stored.ok()) << stored.status().ToString();
+  EXPECT_GT(stored->compressed_size, 0u);
+  EXPECT_GT(stored->latency, 0);
+  EXPECT_EQ(rig.path->EntryCount(rig.tiers[0]), 1u);
+
+  std::vector<std::byte> out(kPageSize);
+  auto loaded = rig.path->Load(rig.tiers[0], 42, out);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->compressed_size, stored->compressed_size);
+  EXPECT_EQ(PageChecksum(out), PageChecksum(page));
+
+  ASSERT_TRUE(rig.path->Invalidate(rig.tiers[0], 42).ok());
+  EXPECT_EQ(rig.path->EntryCount(rig.tiers[0]), 0u);
+  EXPECT_EQ(rig.path->Load(rig.tiers[0], 42, out).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ZswapAccessPathTest, DuplicateKeyAndMissingKeyStatuses) {
+  Rig rig;
+  const auto page = Page(CorpusProfile::kNci, 1);
+  ASSERT_TRUE(rig.path->Store(rig.tiers[0], 5, page).ok());
+  EXPECT_EQ(rig.path->Store(rig.tiers[0], 5, page).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Same key in the other tier is a distinct entry.
+  ASSERT_TRUE(rig.path->Store(rig.tiers[1], 5, page).ok());
+  EXPECT_EQ(rig.path->Invalidate(rig.tiers[0], 6).code(), StatusCode::kNotFound);
+  std::vector<std::byte> out(kPageSize);
+  EXPECT_EQ(rig.path->Load(rig.tiers[0], 6, out).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ZswapAccessPathTest, IncompressiblePageRejectedAndCounted) {
+  Rig rig;
+  auto stored = rig.path->Store(rig.tiers[0], 9, Page(CorpusProfile::kRandom, 3));
+  EXPECT_EQ(stored.status().code(), StatusCode::kRejected);
+  rig.path->FlushAccounting();
+  EXPECT_EQ(rig.backend.tier(rig.tiers[0]).stats().rejects, 1u);
+  EXPECT_EQ(rig.backend.tier(rig.tiers[0]).stats().stores, 0u);
+}
+
+TEST(ZswapAccessPathTest, AddTierRefusedOnceAccessPathExists) {
+  Rig rig;
+  CompressedTierConfig late;
+  late.label = "LATE";
+  EXPECT_EQ(rig.backend.AddTier(late, rig.medium).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ZswapAccessPathTest, FlushRollsShardDeltasUpToTierStats) {
+  Rig rig;
+  std::uint64_t compressed = 0;
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    auto stored = rig.path->Store(rig.tiers[0], k, Page(CorpusProfile::kNci, k));
+    ASSERT_TRUE(stored.ok());
+    compressed += stored->compressed_size;
+  }
+  std::vector<std::byte> out(kPageSize);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    ASSERT_TRUE(rig.path->Load(rig.tiers[0], k, out).ok());
+  }
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    ASSERT_TRUE(rig.path->Invalidate(rig.tiers[0], k).ok());
+  }
+  // Nothing reaches the tier's stats or gauges before the commit point.
+  EXPECT_EQ(rig.backend.tier(rig.tiers[0]).stats().stores, 0u);
+  rig.path->FlushAccounting();
+  const auto& stats = rig.backend.tier(rig.tiers[0]).stats();
+  EXPECT_EQ(stats.stores, 64u);
+  EXPECT_EQ(stats.loads, 64u);
+  EXPECT_EQ(stats.invalidates, 32u);
+  EXPECT_EQ(rig.backend.tier(rig.tiers[0]).total_compressed_bytes(), compressed);
+  EXPECT_EQ(rig.backend.tier(rig.tiers[0]).stored_pages(), 32u);
+}
+
+// Concurrent stress, disjoint keys: every caller owns a key slice and churns
+// it (store -> verify-load -> invalidate). Everything must succeed, and the
+// flushed accounting must equal the per-caller sums.
+TEST(ZswapMpmcStressTest, DisjointKeyChurn) {
+  Rig rig;
+  constexpr int kCallers = 8;
+  constexpr std::uint64_t kPerCaller = 96;
+  std::vector<std::thread> threads;
+  threads.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    threads.emplace_back([&rig, c] {
+      std::vector<std::byte> page(kPageSize);
+      std::vector<std::byte> out(kPageSize);
+      const std::uint64_t begin = static_cast<std::uint64_t>(c) * kPerCaller;
+      for (std::uint64_t k = begin; k < begin + kPerCaller; ++k) {
+        const int tier = rig.tiers[k % 2];
+        FillPage(CorpusProfile::kNci, k, page);
+        auto stored = rig.path->Store(tier, k, page);
+        ASSERT_TRUE(stored.ok()) << stored.status().ToString();
+        auto loaded = rig.path->Load(tier, k, out);
+        ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+        ASSERT_EQ(PageChecksum(out), PageChecksum(page)) << "key " << k;
+        if (k % 3 != 0) {  // leave every third entry live
+          ASSERT_TRUE(rig.path->Invalidate(tier, k).ok());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  rig.path->FlushAccounting();
+  std::uint64_t live = 0;
+  for (std::uint64_t k = 0; k < kCallers * kPerCaller; ++k) {
+    live += (k % 3 == 0) ? 1 : 0;
+  }
+  EXPECT_EQ(rig.path->EntryCount(rig.tiers[0]) + rig.path->EntryCount(rig.tiers[1]), live);
+  const auto& zs = rig.backend.tier(rig.tiers[0]).stats();
+  const auto& zb = rig.backend.tier(rig.tiers[1]).stats();
+  EXPECT_EQ(zs.stores + zb.stores, kCallers * kPerCaller);
+  EXPECT_EQ(zs.loads + zb.loads, kCallers * kPerCaller);
+  EXPECT_EQ(zs.stores - zs.invalidates + zb.stores - zb.invalidates, live);
+  EXPECT_EQ(rig.backend.total_stored_pages(), live);
+}
+
+// Concurrent stress, overlapping keys: all callers hammer the same small key
+// range with stores, loads, and invalidates. Individual statuses depend on
+// wall-clock interleaving; the invariants do not — loaded bytes always match
+// one of the possible contents for the key, and post-flush occupancy equals
+// successful stores minus successful invalidates.
+TEST(ZswapMpmcStressTest, OverlappingKeyStorm) {
+  Rig rig;
+  constexpr int kCallers = 8;
+  constexpr std::uint64_t kKeys = 24;
+  constexpr int kOpsPerCaller = 400;
+  std::atomic<std::uint64_t> stores{0};
+  std::atomic<std::uint64_t> invalidates{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    threads.emplace_back([&rig, &stores, &invalidates, c] {
+      Rng rng(1000 + static_cast<std::uint64_t>(c));
+      std::vector<std::byte> page(kPageSize);
+      std::vector<std::byte> out(kPageSize);
+      for (int op = 0; op < kOpsPerCaller; ++op) {
+        const std::uint64_t key = rng.NextBelow(kKeys);
+        const int tier = rig.tiers[key % 2];
+        switch (rng.NextBelow(3)) {
+          case 0: {
+            // Contents are a pure function of the key, so a concurrent load
+            // observing any store of this key still checksums clean.
+            FillPage(CorpusProfile::kNci, key, page);
+            auto stored = rig.path->Store(tier, key, page);
+            if (stored.ok()) {
+              stores.fetch_add(1);
+            } else {
+              ASSERT_EQ(stored.status().code(), StatusCode::kFailedPrecondition);
+            }
+            break;
+          }
+          case 1: {
+            auto loaded = rig.path->Load(tier, key, out);
+            if (loaded.ok()) {
+              FillPage(CorpusProfile::kNci, key, page);
+              ASSERT_EQ(PageChecksum(out), PageChecksum(page)) << "key " << key;
+            } else {
+              ASSERT_EQ(loaded.status().code(), StatusCode::kNotFound);
+            }
+            break;
+          }
+          default: {
+            const Status dropped = rig.path->Invalidate(tier, key);
+            if (dropped.ok()) {
+              invalidates.fetch_add(1);
+            } else {
+              ASSERT_EQ(dropped.code(), StatusCode::kNotFound);
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  rig.path->FlushAccounting();
+  const std::uint64_t live =
+      rig.path->EntryCount(rig.tiers[0]) + rig.path->EntryCount(rig.tiers[1]);
+  EXPECT_EQ(stores.load() - invalidates.load(), live);
+  const auto& zs = rig.backend.tier(rig.tiers[0]).stats();
+  const auto& zb = rig.backend.tier(rig.tiers[1]).stats();
+  EXPECT_EQ(zs.stores + zb.stores, stores.load());
+  EXPECT_EQ(zs.invalidates + zb.invalidates, invalidates.load());
+  EXPECT_EQ(rig.backend.total_stored_pages(), live);
+}
+
+// The determinism contract: the same logical work partitioned over {1, 4, 8}
+// caller threads must export byte-identical metrics (wall/ excluded — the
+// access path registers none anyway).
+TEST(ZswapAccessPathTest, DeterministicAcrossCallerThreads) {
+  auto run_at = [](int callers) {
+    Rig rig;
+    constexpr std::uint64_t kTotal = 384;
+    const std::uint64_t per_caller = kTotal / static_cast<std::uint64_t>(callers);
+    auto churn = [&rig, per_caller](int caller) {
+      std::vector<std::byte> page(kPageSize);
+      std::vector<std::byte> out(kPageSize);
+      const std::uint64_t begin = static_cast<std::uint64_t>(caller) * per_caller;
+      for (std::uint64_t k = begin; k < begin + per_caller; ++k) {
+        const int tier = rig.tiers[k % 2];
+        FillPage(CorpusProfile::kNci, k, page);
+        ASSERT_TRUE(rig.path->Store(tier, k, page).ok());
+        ASSERT_TRUE(rig.path->Load(tier, k, out).ok());
+        ASSERT_TRUE(rig.path->Invalidate(tier, k).ok());
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(callers));
+    for (int c = 0; c < callers; ++c) {
+      threads.emplace_back(churn, c);
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+    rig.path->FlushAccounting();
+    return SnapshotToJsonl(rig.obs.metrics.Snapshot(), WallMetrics::kExclude);
+  };
+  const std::string serial = run_at(1);
+  EXPECT_EQ(serial, run_at(4)) << "metrics diverged between 1 and 4 callers";
+  EXPECT_EQ(serial, run_at(8)) << "metrics diverged between 1 and 8 callers";
+}
+
+}  // namespace
+}  // namespace tierscape

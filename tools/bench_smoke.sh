@@ -25,8 +25,8 @@ GRID_BENCHES="fig01_motivation fig02_characterization tab01_tier_space \
 fig07_standard_mix fig08_waterfall_trace fig09_am_tco_trace fig10_knob_sweep \
 fig11_tail_latency fig12_spectrum_placement fig13_spectrum fig14_daemon_tax \
 fig15_resilience fig16_colocation \
-ablation_cxl_backing ablation_filter ablation_tier_sets micro_migration \
-micro_grid micro_solver"
+ablation_cxl_backing ablation_filter ablation_tier_sets micro_access \
+micro_migration micro_grid micro_solver"
 
 rm -rf "$OUT"
 for threads in 1 4; do
@@ -69,6 +69,17 @@ for threads in 1 4; do
     "$OUT/t$threads/BENCH_grid.json"
   grep -q '"bench":"micro_solver","cell":"warm/n1000","metric":"wall/solver/warm_ms"' \
     "$OUT/t$threads/BENCH_grid.json"
+done
+
+# The MPMC access-path bench must emit a per-cell wall/access/churn_ms record
+# for every caller count (EXPERIMENTS.md "MPMC access path"); its stdout and
+# artifacts are part of the byte-diff above, so caller-count divergence fails
+# the smoke run twice over.
+for threads in 1 4; do
+  for cell in c1 c2 c4 c8; do
+    grep -q '"bench":"micro_access","cell":"'$cell'","metric":"wall/access/churn_ms"' \
+      "$OUT/t$threads/BENCH_grid.json"
+  done
 done
 
 echo "[bench_smoke] OK: all grid benches byte-identical across thread counts"

@@ -645,6 +645,45 @@ void CheckPoolPurity(const LexedFile& file, const std::vector<AllowEntry>& allow
   }
 }
 
+// True when any subscript recorded on `chain` mentions one of `locals` — the
+// lambda's parameters or worker-local declarations. `slots[i]` and
+// `scratch[i * kSlotBytes]` qualify; `shared[kFixed]` and `map[captured_key]`
+// do not: a subscript only makes a receiver slot-owned when a worker-local
+// index picks the disjoint slot (thread_pool.h).
+bool SubscriptNamesLocal(const std::vector<Token>& toks, const ChainInfo& chain,
+                         const std::set<std::string>& locals) {
+  for (const auto& [open, close] : chain.subscripts) {
+    for (std::size_t k = open + 1; k < close && k < toks.size(); ++k) {
+      if (toks[k].kind == TokenKind::kIdentifier && locals.count(toks[k].text) != 0) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Classifies the receiver chain of an expression that ENDS in a subscript
+// (`...base...[expr]`), given the index of its closing `]`: recovers the
+// chain behind the `[`, then folds the trailing subscript in so callers can
+// apply the same slot-owned test as for interior subscripts.
+ChainInfo ChainEndingInSubscript(const std::vector<Token>& toks, std::size_t close) {
+  ChainInfo chain;
+  int depth = 0;
+  std::size_t r = close;
+  while (r > 0) {
+    if (toks[r].kind == TokenKind::kPunct && toks[r].text == "]") ++depth;
+    if (toks[r].kind == TokenKind::kPunct && toks[r].text == "[" && --depth == 0) break;
+    --r;
+  }
+  if (r == 0) return chain;  // unmatched / starts the statement: unclassifiable
+  if (toks[r - 1].kind == TokenKind::kIdentifier) {
+    chain = WalkChainBack(toks, r - 1);
+  }
+  chain.subscript = true;
+  chain.subscripts.emplace_back(r, close);
+  return chain;
+}
+
 // For `++x.y[i]`-style prefix increments starting at `first` (an identifier),
 // returns the index of the chain's last identifier (so WalkChainBack can
 // classify the whole receiver).
@@ -722,7 +761,12 @@ void CheckWorkerCapture(const LexedFile& file, const SyntaxInfo& syntax,
     // True when a write through this receiver chain lands on state shared
     // with other workers or the submitting thread.
     auto shared_write = [&](const ChainInfo& chain) {
-      if (chain.subscript) return false;  // disjoint-slot receiver
+      if (chain.subscript) {
+        // A subscripted receiver is slot-owned only when a worker-local picks
+        // the slot (`slots[i]->...`); `shards[kFixed].map[key] = ...` through
+        // a captured container is as shared as an unsubscripted write.
+        if (SubscriptNamesLocal(toks, chain, locals)) return false;
+      }
       if (chain.base.empty()) return false;
       if (chain.starts_with_this) return true;  // explicit this-> member write
       if (locals.count(chain.base) != 0) return false;
@@ -767,8 +811,19 @@ void CheckWorkerCapture(const LexedFile& file, const SyntaxInfo& syntax,
         } else if (j >= 1 && toks[j - 1].kind == TokenKind::kIdentifier) {
           target_last = j - 1;  // postfix x++
         } else if (j >= 1 && toks[j - 1].kind == TokenKind::kPunct && toks[j - 1].text == "]") {
+          // Postfix on a subscripted receiver: slot-owned only when a
+          // worker-local indexes it.
+          const ChainInfo chain = ChainEndingInSubscript(toks, j - 1);
+          if (shared_write(chain)) {
+            report(toks[j - 1],
+                   "write to shared captured state `" + chain.base +
+                       "` inside a ThreadPool worker lambda: workers may only write "
+                       "through their disjoint slot (`slots[i]->...`); commit shared "
+                       "mutations on the submitting thread in submission order "
+                       "(thread_pool.h, DESIGN.md §4c)");
+          }
           ++j;
-          continue;  // postfix on a subscripted receiver: slot-owned
+          continue;
         }
         if (target_last < toks.size()) {
           const ChainInfo chain = WalkChainBack(toks, target_last);
@@ -808,7 +863,16 @@ void CheckWorkerCapture(const LexedFile& file, const SyntaxInfo& syntax,
       std::size_t lhs_end = compound ? j - 2 : j - 1;
       if (lhs_end >= toks.size()) continue;
       if (toks[lhs_end].kind == TokenKind::kPunct && toks[lhs_end].text == "]") {
-        continue;  // subscripted LHS: slot-owned
+        // Subscripted LHS: slot-owned only when a worker-local indexes it.
+        const ChainInfo chain = ChainEndingInSubscript(toks, lhs_end);
+        if (shared_write(chain)) {
+          report(toks[lhs_end],
+                 "write to shared captured state `" + chain.base +
+                     "` inside a ThreadPool worker lambda: workers may only write through "
+                     "their disjoint slot (`slots[i]->...`); commit shared mutations on the "
+                     "submitting thread in submission order (thread_pool.h, DESIGN.md §4c)");
+        }
+        continue;
       }
       if (toks[lhs_end].kind != TokenKind::kIdentifier) continue;
       const ChainInfo chain = WalkChainBack(toks, lhs_end);

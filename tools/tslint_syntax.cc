@@ -86,12 +86,14 @@ ChainInfo WalkChainBack(const std::vector<Token>& toks, std::size_t last) {
       element_done = true;
       if (IsPunct(toks[r], "]")) {
         info.subscript = true;
+        const std::size_t close = r;
         int depth = 0;
         while (r > 0) {
           if (IsPunct(toks[r], "]")) ++depth;
           if (IsPunct(toks[r], "[") && --depth == 0) break;
           --r;
         }
+        info.subscripts.emplace_back(r, close);
         if (r == 0) { info.start = 0; return info; }
         --r;
         element_done = false;  // `arr[i]` — still need the array identifier

@@ -43,6 +43,11 @@ struct ChainInfo {
   std::string base;
   bool subscript = false;
   bool starts_with_this = false;
+  // (open `[`, close `]`) token indices of every subscript element met while
+  // walking the chain. Lets flow-aware rules ask not just "was there a
+  // subscript" but "what indexed it" — slot-owned receivers must be indexed
+  // by a worker-local (`slots[i]`), not by captured/shared state.
+  std::vector<std::pair<std::size_t, std::size_t>> subscripts;
 };
 ChainInfo WalkChainBack(const std::vector<Token>& toks, std::size_t last);
 
