@@ -68,6 +68,17 @@ inline std::unique_ptr<Workload> MakeWorkload(const std::string& name, double sc
     return std::make_unique<MasimWorkload>(
         DefaultMasimConfig(static_cast<std::size_t>(96 * kMiB * scale)));
   }
+  if (name == "masim-flash") {
+    // masim with a flash crowd (ROADMAP item 3; §4h bench): the cold 60% of
+    // the footprint takes over the access mix a quarter of the way into a
+    // full-scale fig11 run. Smoke runs cap ops below the trigger, so the
+    // crowd never arrives there — the cells still run and emit records.
+    MasimConfig config = DefaultMasimConfig(static_cast<std::size_t>(96 * kMiB * scale));
+    config.flash_crowd_at_op = 30'000;
+    config.flash_crowd_region = 2;  // masim/cold
+    config.flash_crowd_weight = 300.0;
+    return std::make_unique<MasimWorkload>(config);
+  }
   return nullptr;
 }
 

@@ -30,10 +30,15 @@ ExperimentResult RunOneCell(const CellSpec& spec, Observability& obs, const Cell
   TS_CHECK(workload != nullptr) << "cell '" << spec.label << "': unknown workload '"
                                 << spec.workload << "'";
   std::unique_ptr<PlacementPolicy> policy;
+  ExperimentConfig config = spec.config;
   if (!spec.policy.dram_only) {
     policy = MakePolicy(spec.policy, *system);
+  } else {
+    // The all-DRAM reference column is a stated daemon mode (DESIGN.md §4h),
+    // not a nullable-policy convention: profile and record, never place.
+    config.daemon.mode = DaemonMode::kProfileOnly;
+    config.daemon.fast_path.enabled = false;
   }
-  ExperimentConfig config = spec.config;
   if (spec.policy.alpha < 0.0) {
     // The §6.7 migration filter belongs to TierScape's analytical model; the
     // two-tier baselines and Waterfall migrate exactly what their threshold

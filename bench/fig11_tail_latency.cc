@@ -5,15 +5,39 @@
 // at every percentile; TMO*'s average beats HeMem*'s (faulted pages are
 // promoted to DRAM, so repeat accesses are fast) while its tail is worse
 // (decompression sits on the critical path of first accesses).
+//
+// Figure 11b (DESIGN.md §4h): the same policies re-run with the event-driven
+// sub-window fast path, plus a masim flash-crowd pair — the tail comes from
+// suddenly-hot compressed regions paying a decompression fault per
+// first-touched page until the next boundary solve; promoting after K sampled
+// hits mid-window cuts those faults, so p99.9 must not regress (TS_CHECKed at
+// full scale for the compressed-tier baselines and Waterfall).
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "bench/experiment_grid.h"
+#include "src/common/logging.h"
 
 using namespace tierscape;
 using namespace tierscape::bench;
+
+namespace {
+
+double P999(const ExperimentResult& r) {
+  return static_cast<double>(r.op_latency_ns.Percentile(0.999));
+}
+
+std::uint64_t FastPathPromotions(const ExperimentResult& r) {
+  std::uint64_t promotions = 0;
+  for (const auto& window : r.windows) {
+    promotions += window.fast_path_promotions;
+  }
+  return promotions;
+}
+
+}  // namespace
 
 int main() {
   ExperimentGrid grid("fig11_tail_latency");
@@ -22,10 +46,11 @@ int main() {
   const auto make_system =
       SystemFactory(StandardMixConfig(footprint + footprint / 2, 3 * footprint));
 
-  // Cell 0 is the all-DRAM reference run (null policy) the rest normalize to.
+  // Cell 0 is the all-DRAM reference run the rest normalize to.
   const PolicySpec policies[] = {DramOnlySpec(), HememSpec(),     GswapSpec(),
                                  TmoSpec(),      WaterfallSpec(), AmSpec("AM-TCO", 0.3),
                                  AmSpec("AM-perf", 0.9)};
+  constexpr std::size_t kBaseCells = std::size(policies);
   for (const PolicySpec& spec : policies) {
     CellSpec cell;
     cell.label = spec.label;
@@ -35,26 +60,101 @@ int main() {
     cell.config.ops = 120'000;
     grid.Add(std::move(cell));
   }
+
+  // Fast-path pairs (§4h): same workload, system, and policies; only the
+  // sub-window fast path flips on. kFpBase maps each pair to its off column.
+  const PolicySpec fp_policies[] = {GswapSpec(), TmoSpec(), WaterfallSpec(),
+                                    AmSpec("AM-TCO", 0.3)};
+  constexpr std::size_t kFpCells = std::size(fp_policies);
+  constexpr std::size_t kFpBase[kFpCells] = {2, 3, 4, 5};
+  for (const PolicySpec& spec : fp_policies) {
+    CellSpec cell;
+    cell.label = "fastpath/" + spec.label;
+    cell.make_system = make_system;
+    cell.workload = workload;
+    cell.policy = spec;
+    cell.config.ops = 120'000;
+    cell.config.daemon.fast_path.enabled = true;
+    grid.Add(std::move(cell));
+  }
+
+  // Flash-crowd pair (ROADMAP items 3+4): masim's cold range bursts hot
+  // mid-run. The boundary-only daemon eats up to a full window of
+  // decompression faults before rescuing the crowd; the fast path pulls it
+  // to DRAM within the window it arrives.
+  const std::size_t masim_fp = WorkloadFootprint("masim-flash");
+  const auto masim_system =
+      SystemFactory(StandardMixConfig(masim_fp + masim_fp / 2, 3 * masim_fp));
+  for (const bool fast : {false, true}) {
+    CellSpec cell;
+    cell.label = fast ? "fastpath/flash-crowd" : "flash-crowd";
+    cell.make_system = masim_system;
+    cell.workload = "masim-flash";
+    cell.policy = GswapSpec();
+    cell.config.ops = 120'000;
+    cell.config.daemon.fast_path.enabled = fast;
+    grid.Add(std::move(cell));
+  }
+
   const std::vector<ExperimentResult> results = grid.Run();
 
   const ExperimentResult& dram = results.front();
   const double base_avg = dram.op_latency_ns.Mean();
   const double base_p95 = static_cast<double>(dram.op_latency_ns.Percentile(0.95));
-  const double base_p999 = static_cast<double>(dram.op_latency_ns.Percentile(0.999));
+  const double base_p999 = P999(dram);
 
   std::printf("Figure 11: Redis latency normalized to DRAM (avg / p95 / p99.9)\n\n");
   TablePrinter table({"policy", "avg", "p95", "p99.9", "TCO savings %"});
   table.AddRow({"DRAM", "1.00", "1.00", "1.00", "0.00"});
-  for (std::size_t i = 1; i < results.size(); ++i) {
+  for (std::size_t i = 1; i < kBaseCells; ++i) {
     const ExperimentResult& r = results[i];
     table.AddRow({r.policy,
                   TablePrinter::Fmt(r.op_latency_ns.Mean() / base_avg),
                   TablePrinter::Fmt(
                       static_cast<double>(r.op_latency_ns.Percentile(0.95)) / base_p95),
-                  TablePrinter::Fmt(
-                      static_cast<double>(r.op_latency_ns.Percentile(0.999)) / base_p999),
+                  TablePrinter::Fmt(P999(r) / base_p999),
                   TablePrinter::Fmt(r.mean_tco_savings * 100.0)});
   }
   table.Print();
+
+  std::printf("\nFigure 11b: p99.9 with the sub-window fast path (normalized to DRAM)\n\n");
+  TablePrinter fp_table({"policy", "p99.9 off", "p99.9 on", "promotions", "pins"});
+  for (std::size_t i = 0; i < kFpCells; ++i) {
+    const ExperimentResult& off = results[kFpBase[i]];
+    const ExperimentResult& on = results[kBaseCells + i];
+    std::uint64_t pins = 0;
+    for (const auto& window : on.windows) {
+      pins += window.fast_path_pins;
+    }
+    fp_table.AddRow({off.policy,
+                     TablePrinter::Fmt(P999(off) / base_p999),
+                     TablePrinter::Fmt(P999(on) / base_p999),
+                     std::to_string(FastPathPromotions(on)),
+                     std::to_string(pins)});
+  }
+  const ExperimentResult& flash_off = results[kBaseCells + kFpCells];
+  const ExperimentResult& flash_on = results[kBaseCells + kFpCells + 1];
+  fp_table.AddRow({"flash-crowd (masim)",
+                   TablePrinter::Fmt(P999(flash_off) / 1000.0) + " us",
+                   TablePrinter::Fmt(P999(flash_on) / 1000.0) + " us",
+                   std::to_string(FastPathPromotions(flash_on)),
+                   "-"});
+  fp_table.Print();
+
+  // §4h acceptance: the fast path must not worsen — and at full scale must
+  // improve — the p99.9 of the compressed-tier baselines and Waterfall.
+  // Smoke runs are capped far below tail-resolution scale, so only the
+  // full-scale run asserts.
+  if (!BenchSmoke()) {
+    for (std::size_t i = 0; i < 3; ++i) {  // GSwap*, TMO*, Waterfall
+      const double off = P999(results[kFpBase[i]]);
+      const double on = P999(results[kBaseCells + i]);
+      TS_CHECK(on < off) << "fast path must improve p99.9 for " << results[kFpBase[i]].policy
+                         << ": off=" << off << " ns, on=" << on << " ns";
+    }
+    TS_CHECK(P999(flash_on) <= P999(flash_off))
+        << "fast path must not worsen flash-crowd p99.9: off=" << P999(flash_off)
+        << " ns, on=" << P999(flash_on) << " ns";
+  }
   return 0;
 }

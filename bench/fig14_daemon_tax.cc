@@ -57,7 +57,10 @@ int main() {
       cell.policy = AmSpec(mode.name, mode.alpha);
     } else {
       cell.policy = DramOnlySpec(mode.name);
-      cell.config.daemon.enable_migration = false;  // profiling only
+      // Profiling-only is a stated mode since the §4h API redesign (the grid
+      // would set it from dram_only anyway; spelled out because this cell is
+      // the mode's reason to exist).
+      cell.config.daemon.mode = DaemonMode::kProfileOnly;
     }
     cell.config.ops = 150'000;
     cell.config.daemon.remote_solver = mode.remote;

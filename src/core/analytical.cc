@@ -38,7 +38,9 @@ void AnalyticalPolicy::set_alpha(double alpha) {
 }
 
 StatusOr<PlacementDecision> AnalyticalPolicy::Decide(const PlacementInput& input,
-                                                     const CostModel& model) {
+                                                     const CostModel& model,
+                                                     const DecisionContext& ctx) {
+  (void)ctx;  // pins are enforced by the filter; see the header note
   const auto start = std::chrono::steady_clock::now();
   const int n_tiers = model.tiers().count();
 

@@ -50,8 +50,12 @@ class AnalyticalPolicy : public PlacementPolicy {
   double alpha() const { return alpha_; }
   void set_alpha(double alpha);
 
-  StatusOr<PlacementDecision> Decide(const PlacementInput& input,
-                                     const CostModel& model) override;
+  // The analytical model does not special-case the DecisionContext: pinned
+  // regions are enforced downstream by the MigrationFilter's unconditional
+  // pinned class, which keeps the solver inputs — and therefore the §4e
+  // warm-start digests — independent of pin churn.
+  StatusOr<PlacementDecision> Decide(const PlacementInput& input, const CostModel& model,
+                                     const DecisionContext& ctx) override;
 
   // Forwarded to the MCKP solver (timeout/infeasibility injection,
   // DESIGN.md §4d); TsDaemon wires this from its assembly's injector.

@@ -1,15 +1,25 @@
 #include "src/core/baselines.h"
 
+#include <algorithm>
+
 namespace tierscape {
 
 StatusOr<PlacementDecision> TwoTierPolicy::Decide(const PlacementInput& input,
-                                                  const CostModel& model) {
+                                                  const CostModel& model,
+                                                  const DecisionContext& ctx) {
   if (slow_tier_ <= 0 || slow_tier_ >= model.tiers().count()) {
     return InvalidArgument("two-tier: bad slow tier index");
   }
   PlacementDecision decision;
   decision.reserve(input.regions.size());
   for (const RegionProfile& region : input.regions) {
+    // Pinned regions (§4h ping-pong damping) hold their tier until the pin
+    // expires — the two-tier baselines have no hysteresis of their own.
+    if (ctx.pinned != nullptr &&
+        std::binary_search(ctx.pinned->begin(), ctx.pinned->end(), region.region)) {
+      decision.push_back(region.current_tier);
+      continue;
+    }
     decision.push_back(region.hotness > input.hotness_threshold ? 0 : slow_tier_);
   }
   return decision;

@@ -24,8 +24,8 @@ class TwoTierPolicy : public PlacementPolicy {
 
   std::string_view name() const override { return name_; }
 
-  StatusOr<PlacementDecision> Decide(const PlacementInput& input,
-                                     const CostModel& model) override;
+  StatusOr<PlacementDecision> Decide(const PlacementInput& input, const CostModel& model,
+                                     const DecisionContext& ctx) override;
 
   int slow_tier() const { return slow_tier_; }
 

@@ -29,7 +29,8 @@ Status FilterConfig::Validate() const {
 }
 
 FilterStats MigrationFilter::Apply(const PlacementInput& input, PlacementDecision& decision,
-                                   const CostModel& model, TieringEngine& engine) const {
+                                   const CostModel& model, TieringEngine& engine,
+                                   const DecisionContext& ctx) const {
   TS_CHECK_EQ(input.regions.size(), decision.size());
   FilterStats stats;
   const TierTable& tiers = model.tiers();
@@ -58,6 +59,16 @@ FilterStats MigrationFilter::Apply(const PlacementInput& input, PlacementDecisio
     const RegionProfile& region = input.regions[i];
     int& dst = decision[i];
     if (dst == region.current_tier) {
+      continue;
+    }
+    // Ping-pong pins (§4h): a pinned region holds its tier no matter what the
+    // policy asked. Checked before — and independent of — enable_hysteresis:
+    // the bench grid disables classic hysteresis for baselines, but a pin
+    // exists only because this region already oscillated.
+    if (ctx.pinned != nullptr &&
+        std::binary_search(ctx.pinned->begin(), ctx.pinned->end(), region.region)) {
+      dst = region.current_tier;
+      ++stats.dropped_pinned;
       continue;
     }
     const TierRef& dref = tiers.tier(dst);
@@ -148,7 +159,8 @@ FilterStats MigrationFilter::Apply(const PlacementInput& input, PlacementDecisio
   TS_TRACE_INSTANT(&engine.obs().trace, "filter/apply",
                    "\"kept\":" + std::to_string(stats.kept) + ",\"dropped\":" +
                        std::to_string(stats.dropped_capacity + stats.dropped_pressure +
-                                      stats.dropped_benefit + stats.dropped_hysteresis));
+                                      stats.dropped_benefit + stats.dropped_hysteresis +
+                                      stats.dropped_pinned));
   return stats;
 }
 

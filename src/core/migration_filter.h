@@ -50,6 +50,10 @@ struct FilterStats {
   std::uint64_t dropped_pressure = 0;
   std::uint64_t dropped_benefit = 0;
   std::uint64_t dropped_hysteresis = 0;
+  // Moves of regions pinned by the fast path's ping-pong damper (§4h) — a
+  // hysteresis class of its own, active even where classic hysteresis is
+  // disabled (pins exist only when the fast path created them).
+  std::uint64_t dropped_pinned = 0;
 };
 
 class MigrationFilter {
@@ -57,8 +61,11 @@ class MigrationFilter {
   explicit MigrationFilter(FilterConfig config = {}) : config_(config) {}
 
   // Mutates `decision` in place; returns what was filtered and why.
+  // `ctx.pinned` (when set) is the §4h pin set — any move of a pinned region
+  // is reset to its current tier, regardless of enable_hysteresis.
   FilterStats Apply(const PlacementInput& input, PlacementDecision& decision,
-                    const CostModel& model, TieringEngine& engine) const;
+                    const CostModel& model, TieringEngine& engine,
+                    const DecisionContext& ctx) const;
 
  private:
   FilterConfig config_;

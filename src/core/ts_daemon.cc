@@ -25,6 +25,15 @@ Status DaemonConfig::Validate() const {
     return InvalidArgument("DaemonConfig: solver_shards must be >= 1, got " +
                            std::to_string(solver_shards));
   }
+  if (mode != DaemonMode::kProfileOnly && mode != DaemonMode::kPlace) {
+    return InvalidArgument("DaemonConfig: mode is not a DaemonMode value");
+  }
+  if (fast_path.enabled && mode == DaemonMode::kProfileOnly) {
+    return InvalidArgument(
+        "DaemonConfig: fast_path.enabled requires DaemonMode::kPlace — mid-window promotions "
+        "are placement, which profiling-only mode promises not to do");
+  }
+  TS_RETURN_IF_ERROR(fast_path.Validate());
   TS_RETURN_IF_ERROR(filter.Validate());
   return OkStatus();
 }
@@ -38,6 +47,9 @@ TsDaemon::TsDaemon(TieringEngine& engine, PlacementPolicy* policy, DaemonConfig 
       next_window_at_(engine.now() + config.profile_window) {
   const Status valid = config_.Validate();
   TS_CHECK(valid.ok()) << valid.ToString();
+  TS_CHECK((policy_ != nullptr) == (config_.mode == DaemonMode::kPlace))
+      << "DaemonMode::kPlace requires a policy and kProfileOnly forbids one — profiling-only "
+         "is a stated mode, not a null-policy convention (DESIGN.md §4h)";
   if (auto* analytical = dynamic_cast<AnalyticalPolicy*>(policy_)) {
     // Wire the assembly's fault injector into the solver (DESIGN.md §4d).
     analytical->set_fault_injector(engine.tiers().fault());
@@ -51,6 +63,10 @@ TsDaemon::TsDaemon(TieringEngine& engine, PlacementPolicy* policy, DaemonConfig 
   }
   for (std::uint64_t region = 0; region < engine.space().total_regions(); ++region) {
     hotness_.Track(region);
+  }
+  if (config_.fast_path.enabled) {
+    // Arms the sampler's streak detector and resolves its own handles.
+    fast_path_ = std::make_unique<FastPath>(config_.fast_path, engine_, hotness_);
   }
   MetricsRegistry& metrics = engine.obs().metrics;
   m_windows_ = &metrics.GetCounter("daemon/windows");
@@ -72,6 +88,7 @@ TsDaemon::TsDaemon(TieringEngine& engine, PlacementPolicy* policy, DaemonConfig 
   m_filter_dropped_pressure_ = &metrics.GetCounter("filter/dropped_pressure");
   m_filter_dropped_benefit_ = &metrics.GetCounter("filter/dropped_benefit");
   m_filter_dropped_hysteresis_ = &metrics.GetCounter("filter/dropped_hysteresis");
+  m_filter_dropped_pinned_ = &metrics.GetCounter("filter/dropped_pinned");
   m_last_tco_ = &metrics.GetGauge("daemon/last/tco");
   m_last_tco_savings_ = &metrics.GetGauge("daemon/last/tco_savings");
   m_last_threshold_ = &metrics.GetGauge("daemon/last/hotness_threshold");
@@ -84,6 +101,27 @@ TsDaemon::TsDaemon(TieringEngine& engine, PlacementPolicy* policy, DaemonConfig 
   static constexpr std::uint64_t kSampleBounds[] = {0, 16, 64, 256, 1024, 4096, 16384};
   m_window_migrated_ = &metrics.GetHistogram("daemon/window_migrated_pages", kMigratedBounds);
   m_window_samples_ = &metrics.GetHistogram("daemon/window_samples", kSampleBounds);
+  // Per-op latency as seen through Observe() events (§4h): the daemon-side
+  // view of the tail the fast path exists to flatten.
+  static constexpr std::uint64_t kOpLatencyBounds[] = {0,     256,    1024,   4096,
+                                                       16384, 65536, 262144, 1048576};
+  m_op_latency_ = &metrics.GetHistogram("daemon/op_latency_ns", kOpLatencyBounds);
+}
+
+Status TsDaemon::Observe(const AccessEvent& event) {
+  ops_since_window_ += event.ops;
+  m_op_latency_->Record(event.latency);
+  if (fast_path_ != nullptr) {
+    // Sub-window triggers run before the boundary check: a K-hit streak
+    // completed by this op is acted on inside the same window that saw it.
+    TS_RETURN_IF_ERROR(fast_path_->OnEvent());
+  }
+  if (config_.window_ops > 0 ? ops_since_window_ >= config_.window_ops
+                             : engine_.now() >= next_window_at_) {
+    ops_since_window_ = 0;
+    return OnWindowEnd();
+  }
+  return OkStatus();
 }
 
 Status TsDaemon::OnWindowEnd() {
@@ -116,7 +154,7 @@ Status TsDaemon::OnWindowEnd() {
   // cost real sample compression, so fan them out across the push threads
   // first; the Decide() sweep then reads every predicted ratio as a hash
   // lookup (values identical to an unwarmed serial run).
-  if (policy_ != nullptr && config_.enable_migration) {
+  if (config_.mode == DaemonMode::kPlace) {
     cost_model_.PrewarmRatios(engine_.space().total_regions(), engine_.thread_pool());
     // Incremental mode feeds bucket-stable hotness plus the changed-bucket
     // bitmap (DESIGN.md §4e) so an unflagged region's solver inputs really
@@ -140,7 +178,17 @@ Status TsDaemon::OnWindowEnd() {
       input.changed_hint = &changed_bitmap;
     }
 
-    auto decision = policy_->Decide(input, cost_model_);
+    // Cross-cutting window context (§4h API): the §4d ladder's standing plus
+    // the fast path's pins and mid-window activity during the closing window.
+    DecisionContext ctx;
+    ctx.last_window_degraded = !history_.empty() && history_.back().degraded;
+    ctx.consecutive_degraded = consecutive_degraded_;
+    if (fast_path_ != nullptr) {
+      ctx.pinned = &fast_path_->pinned_regions();
+      ctx.fast_path_promotions = fast_path_->window_stats().promotions;
+    }
+
+    auto decision = policy_->Decide(input, cost_model_, ctx);
 
     // Charge the solver cost (§8.4) whether or not the solve succeeded — a
     // timed-out solve burned its budget all the same: local solves interfere
@@ -192,12 +240,13 @@ Status TsDaemon::OnWindowEnd() {
     // not re-filtered here — or, before any plan exists, to holding every
     // region on its current tier.
     if (decision.ok()) {
-      record.filter = filter_.Apply(input, *decision, cost_model_, engine_);
+      record.filter = filter_.Apply(input, *decision, cost_model_, engine_, ctx);
       m_filter_kept_->Add(record.filter.kept);
       m_filter_dropped_capacity_->Add(record.filter.dropped_capacity);
       m_filter_dropped_pressure_->Add(record.filter.dropped_pressure);
       m_filter_dropped_benefit_->Add(record.filter.dropped_benefit);
       m_filter_dropped_hysteresis_->Add(record.filter.dropped_hysteresis);
+      m_filter_dropped_pinned_->Add(record.filter.dropped_pinned);
       last_plan_ = std::move(*decision);
     } else {
       record.solver_fallback = true;
@@ -239,6 +288,12 @@ Status TsDaemon::OnWindowEnd() {
         record.migrated_pages += moved->moved;
         record.unrealized_pages += moved->rejected + moved->shortfall;
         record.migrate_retries += moved->retries;
+        if (fast_path_ != nullptr && moved->moved > 0) {
+          // Feed the ping-pong detector (§4h): a demotion here that the fast
+          // path re-promotes within M windows is oscillating.
+          fast_path_->NoteBoundaryMove(input.regions[i].region,
+                                       input.regions[i].current_tier, dst);
+        }
       }
     }
   } else {
@@ -264,6 +319,15 @@ Status TsDaemon::OnWindowEnd() {
   m_last_tco_->Set(record.tco);
   m_last_tco_savings_->Set(record.tco_savings);
   m_last_threshold_->Set(record.hotness_threshold);
+  consecutive_degraded_ = record.degraded ? consecutive_degraded_ + 1 : 0;
+  if (fast_path_ != nullptr) {
+    record.fast_path_promotions = fast_path_->window_stats().promotions;
+    record.fast_path_pins = fast_path_->window_stats().pingpong_pins;
+    // Boundary bookkeeping last: folds the degradation verdict into the
+    // backpressure ladder, expires pins, and re-arms the streak detector.
+    fast_path_->OnWindowClosed(record.degraded);
+    record.pinned_regions = fast_path_->pinned_regions().size();
+  }
   history_.push_back(std::move(record));
   next_window_at_ = engine_.now() + config_.profile_window;
   return OkStatus();

@@ -13,15 +13,32 @@
 #ifndef SRC_CORE_TS_DAEMON_H_
 #define SRC_CORE_TS_DAEMON_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/core/cost_model.h"
+#include "src/core/fast_path.h"
 #include "src/core/migration_filter.h"
 #include "src/core/placement.h"
 #include "src/telemetry/hotness.h"
 #include "src/tiering/engine.h"
 
 namespace tierscape {
+
+// What the daemon does at a window boundary (DESIGN.md §4h): kProfileOnly
+// drains telemetry and records the window but never decides or migrates (the
+// Fig. 14 profiling-only mode and the bench grids' DRAM-only reference
+// column — a stated mode, not a nullable-policy convention); kPlace runs the
+// full profile -> model -> filter -> migrate loop.
+enum class DaemonMode { kProfileOnly, kPlace };
+
+// One workload operation's worth of externally visible activity, fed to
+// TsDaemon::Observe. The engine already charged the access stream and fed the
+// sampler during the op itself; Observe reacts to what the op produced.
+struct AccessEvent {
+  std::uint64_t ops = 1;  // operations this event represents (window pacing)
+  Nanos latency = 0;      // the op's charged latency (daemon/op_latency_ns)
+};
 
 struct DaemonConfig {
   // Virtual-time length of one profile window (W5 = 5 s in the artifact; the
@@ -50,8 +67,11 @@ struct DaemonConfig {
   // charge the real measured time instead.
   Nanos solve_cost_per_cell = 40;
   bool charge_measured_solve = false;
-  // false = profiling-only mode (no model, no migration) for Fig. 14.
-  bool enable_migration = true;
+  // Boundary behavior: kPlace runs the full loop; kProfileOnly (Fig. 14, the
+  // DRAM-only reference columns) profiles and records but never migrates.
+  DaemonMode mode = DaemonMode::kPlace;
+  // Event-driven sub-window fast path (DESIGN.md §4h); requires kPlace.
+  FastPathConfig fast_path;
   // Warm-start incremental solving (DESIGN.md §4e): feed the analytical
   // policy bucket-stable hotness (HotnessTable::BucketedHotness) plus the
   // per-window changed-bucket bitmap so the MCKP solver delta-repairs the
@@ -109,32 +129,40 @@ class TsDaemon {
     // tenant's bid for more capacity (DESIGN.md §4f). Zero for non-AM
     // policies and slack-budget windows.
     double marginal_gradient = 0.0;
+    // §4h fast path: mid-window promotions and ping-pong pins created during
+    // the closing window, plus the pins still active going into the next one.
+    std::uint64_t fast_path_promotions = 0;
+    std::uint64_t fast_path_pins = 0;
+    std::uint64_t pinned_regions = 0;
   };
 
-  // `policy` may be null: profiling-only mode.
+  // `policy` must be non-null exactly when config.mode == DaemonMode::kPlace
+  // (TS_CHECKed) — the old null-policy-means-profiling convention is gone.
   TsDaemon(TieringEngine& engine, PlacementPolicy* policy, DaemonConfig config = {});
 
+  // The single daemon entry point (DESIGN.md §4h): feed one workload op's
+  // event. Paces the window (op count or virtual time), pumps the sub-window
+  // fast path's triggers, and runs OnWindowEnd when the boundary passes.
+  Status Observe(const AccessEvent& event);
+
   // Runs one window boundary: profile, decide, filter, migrate, record.
+  // Public for callers that own their boundary placement (tests, ablations);
+  // ordinary per-op callers go through Observe.
   Status OnWindowEnd();
 
   // Virtual time at which the next window closes.
   Nanos next_window_at() const { return next_window_at_; }
-  // Convenience for drivers: call once per operation; runs OnWindowEnd when
-  // the op-count or virtual-time boundary passes.
-  Status MaybeRunWindow() {
-    ++ops_since_window_;
-    if (config_.window_ops > 0 ? ops_since_window_ >= config_.window_ops
-                               : engine_.now() >= next_window_at_) {
-      ops_since_window_ = 0;
-      return OnWindowEnd();
-    }
-    return OkStatus();
-  }
+  // DEPRECATED shim for the pre-§4h per-op convenience; forwards one op with
+  // no latency. Kept for exactly one PR — tslint's deprecated-window-shim
+  // rule fails any caller outside this header. Use Observe(AccessEvent).
+  TS_NODISCARD Status MaybeRunWindow() { return Observe(AccessEvent{}); }
 
   const std::vector<WindowRecord>& history() const { return history_; }
   HotnessTable& hotness() { return hotness_; }
   CostModel& cost_model() { return cost_model_; }
   PlacementPolicy* policy() { return policy_; }
+  // Null unless config.fast_path.enabled.
+  const FastPath* fast_path() const { return fast_path_.get(); }
 
   // Total daemon work charged to the application clock so far.
   Nanos charged_overhead_ns() const { return charged_overhead_ns_; }
@@ -150,8 +178,10 @@ class TsDaemon {
   HotnessTable hotness_;
   CostModel cost_model_;
   MigrationFilter filter_;
+  std::unique_ptr<FastPath> fast_path_;  // null unless config.fast_path.enabled
   Nanos next_window_at_;
   std::uint64_t ops_since_window_ = 0;
+  std::uint64_t consecutive_degraded_ = 0;  // §4d ladder standing (DecisionContext)
   Nanos charged_overhead_ns_ = 0;
   std::vector<WindowRecord> history_;
   // Previous window's post-filter plan (per region, in region order): the
@@ -181,6 +211,7 @@ class TsDaemon {
   Counter* m_filter_dropped_pressure_ = nullptr;
   Counter* m_filter_dropped_benefit_ = nullptr;
   Counter* m_filter_dropped_hysteresis_ = nullptr;
+  Counter* m_filter_dropped_pinned_ = nullptr;
   Gauge* m_last_tco_ = nullptr;
   Gauge* m_last_tco_savings_ = nullptr;
   Gauge* m_last_threshold_ = nullptr;
@@ -189,6 +220,7 @@ class TsDaemon {
   Gauge* m_wall_total_solve_ms_ = nullptr;  // comparisons (metrics.h)
   FixedHistogram* m_window_migrated_ = nullptr;
   FixedHistogram* m_window_samples_ = nullptr;
+  FixedHistogram* m_op_latency_ = nullptr;
 };
 
 }  // namespace tierscape

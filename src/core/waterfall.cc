@@ -5,11 +5,19 @@
 namespace tierscape {
 
 StatusOr<PlacementDecision> WaterfallPolicy::Decide(const PlacementInput& input,
-                                                    const CostModel& model) {
+                                                    const CostModel& model,
+                                                    const DecisionContext& ctx) {
   const int last_tier = model.tiers().count() - 1;
   PlacementDecision decision;
   decision.reserve(input.regions.size());
   for (const RegionProfile& region : input.regions) {
+    // Pinned regions (§4h ping-pong damping) sit out the waterfall: neither
+    // promoted nor aged until the pin expires.
+    if (ctx.pinned != nullptr &&
+        std::binary_search(ctx.pinned->begin(), ctx.pinned->end(), region.region)) {
+      decision.push_back(region.current_tier);
+      continue;
+    }
     if (region.hotness > input.hotness_threshold) {
       decision.push_back(0);  // promote to DRAM
     } else {

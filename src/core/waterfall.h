@@ -19,8 +19,8 @@ class WaterfallPolicy : public PlacementPolicy {
 
   std::string_view name() const override { return "Waterfall"; }
 
-  StatusOr<PlacementDecision> Decide(const PlacementInput& input,
-                                     const CostModel& model) override;
+  StatusOr<PlacementDecision> Decide(const PlacementInput& input, const CostModel& model,
+                                     const DecisionContext& ctx) override;
 };
 
 }  // namespace tierscape

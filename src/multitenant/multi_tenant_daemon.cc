@@ -116,9 +116,10 @@ Status MultiTenantDaemon::BuildTenant(Tenant& tenant) {
                             std::make_unique<AnalyticalPolicy>(tenant.spec.alpha))
                       : std::make_unique<WaterfallPolicy>();
   DaemonConfig daemon = config_.daemon;
-  // This daemon drives window boundaries itself (RunTenantShard calls
-  // OnWindowEnd directly); disable the per-op pacing.
-  daemon.window_ops = 0;
+  // Each shard runs exactly ops_per_window ops through Observe (§4h event
+  // API), so the op counter fires the boundary inside the shard's last op —
+  // one window per shard, per-tenant fast path included.
+  daemon.window_ops = config_.ops_per_window;
   tenant.daemon = std::make_unique<TsDaemon>(*tenant.engine, tenant.policy.get(), daemon);
 
   const std::string prefix = "tenant/" + tenant.spec.label + "/";
@@ -196,16 +197,23 @@ void MultiTenantDaemon::ChurnSharedCache(Tenant& tenant) {
 }
 
 void MultiTenantDaemon::RunTenantShard(Tenant& tenant) {
+  // Every op flows through the tenant daemon's Observe (§4h): sampling,
+  // fast-path triggers, and the window boundary — which fires inside the
+  // shard's last op (window_ops == ops_per_window, BuildTenant) — all on
+  // slot-owned state. Shared-cache churn runs after the boundary; it touches
+  // only the MPMC path's parked accounting and the tenant's own churn clock,
+  // so the window record is independent of it either way.
   for (std::uint64_t op = 0; op < config_.ops_per_window; ++op) {
-    tenant.app->Op(*tenant.engine);
+    const Nanos latency = tenant.app->Op(*tenant.engine);
+    tenant.status = tenant.daemon->Observe(AccessEvent{.latency = latency});
+    if (!tenant.status.ok()) {
+      return;
+    }
   }
   if (shared_cache_path_ != nullptr) {
     ChurnSharedCache(tenant);
   }
-  tenant.status = tenant.daemon->OnWindowEnd();
-  if (!tenant.status.ok()) {
-    return;
-  }
+  TS_CHECK(!tenant.daemon->history().empty());
   const TsDaemon::WindowRecord& record = tenant.daemon->history().back();
   tenant.demand.marginal_gradient = record.marginal_gradient;
   tenant.demand.window_faults = SumFaults(record);

@@ -63,7 +63,7 @@ struct MultiTenantConfig {
   // partition); obs/fault seeds are replaced per tenant.
   SystemConfig system;
   EngineConfig engine;  // migrate_threads forced to 1 when threads > 1
-  DaemonConfig daemon;  // window pacing ignored: the daemon drives windows
+  DaemonConfig daemon;  // window_ops overridden to ops_per_window (§4h shards)
   std::uint64_t ops_per_window = 2000;  // per tenant
   std::uint64_t windows = 8;
   int threads = 1;  // pool size for per-tenant shards (wall-clock only)

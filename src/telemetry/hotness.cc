@@ -29,7 +29,19 @@ void HotnessTable::EndWindow(
       it->second.bucket = bucket;
     }
   }
+  // Fold in mid-window ForceChanged marks (§4h fast-path promotions): the
+  // region's placement moved even if its bucket did not, so the warm-start
+  // bitmap must flag it for this boundary's solve.
+  for (const std::uint64_t region : forced_changed_) {
+    auto it = buckets_.find(region);
+    if (it != buckets_.end()) {
+      it->second.changed = true;
+    }
+  }
+  forced_changed_.clear();
 }
+
+void HotnessTable::ForceChanged(std::uint64_t region) { forced_changed_.push_back(region); }
 
 double HotnessTable::Hotness(std::uint64_t region) const {
   auto it = hotness_.find(region);

@@ -51,6 +51,11 @@ class HotnessTable {
   // True when the region's bucket moved at the last EndWindow (also true for
   // a region's first window — no previous bucket to be stable against).
   bool BucketChanged(std::uint64_t region) const;
+  // Marks a region changed for the *next* EndWindow regardless of whether its
+  // bucket moves — the §4h fast path calls this after a mid-window promotion
+  // so the warm-start solver re-solves the region even when its sampling rate
+  // (and thus its bucket) stayed steady. Consumed and cleared by EndWindow.
+  void ForceChanged(std::uint64_t region);
   // Changed flags for regions [0, n_regions) as a dense bitmap (1 = bucket
   // changed at the last EndWindow; untracked regions report changed). This is
   // the warm-start hint handed to MckpSolver::Solve via
@@ -74,6 +79,7 @@ class HotnessTable {
 
   std::unordered_map<std::uint64_t, double> hotness_;
   std::unordered_map<std::uint64_t, BucketState> buckets_;
+  std::vector<std::uint64_t> forced_changed_;  // pending ForceChanged marks
   std::uint64_t windows_seen_ = 0;
 };
 

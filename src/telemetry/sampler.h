@@ -42,7 +42,12 @@ class PebsSampler {
     while (countdown_ >= period_) {
       countdown_ -= period_;
       ++total_samples_;
-      ++window_samples_[RegionOf(vaddr)];
+      const std::uint32_t region_count = ++window_samples_[RegionOf(vaddr)];
+      if (streak_threshold_ != 0 && region_count == streak_threshold_) {
+        // K-hit streak (DESIGN.md §4h): queued exactly once per region per
+        // window, in the deterministic order the thresholds were crossed.
+        streak_ready_.push_back(RegionOf(vaddr));
+      }
       if (is_store) {
         ++store_samples_;
       }
@@ -57,6 +62,7 @@ class PebsSampler {
   std::unordered_map<std::uint64_t, std::uint32_t> DrainWindow() {
     auto out = std::move(window_samples_);
     window_samples_.clear();
+    streak_ready_.clear();  // stale streaks must not leak across the boundary
     if (fault_ != nullptr && fault_->ShouldFail(FaultSite::kSamplerDrop)) {
       std::vector<std::uint64_t> regions;
       regions.reserve(out.size());
@@ -83,6 +89,24 @@ class PebsSampler {
     return out;
   }
 
+  // K-hit streak detection for the sub-window fast path (DESIGN.md §4h):
+  // when `k` > 0, a region crossing `k` samples within the current window is
+  // queued for TakeStreakRegions(), once per window. 0 disarms detection.
+  // Armed by FastPath at construction and at each window boundary — never
+  // mid-window, so the crossing order stays a pure function of the access
+  // stream.
+  void set_streak_threshold(std::uint32_t k) { streak_threshold_ = k; }
+  std::uint32_t streak_threshold() const { return streak_threshold_; }
+
+  // Returns and clears the regions whose streaks crossed the threshold since
+  // the last take, in crossing order. DrainWindow discards pending streaks —
+  // a streak must not outlive the window whose samples produced it.
+  std::vector<std::uint64_t> TakeStreakRegions() {
+    std::vector<std::uint64_t> out = std::move(streak_ready_);
+    streak_ready_.clear();
+    return out;
+  }
+
   std::uint64_t period() const { return period_; }
   std::uint64_t total_events() const { return total_events_; }
   std::uint64_t total_samples() const { return total_samples_; }
@@ -97,6 +121,8 @@ class PebsSampler {
   std::uint64_t total_samples_ = 0;
   std::uint64_t store_samples_ = 0;
   std::uint64_t dropped_samples_ = 0;
+  std::uint32_t streak_threshold_ = 0;  // 0 = streak detection disarmed
+  std::vector<std::uint64_t> streak_ready_;
   std::unordered_map<std::uint64_t, std::uint32_t> window_samples_;
 };
 

@@ -123,6 +123,13 @@ class TieringEngine {
   // structurally invalid arguments.
   StatusOr<MigrateOutcome> MigrateRegion(std::uint64_t region, int dst);
 
+  // Promote-one-region entry point for the sub-window fast path (DESIGN.md
+  // §4h): pulls every page of `region` into DRAM, spilling to the next byte
+  // tiers when DRAM is full (AllocByteFrame). Same partial-placement and
+  // retry semantics as MigrateRegion — just the promotion direction named as
+  // an API, so fast-path callers cannot pick an arbitrary destination.
+  StatusOr<MigrateOutcome> PromoteRegion(std::uint64_t region) { return MigrateRegion(region, 0); }
+
   // --- clocks -------------------------------------------------------------
   Nanos now() const { return clock_; }
   // All-DRAM execution time of the same access stream (Eq. 3).

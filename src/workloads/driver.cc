@@ -33,7 +33,15 @@ ExperimentResult RunExperiment(TieredSystem& system, Workload& workload,
   if (config.target_windows > 0 && daemon_config.window_ops == 0) {
     daemon_config.window_ops = std::max<std::uint64_t>(1, config.ops / config.target_windows);
   }
-  TsDaemon daemon(engine, policy, daemon_config);
+  // The nullable-policy convention stops at this boundary (DESIGN.md §4h): a
+  // caller without a policy gets the stated profiling-only mode — and never a
+  // fast path, since mid-window promotions are placement.
+  if (policy == nullptr) {
+    daemon_config.mode = DaemonMode::kProfileOnly;
+    daemon_config.fast_path.enabled = false;
+  }
+  TsDaemon daemon(engine, daemon_config.mode == DaemonMode::kPlace ? policy : nullptr,
+                  daemon_config);
 
   // Measured phase.
   if (fault != nullptr) {
@@ -44,7 +52,7 @@ ExperimentResult RunExperiment(TieredSystem& system, Workload& workload,
   for (std::uint64_t op = 0; op < config.ops; ++op) {
     const Nanos latency = workload.Op(engine);
     result.op_latency_ns.Record(latency);
-    const Status window = daemon.MaybeRunWindow();
+    const Status window = daemon.Observe(AccessEvent{.latency = latency});
     TS_CHECK(window.ok()) << "daemon window failed: " << window.ToString();
   }
 

@@ -1,5 +1,7 @@
 #include "src/workloads/masim.h"
 
+#include "src/common/logging.h"
+
 namespace tierscape {
 
 MasimConfig DefaultMasimConfig(std::size_t total_bytes) {
@@ -26,6 +28,10 @@ MasimConfig DefaultMasimConfig(std::size_t total_bytes) {
 }
 
 void MasimWorkload::Reserve(AddressSpace& space) {
+  if (config_.flash_crowd_at_op > 0) {
+    TS_CHECK(config_.flash_crowd_region < config_.regions.size())
+        << "masim: flash_crowd_region out of range";
+  }
   for (const MasimRegionSpec& region : config_.regions) {
     bases_.push_back(space.Allocate(region.name, region.bytes, region.profile));
     total_weight_ += region.access_weight;
@@ -33,6 +39,13 @@ void MasimWorkload::Reserve(AddressSpace& space) {
 }
 
 Nanos MasimWorkload::Op(TieringEngine& engine) {
+  if (config_.flash_crowd_at_op > 0 && ops_seen_++ == config_.flash_crowd_at_op) {
+    // The crowd arrives: the chosen (typically cold) range takes over the
+    // access mix from this op on.
+    MasimRegionSpec& crowd = config_.regions[config_.flash_crowd_region];
+    total_weight_ += config_.flash_crowd_weight - crowd.access_weight;
+    crowd.access_weight = config_.flash_crowd_weight;
+  }
   Nanos latency = 0;
   for (std::uint64_t i = 0; i < config_.accesses_per_op; ++i) {
     // Pick a region by weight, then a uniform page inside it.

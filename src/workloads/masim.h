@@ -26,6 +26,15 @@ struct MasimConfig {
   std::uint64_t accesses_per_op = 8;
   std::uint64_t seed = 5;
   Nanos op_compute = 100;
+  // Flash-crowd traffic shape (ROADMAP item 3; §4h bench): when
+  // flash_crowd_at_op > 0, the op with that index rewrites region
+  // `flash_crowd_region`'s access weight to `flash_crowd_weight` — a cold
+  // range suddenly dominating the mix, exactly the shift a boundary-only
+  // daemon reacts to a full window late. Deterministic: the flip is a pure
+  // function of the op index.
+  std::uint64_t flash_crowd_at_op = 0;
+  std::size_t flash_crowd_region = 0;
+  double flash_crowd_weight = 0.0;
 };
 
 // A classic 10/30/60 hot/warm/cold split.
@@ -44,6 +53,7 @@ class MasimWorkload : public Workload {
   Rng rng_;
   std::vector<std::uint64_t> bases_;
   double total_weight_ = 0.0;
+  std::uint64_t ops_seen_ = 0;  // flash-crowd trigger index
 };
 
 }  // namespace tierscape

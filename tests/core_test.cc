@@ -151,7 +151,7 @@ PlacementInput MakeInput(int regions, double threshold) {
 
 TEST_F(CostModelFixture, TwoTierPolicySplitsAtThreshold) {
   TwoTierPolicy policy("HeMem*", 1);
-  auto decision = policy.Decide(MakeInput(3, 1.0), *model_);
+  auto decision = policy.Decide(MakeInput(3, 1.0), *model_, DecisionContext{});
   ASSERT_TRUE(decision.ok());
   EXPECT_EQ((*decision)[0], 1);  // hotness 0 <= 1 -> slow tier
   EXPECT_EQ((*decision)[1], 1);  // hotness 1 <= 1 -> slow tier
@@ -164,7 +164,7 @@ TEST_F(CostModelFixture, WaterfallAgesOneTierPerWindow) {
   input.regions[0].current_tier = 0;
   input.regions[1].current_tier = 2;
   input.regions[2].current_tier = 3;  // already in the last tier
-  auto decision = policy.Decide(input, *model_);
+  auto decision = policy.Decide(input, *model_, DecisionContext{});
   ASSERT_TRUE(decision.ok());
   EXPECT_EQ((*decision)[0], 1);
   EXPECT_EQ((*decision)[1], 3);
@@ -176,14 +176,14 @@ TEST_F(CostModelFixture, WaterfallPromotesHotToDram) {
   PlacementInput input = MakeInput(1, 0.5);
   input.regions[0].hotness = 5.0;
   input.regions[0].current_tier = 3;
-  auto decision = policy.Decide(input, *model_);
+  auto decision = policy.Decide(input, *model_, DecisionContext{});
   ASSERT_TRUE(decision.ok());
   EXPECT_EQ((*decision)[0], 0);
 }
 
 TEST_F(CostModelFixture, AnalyticalAlphaOneKeepsEverythingInDram) {
   AnalyticalPolicy policy(1.0);
-  auto decision = policy.Decide(MakeInput(3, 0.0), *model_);
+  auto decision = policy.Decide(MakeInput(3, 0.0), *model_, DecisionContext{});
   ASSERT_TRUE(decision.ok());
   for (int choice : *decision) {
     EXPECT_EQ(choice, 0);
@@ -197,7 +197,7 @@ TEST_F(CostModelFixture, AnalyticalAlphaZeroMaximizesSavings) {
   for (auto& region : input.regions) {
     region.hotness = 0.0;
   }
-  auto decision = policy.Decide(input, *model_);
+  auto decision = policy.Decide(input, *model_, DecisionContext{});
   ASSERT_TRUE(decision.ok());
   for (int choice : *decision) {
     EXPECT_NE(choice, 0);
@@ -207,7 +207,7 @@ TEST_F(CostModelFixture, AnalyticalAlphaZeroMaximizesSavings) {
 
 TEST_F(CostModelFixture, AnalyticalMidAlphaRecordsBudgetStats) {
   AnalyticalPolicy policy(0.5);
-  auto decision = policy.Decide(MakeInput(3, 0.0), *model_);
+  auto decision = policy.Decide(MakeInput(3, 0.0), *model_, DecisionContext{});
   ASSERT_TRUE(decision.ok());
   EXPECT_GT(policy.stats().last_tco_max, policy.stats().last_tco_min);
   EXPECT_GE(policy.stats().last_budget, policy.stats().last_tco_min);
@@ -220,7 +220,7 @@ TEST_F(CostModelFixture, AnalyticalPrefersDramForHotRegions) {
   input.regions[0].hotness = 1000.0;  // blazing hot
   input.regions[1].hotness = 0.0;
   input.regions[2].hotness = 0.0;
-  auto decision = policy.Decide(input, *model_);
+  auto decision = policy.Decide(input, *model_, DecisionContext{});
   ASSERT_TRUE(decision.ok());
   EXPECT_EQ((*decision)[0], 0);
   EXPECT_NE((*decision)[1], 0);
@@ -267,7 +267,9 @@ TEST(TsDaemonTest, ProfilingOnlyModeNeverMigrates) {
   space.Allocate("data", 8 * kMiB, CorpusProfile::kDickens);
   TieringEngine engine(space, system.tiers());
   ASSERT_TRUE(engine.PlaceInitial().ok());
-  TsDaemon daemon(engine, nullptr, DaemonConfig{});
+  DaemonConfig config;
+  config.mode = DaemonMode::kProfileOnly;
+  TsDaemon daemon(engine, nullptr, config);
   for (int i = 0; i < 1000; ++i) {
     engine.Access(i * kPageSize % (8 * kMiB), false);
   }
@@ -296,7 +298,7 @@ TEST(MigrationFilterTest, CapacityBoundRespected) {
   }
   PlacementDecision decision(8, 1);  // everything to NVMM
   MigrationFilter filter(FilterConfig{.capacity_headroom = 1.0});
-  const FilterStats stats = filter.Apply(input, decision, model, engine);
+  const FilterStats stats = filter.Apply(input, decision, model, engine, DecisionContext{});
   EXPECT_GT(stats.dropped_capacity, 0u);
   std::size_t kept = 0;
   for (int dst : decision) {
@@ -319,7 +321,7 @@ TEST(MigrationFilterTest, HysteresisBlocksPointlessMoves) {
   // CT-2 -> CT-1 for a cold region: worse TCO, no perf need.
   PlacementDecision decision = {2};
   MigrationFilter filter;
-  const FilterStats stats = filter.Apply(input, decision, model, engine);
+  const FilterStats stats = filter.Apply(input, decision, model, engine, DecisionContext{});
   EXPECT_EQ(stats.dropped_hysteresis, 1u);
   EXPECT_EQ(decision[0], 3);
 }

@@ -83,7 +83,7 @@ TEST_P(Fixture, SolverRespectsBudget) {
   }
   for (const double alpha : {0.25, 0.5, 0.75}) {
     AnalyticalPolicy policy(alpha);
-    auto decision = policy.Decide(input, *model_);
+    auto decision = policy.Decide(input, *model_, DecisionContext{});
     ASSERT_TRUE(decision.ok());
     double tco = 0.0;
     double tco_min = 0.0;
@@ -111,7 +111,7 @@ TEST_P(Fixture, PlacementMonotoneInHotness) {
   input.regions.push_back(RegionProfile{.region = 0, .hotness = 50.0, .current_tier = 0});
   input.regions.push_back(RegionProfile{.region = 1, .hotness = 1.0, .current_tier = 0});
   AnalyticalPolicy policy(0.3 + 0.1 * (GetParam() % 3));
-  auto decision = policy.Decide(input, *model_);
+  auto decision = policy.Decide(input, *model_, DecisionContext{});
   ASSERT_TRUE(decision.ok());
   const Nanos hot_penalty = model_->RegionPenalty(0, (*decision)[0]);
   const Nanos cold_penalty = model_->RegionPenalty(1, (*decision)[1]);

@@ -28,24 +28,26 @@ class DaemonFixture : public ::testing::Test {
 
 TEST_F(DaemonFixture, OpCountWindowsFireEveryN) {
   DaemonConfig config;
+  config.mode = DaemonMode::kProfileOnly;
   config.window_ops = 100;
   TsDaemon daemon(*engine_, nullptr, config);
   for (int op = 0; op < 1000; ++op) {
     engine_->Access((op % 256) * kPageSize, false);
-    ASSERT_TRUE(daemon.MaybeRunWindow().ok());
+    ASSERT_TRUE(daemon.Observe(AccessEvent{}).ok());
   }
   EXPECT_EQ(daemon.history().size(), 10u);
 }
 
 TEST_F(DaemonFixture, TimeWindowsFireOnVirtualClock) {
   DaemonConfig config;
+  config.mode = DaemonMode::kProfileOnly;
   config.window_ops = 0;
   config.profile_window = kMilli;
   TsDaemon daemon(*engine_, nullptr, config);
   // Each op costs ~10us of compute: a window closes every ~100 ops.
   for (int op = 0; op < 500; ++op) {
     engine_->Compute(10 * kMicro);
-    ASSERT_TRUE(daemon.MaybeRunWindow().ok());
+    ASSERT_TRUE(daemon.Observe(AccessEvent{}).ok());
   }
   EXPECT_GE(daemon.history().size(), 4u);
   EXPECT_LE(daemon.history().size(), 6u);
@@ -53,12 +55,13 @@ TEST_F(DaemonFixture, TimeWindowsFireOnVirtualClock) {
 
 TEST_F(DaemonFixture, TelemetryCostCharged) {
   DaemonConfig config;
+  config.mode = DaemonMode::kProfileOnly;
   config.window_ops = 50;
   config.per_sample_cost = 1000;
   TsDaemon daemon(*engine_, nullptr, config);
   for (int op = 0; op < 200; ++op) {
     engine_->Access((op % 64) * kPageSize, false);
-    ASSERT_TRUE(daemon.MaybeRunWindow().ok());
+    ASSERT_TRUE(daemon.Observe(AccessEvent{}).ok());
   }
   // 200 accesses at period 32 -> ~6 samples x 1000ns charged.
   EXPECT_GT(daemon.charged_overhead_ns(), 0u);
@@ -73,7 +76,7 @@ TEST_F(DaemonFixture, RecommendationAndActualRecorded) {
   // Touch only the first region: everything else is cold.
   for (int op = 0; op < 2000; ++op) {
     engine_->Access((op % 128) * kPageSize, false);
-    ASSERT_TRUE(daemon.MaybeRunWindow().ok());
+    ASSERT_TRUE(daemon.Observe(AccessEvent{}).ok());
   }
   ASSERT_FALSE(daemon.history().empty());
   const auto& last = daemon.history().back();
@@ -107,7 +110,7 @@ TEST_F(DaemonFixture, RemoteSolverChargesRpcLatency) {
     TsDaemon daemon(engine, &policy, config);
     for (int op = 0; op < 2000; ++op) {
       engine.Access((op % 512) * kPageSize, false);
-      EXPECT_TRUE(daemon.MaybeRunWindow().ok());
+      EXPECT_TRUE(daemon.Observe(AccessEvent{}).ok());
     }
     return daemon.charged_overhead_ns();
   };
@@ -127,7 +130,7 @@ TEST_F(DaemonFixture, StrayPagesRepackedWhenThresholdCrossed) {
   TsDaemon daemon(*engine_, &policy, config);
   // Window 1: everything demoted off DRAM.
   for (int op = 0; op < 1000; ++op) {
-    ASSERT_TRUE(daemon.MaybeRunWindow().ok());
+    ASSERT_TRUE(daemon.Observe(AccessEvent{}).ok());
     engine_->Compute(100);
   }
   const auto placed = engine_->PagesPerTier();
@@ -139,7 +142,7 @@ TEST_F(DaemonFixture, StrayPagesRepackedWhenThresholdCrossed) {
   EXPECT_EQ(engine_->PagesPerTier()[0], kPagesPerRegion / 4);
   // Next window: the daemon must re-pack the strays down again.
   for (int op = 0; op < 1000; ++op) {
-    ASSERT_TRUE(daemon.MaybeRunWindow().ok());
+    ASSERT_TRUE(daemon.Observe(AccessEvent{}).ok());
     engine_->Compute(100);
   }
   EXPECT_LT(engine_->PagesPerTier()[0], kPagesPerRegion / 8);
@@ -158,7 +161,7 @@ TEST_F(DaemonFixture, IncrementalSolverWarmStartsAfterBucketsSettle) {
   TsDaemon daemon(*engine_, &policy, config);
   for (int op = 0; op < 4000; ++op) {
     engine_->Access((op % 128) * kPageSize, false);
-    ASSERT_TRUE(daemon.MaybeRunWindow().ok());
+    ASSERT_TRUE(daemon.Observe(AccessEvent{}).ok());
   }
   ASSERT_GE(daemon.history().size(), 10u);
   EXPECT_FALSE(daemon.history().front().solver_warm);

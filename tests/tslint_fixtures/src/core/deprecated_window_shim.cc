@@ -1,0 +1,14 @@
+// tslint-fixture: deprecated-window-shim
+// A caller still on the pre-§4h per-op shim: spelling `MaybeRunWindow`
+// anywhere but its declaring header (src/core/ts_daemon.h) must trip
+// deprecated-window-shim — ops go through TsDaemon::Observe(AccessEvent).
+
+namespace fixture {
+
+template <typename Daemon>
+bool DriveOnce(Daemon& daemon) {
+  const auto window = daemon.MaybeRunWindow();  // WRONG: Observe(AccessEvent{})
+  return window.ok();
+}
+
+}  // namespace fixture

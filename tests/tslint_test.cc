@@ -732,6 +732,32 @@ TEST(HandleResolution, NamespaceScopeRegistrationAllowed) {
   EXPECT_TRUE(diags.empty());
 }
 
+// --- deprecated-window-shim ------------------------------------------------
+
+TEST(DeprecatedShim, CallerUseOfShimFlagged) {
+  const auto diags = LintOne("src/workloads/a.cc",
+                             "Status Drive(TsDaemon& daemon) {\n"
+                             "  return daemon.MaybeRunWindow();\n"
+                             "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleDeprecatedShim);
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(DeprecatedShim, DeclaringHeaderExempt) {
+  // The one-PR shim may only be spelled where it is declared (§4h).
+  const auto diags = LintOne("src/core/ts_daemon.h",
+                             "TS_NODISCARD Status MaybeRunWindow() { return Observe(AccessEvent{}); }\n");
+  EXPECT_TRUE(diags.empty()) << diags.front().message;
+}
+
+TEST(DeprecatedShim, StringsAndCommentsDoNotTrip) {
+  const auto diags = LintOne("src/core/a.cc",
+                             "// MaybeRunWindow used to live here\n"
+                             "const char* kOld = \"MaybeRunWindow\";\n");
+  EXPECT_TRUE(diags.empty());
+}
+
 // --- allowlist hygiene ----------------------------------------------------
 
 TEST(AllowHygiene, UnknownRuleNameFails) {

@@ -62,6 +62,16 @@ for threads in 1 4; do
     "$OUT/t$threads/BENCH_grid.json"
 done
 
+# The sub-window fast-path cells (fig11b, DESIGN.md §4h) must emit wall
+# records for the flash-crowd pair and at least one policy pair — a missing
+# record means the fast-path daemon config silently failed to run.
+for threads in 1 4; do
+  grep -q '"bench":"fig11_tail_latency","cell":"fastpath/flash-crowd","wall_ms"' \
+    "$OUT/t$threads/BENCH_grid.json"
+  grep -q '"bench":"fig11_tail_latency","cell":"fastpath/GSwap\*","wall_ms"' \
+    "$OUT/t$threads/BENCH_grid.json"
+done
+
 # The solver scaling curve must emit a per-cell wall/solver/solve_ms record
 # (the across-PR perf trajectory, EXPERIMENTS.md "Solver scaling curve").
 for threads in 1 4; do

@@ -39,7 +39,7 @@ const std::vector<std::string>& AllRuleNames() {
       kRuleDeterminism,   kRuleLayering,      kRuleNoExceptions,
       kRuleWallPrefix,    kRuleCiteConstants, kRulePoolPurity,
       kRuleFaultHook,     kRuleWorkerCapture, kRuleStatusDiscard,
-      kRuleHandleResolution, kRuleAllowlist,
+      kRuleHandleResolution, kRuleDeprecatedShim, kRuleAllowlist,
   };
   return kRules;
 }
@@ -474,6 +474,23 @@ void CheckDeterminism(const LexedFile& file, const std::vector<AllowEntry>& allo
                      "wall-clock / nondeterminism source `" + t.text +
                          "` outside the wall/ quarantine; justify in tools/tslint_allow.txt "
                          "if the value never reaches virtual-time results (DESIGN.md §4b)"});
+  }
+}
+
+// §4h event-API migration: TsDaemon::MaybeRunWindow survives one PR as a
+// deprecated shim; every caller must route ops through Observe(AccessEvent).
+// Only the declaring header may spell the name (string literals — e.g. this
+// rule's own message — are not identifiers and never match).
+void CheckDeprecatedShim(const LexedFile& file, const std::vector<AllowEntry>& allow,
+                         std::vector<bool>& used_allow, std::vector<Diagnostic>& diags) {
+  if (file.path == "src/core/ts_daemon.h") return;  // the shim's own declaration
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text != "MaybeRunWindow") continue;
+    if (Allowed(kRuleDeprecatedShim, file.path, allow, used_allow)) continue;
+    diags.push_back({kRuleDeprecatedShim, file.path, t.line, t.col,
+                     "`MaybeRunWindow` is a deprecated one-PR shim: feed ops through "
+                     "TsDaemon::Observe(AccessEvent) instead (DESIGN.md §4h)"});
   }
 }
 
@@ -1005,6 +1022,7 @@ void RunPerFileRules(const LexedFile& file, const SyntaxInfo& syntax,
                      std::vector<Diagnostic>& diags) {
   CheckDeterminism(file, allow, used_allow, diags);
   CheckNoExceptions(file, allow, used_allow, diags);
+  CheckDeprecatedShim(file, allow, used_allow, diags);
   CheckWallPrefix(file, allow, used_allow, diags);
   CheckCiteConstants(file, allow, used_allow, diags);
   CheckPoolPurity(file, allow, used_allow, diags);

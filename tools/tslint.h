@@ -106,6 +106,7 @@ inline constexpr const char* kRuleFaultHook = "fault-hook-purity";
 inline constexpr const char* kRuleWorkerCapture = "worker-capture-purity";
 inline constexpr const char* kRuleStatusDiscard = "status-discard";
 inline constexpr const char* kRuleHandleResolution = "handle-resolution-at-construction";
+inline constexpr const char* kRuleDeprecatedShim = "deprecated-window-shim";
 inline constexpr const char* kRuleAllowlist = "allowlist";  // tool hygiene
 
 // Every rule tslint enforces, in documentation order. Allowlist entries whose
